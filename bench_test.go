@@ -1,0 +1,293 @@
+package fabricgossip
+
+// One benchmark per evaluation artifact (Figures 4-14, Table II, §IV
+// analytics), each running a reduced-scale instance of the same workload
+// the cmd/figures tool regenerates at full scale, plus micro-benchmarks of
+// the hot paths (codec, engine, gossip step, Raft ordering).
+//
+// Benchmarks report domain metrics via b.ReportMetric:
+//
+//	tail_ms   p99.9 dissemination latency (latency figures)
+//	peer_MBps regular-peer bandwidth (bandwidth figures)
+//	conflicts invalidated transactions (Table II)
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fabricgossip/internal/analysis"
+	"fabricgossip/internal/harness"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/order"
+	"fabricgossip/internal/raft"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+const (
+	benchPeers  = 50
+	benchBlocks = 40
+)
+
+func benchDissemination(b *testing.B, p harness.Params, wantBandwidth bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		res, err := harness.RunDissemination(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 { // report metrics from the last run
+			if wantBandwidth {
+				gen := int(time.Duration(p.NumBlocks)*p.BlockInterval/p.Bucket) + 1
+				b.ReportMetric(res.Traffic.NodeAverage(res.RegularID, gen), "peer_MBps")
+			} else {
+				all := res.Latencies.All()
+				b.ReportMetric(float64(all.Quantile(0.999))/1e6, "tail_ms")
+			}
+		}
+	}
+}
+
+func quick(v harness.Variant) harness.Params {
+	return harness.QuickScale(harness.DefaultParams(v, 1), benchPeers, benchBlocks)
+}
+
+// BenchmarkFig4PeerLatencyOriginal regenerates Figure 4's workload: peer
+// latency under the stock infect-and-die + pull gossip.
+func BenchmarkFig4PeerLatencyOriginal(b *testing.B) {
+	benchDissemination(b, quick(harness.VariantOriginal), false)
+}
+
+// BenchmarkFig5BlockLatencyOriginal regenerates Figure 5's workload (same
+// run, block-level view).
+func BenchmarkFig5BlockLatencyOriginal(b *testing.B) {
+	benchDissemination(b, quick(harness.VariantOriginal), false)
+}
+
+// BenchmarkFig6BandwidthOriginal regenerates Figure 6's workload: per-peer
+// bandwidth under the stock gossip.
+func BenchmarkFig6BandwidthOriginal(b *testing.B) {
+	benchDissemination(b, quick(harness.VariantOriginal), true)
+}
+
+// BenchmarkFig7PeerLatencyEnhanced regenerates Figure 7's workload:
+// enhanced gossip with fout=4-equivalent parameters.
+func BenchmarkFig7PeerLatencyEnhanced(b *testing.B) {
+	benchDissemination(b, quick(harness.VariantEnhanced), false)
+}
+
+// BenchmarkFig8BlockLatencyEnhanced regenerates Figure 8's workload.
+func BenchmarkFig8BlockLatencyEnhanced(b *testing.B) {
+	benchDissemination(b, quick(harness.VariantEnhanced), false)
+}
+
+// BenchmarkFig9BandwidthEnhanced regenerates Figure 9's workload.
+func BenchmarkFig9BandwidthEnhanced(b *testing.B) {
+	benchDissemination(b, quick(harness.VariantEnhanced), true)
+}
+
+// BenchmarkFig10LeaderFanoutAblation regenerates Figure 10's ablation: the
+// leader pushes with fleaderout = fout instead of delegating.
+func BenchmarkFig10LeaderFanoutAblation(b *testing.B) {
+	p := harness.QuickScale(harness.Fig10Params(1), benchPeers, benchBlocks)
+	benchDissemination(b, p, true)
+}
+
+// BenchmarkFig11NoDigestAblation regenerates Figure 11's ablation: bodies
+// pushed on every hop (digests disabled).
+func BenchmarkFig11NoDigestAblation(b *testing.B) {
+	p := harness.QuickScale(harness.Fig11Params(1), benchPeers, 10)
+	benchDissemination(b, p, true)
+}
+
+// BenchmarkFig12PeerLatencyFout2 regenerates Figure 12's workload: the
+// conservative fout=2 configuration.
+func BenchmarkFig12PeerLatencyFout2(b *testing.B) {
+	p := harness.QuickScale(harness.Fig12Params(1), benchPeers, benchBlocks)
+	benchDissemination(b, p, false)
+}
+
+// BenchmarkFig13BlockLatencyFout2 regenerates Figure 13's workload.
+func BenchmarkFig13BlockLatencyFout2(b *testing.B) {
+	p := harness.QuickScale(harness.Fig12Params(1), benchPeers, benchBlocks)
+	benchDissemination(b, p, false)
+}
+
+// BenchmarkFig14BandwidthFout2 regenerates Figure 14's workload.
+func BenchmarkFig14BandwidthFout2(b *testing.B) {
+	p := harness.QuickScale(harness.Fig12Params(1), benchPeers, benchBlocks)
+	benchDissemination(b, p, true)
+}
+
+// BenchmarkTable2Conflicts regenerates Table II's workload at reduced
+// scale: the counter-increment EOV pipeline, both variants at one block
+// period; the conflicts metric is original-minus-enhanced headroom.
+func BenchmarkTable2Conflicts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := harness.DefaultConflictParams(harness.VariantOriginal, time.Second, int64(i+1))
+		p.NumPeers = 30
+		p.Keys = 30
+		p.Rounds = 10
+		res, err := harness.RunConflictExperiment(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Variant = harness.VariantEnhanced
+		res2, err := harness.RunConflictExperiment(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Conflicts), "conflicts_orig")
+			b.ReportMetric(float64(res2.Conflicts), "conflicts_enh")
+		}
+	}
+}
+
+// BenchmarkAnalyticsTTL benchmarks the §IV analytic pipeline: TTL scan and
+// pe computation across fan-outs.
+func BenchmarkAnalyticsTTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, fout := range []int{2, 3, 4, 5} {
+			if _, err := analysis.TTLFor(100, fout, 1e-6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkInfectAndDieMonteCarlo benchmarks the §IV infect-and-die reach
+// simulation (10k trials at n=100, fout=3 is the figure-quality setting).
+func BenchmarkInfectAndDieMonteCarlo(b *testing.B) {
+	rng := sim.NewRand(1)
+	for i := 0; i < b.N; i++ {
+		st := analysis.SimulateInfectAndDie(100, 3, 100, rng)
+		if st.MeanReached < 80 {
+			b.Fatal("implausible reach")
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkWireMarshalBlock measures encoding one paper-sized block
+// (50 tx x ~3.2 KB).
+func BenchmarkWireMarshalBlock(b *testing.B) {
+	blk := harness.BuildChain(1, 50, 3000, 1)[0]
+	msg := &wire.Data{Block: blk, Counter: 3}
+	b.SetBytes(int64(msg.EncodedSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(wire.Marshal(msg)) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// BenchmarkWireUnmarshalBlock measures decoding the same block.
+func BenchmarkWireUnmarshalBlock(b *testing.B) {
+	blk := harness.BuildChain(1, 50, 3000, 1)[0]
+	data := wire.Marshal(&wire.Data{Block: blk, Counter: 3})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEngine measures raw event throughput of the discrete-event
+// engine (the floor under every experiment's run time).
+func BenchmarkSimEngine(b *testing.B) {
+	e := sim.NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(time.Microsecond, tick)
+	}
+	e.After(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	if count == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkLedgerCommit measures validating and committing a 50-tx block.
+func BenchmarkLedgerCommit(b *testing.B) {
+	blocks := harness.BuildChain(b.N, 50, 256, 1)
+	led := ledger.NewLedger(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := led.Commit(blocks[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRaftOrdering measures end-to-end ordered-entry throughput of a
+// three-node Raft cluster under the simulated LAN.
+func BenchmarkRaftOrdering(b *testing.B) {
+	engine := sim.NewEngine(1)
+	model := netmodel.Model{PropMin: 200 * time.Microsecond, PropMax: 500 * time.Microsecond}
+	net := transport.NewSimNetwork(engine, model, nil)
+	ids := []wire.NodeID{0, 1, 2}
+	applied := 0
+	var leaderNode *raft.Node
+	for i := 0; i < 3; i++ {
+		ep := net.AddNode()
+		n := raft.New(raft.DefaultConfig(ids[i], ids), ep, engine, engine.Rand("raft"))
+		if i == 0 {
+			n.OnApply(func([]byte) { applied++ })
+			leaderNode = n
+		} else {
+			n.OnApply(func([]byte) {})
+		}
+		n.Start()
+	}
+	engine.RunUntil(2 * time.Second)
+	_ = leaderNode
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := []byte(fmt.Sprintf("entry-%d", i))
+		engine.After(0, func() {
+			for _, nd := range []*raft.Node{leaderNode} {
+				_ = nd.Propose(payload)
+			}
+		})
+		engine.RunFor(2 * time.Millisecond)
+	}
+	engine.RunFor(time.Second)
+	if applied == 0 {
+		b.Fatal("nothing applied")
+	}
+}
+
+// BenchmarkOrderBlockCutter measures the block cutter under a solo
+// consenter at the paper's 50-tx cap.
+func BenchmarkOrderBlockCutter(b *testing.B) {
+	engine := sim.NewEngine(1)
+	cut := 0
+	svc := order.NewService(order.DefaultConfig(), engine, order.NewSolo(engine, 0), nil,
+		func(*ledger.Block) { cut++ })
+	txs := harness.BuildChain(1, 50, 256, 1)[0].Txs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Broadcast(txs[i%len(txs)]); err != nil {
+			b.Fatal(err)
+		}
+		engine.RunFor(time.Microsecond)
+	}
+	engine.RunFor(time.Minute)
+	if b.N >= 50 && cut == 0 {
+		b.Fatal("no blocks cut")
+	}
+}

@@ -1,0 +1,61 @@
+// Command ttlcalc computes the enhanced push phase's TTL parameters from
+// the appendix analysis: the TTL needed to reach a target probability of
+// imperfect dissemination, the carrying capacity, and the lookup table
+// peers can ship (paper §IV).
+//
+// Usage:
+//
+//	ttlcalc -n 100 -fout 4 -pe 1e-6
+//	ttlcalc -table -fout 4 -pe 1e-6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fabricgossip/internal/analysis"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of peers in the organization")
+	fout := flag.Int("fout", 4, "push fan-out")
+	pe := flag.Float64("pe", 1e-6, "target probability of imperfect dissemination")
+	table := flag.Bool("table", false, "print a lookup table over standard network sizes")
+	flag.Parse()
+
+	if *table {
+		sizes := []int{25, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+		rows, err := analysis.TTLTable(sizes, *fout, *pe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ttlcalc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("TTL lookup table: fout=%d, pe<=%g\n", *fout, *pe)
+		fmt.Printf("%8s %5s %12s\n", "n <=", "TTL", "achieved pe")
+		for _, r := range rows {
+			fmt.Printf("%8d %5d %12.2e\n", r.N, r.TTL, r.Pe)
+		}
+		return
+	}
+
+	gamma, err := analysis.CarryingCapacity(*n, *fout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ttlcalc: %v\n", err)
+		os.Exit(1)
+	}
+	ttl, err := analysis.TTLFor(*n, *fout, *pe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ttlcalc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("n=%d fout=%d pe-target=%g\n", *n, *fout, *pe)
+	fmt.Printf("carrying capacity γ   = %.2f peers (%.2f%% of n)\n", gamma, 100*gamma/float64(*n))
+	fmt.Printf("TTL (bound)           = %d\n", ttl)
+	fmt.Printf("achieved pe (bound)   = %.3e\n", analysis.ImperfectProb(*n, *fout, ttl))
+	if exact, err := analysis.ExactTTLFor(*n, *fout, *pe); err == nil {
+		fmt.Printf("TTL (exact chain)     = %d\n", exact)
+	}
+	fmt.Printf("expected push digests = %.0f per block\n", analysis.ExpectedDigests(*n, *fout, ttl))
+	fmt.Printf("infect-and-die reach  = %.1f%% of peers (for comparison)\n", 100*analysis.FixpointReach(*fout))
+}

@@ -1,0 +1,21 @@
+// Package fabricgossip reproduces "Fair and Efficient Gossip in Hyperledger
+// Fabric" (Berendea, Mercier, Onica, Rivière — IEEE ICDCS 2020): the stock
+// Fabric gossip layer, the paper's enhanced infect-upon-contagion protocol,
+// and the full execute-order-validate substrate needed to regenerate every
+// figure and table of the paper's evaluation.
+//
+// The implementation lives under internal/:
+//
+//   - internal/gossip (+ original, enhanced) — the dissemination protocols;
+//   - internal/analysis — the appendix mathematics (Lambert-W, TTL tables);
+//   - internal/sim, netmodel, transport, wire — the deterministic
+//     discrete-event network substrate and a live TCP runtime;
+//   - internal/ledger, chaincode, endorse, order, raft, peer, client — the
+//     Fabric EOV pipeline;
+//   - internal/harness — the experiment runners behind cmd/figures.
+//
+// Entry points: cmd/figures regenerates the paper's artifacts, cmd/ttlcalc
+// computes protocol parameters, cmd/gossipnet runs a live TCP demo, and
+// examples/ holds four runnable walkthroughs. bench_test.go benchmarks one
+// workload per figure/table.
+package fabricgossip

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExactPe computes the probability of imperfect dissemination by dynamic
+// programming over the epidemic's population Markov chain — the "more
+// precise analysis with extensions of the coupon collector's problem" the
+// appendix alludes to.
+//
+// Model (the appendix's conservative sending model): the chain state is the
+// number of informed peers. In each of ttl rounds every informed peer sends
+// fout digests to peers chosen uniformly at random with replacement,
+// including possibly itself and other informed peers. Given i informed
+// peers, the d = i*fout throws hit the u = n-i uninformed peers as a
+// balls-into-bins process: the number of throws landing in the uninformed
+// set is Binomial(d, u/n), and conditioned on j such throws the number of
+// *distinct* uninformed peers covered follows the classical occupancy
+// distribution. pe is the probability the chain has not absorbed at n
+// after ttl rounds.
+//
+// Unlike ImperfectProb's closed-form union bound, the result is a true
+// probability and accounts for the negative correlation between peers'
+// receptions.
+func ExactPe(n, fout, ttl int) (float64, error) {
+	dist, err := newChain(n, fout)
+	if err != nil {
+		return 0, err
+	}
+	if ttl < 1 {
+		return 0, fmt.Errorf("analysis: invalid ttl %d", ttl)
+	}
+	for round := 0; round < ttl; round++ {
+		dist.step()
+	}
+	return dist.pe(), nil
+}
+
+// ExactTTLFor returns the smallest TTL whose exact imperfect-dissemination
+// probability is at most peTarget. The chain evolves once; each round is
+// checked in turn.
+func ExactTTLFor(n, fout int, peTarget float64) (int, error) {
+	if peTarget <= 0 || peTarget >= 1 {
+		return 0, fmt.Errorf("analysis: invalid pe target %g", peTarget)
+	}
+	dist, err := newChain(n, fout)
+	if err != nil {
+		return 0, err
+	}
+	const maxTTL = 10_000
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		dist.step()
+		if dist.pe() <= peTarget {
+			return ttl, nil
+		}
+	}
+	return 0, fmt.Errorf("analysis: no TTL <= %d reaches pe <= %g", maxTTL, peTarget)
+}
+
+// chain is the evolving population distribution.
+type chain struct {
+	n, fout int
+	// dist[i] = P(exactly i peers informed), indices 1..n.
+	dist []float64
+	next []float64
+	// occ is scratch space for the occupancy recurrence.
+	occ, occPrev []float64
+}
+
+func newChain(n, fout int) (*chain, error) {
+	if n < 2 || fout < 1 {
+		return nil, fmt.Errorf("analysis: invalid parameters n=%d fout=%d", n, fout)
+	}
+	c := &chain{
+		n:       n,
+		fout:    fout,
+		dist:    make([]float64, n+1),
+		next:    make([]float64, n+1),
+		occ:     make([]float64, n+1),
+		occPrev: make([]float64, n+1),
+	}
+	c.dist[1] = 1
+	return c, nil
+}
+
+func (c *chain) pe() float64 { return 1 - c.dist[c.n] }
+
+// step advances the chain one round.
+func (c *chain) step() {
+	n := c.n
+	for i := range c.next {
+		c.next[i] = 0
+	}
+	for i := 1; i <= n; i++ {
+		p := c.dist[i]
+		if p == 0 {
+			continue
+		}
+		if i == n {
+			c.next[n] += p // absorbed
+			continue
+		}
+		u := n - i
+		d := i * c.fout
+		// newDist[k] = P(k distinct uninformed peers informed this round).
+		newDist := c.hitDistribution(d, u)
+		for k, q := range newDist {
+			if q != 0 {
+				c.next[i+k] += p * q
+			}
+		}
+	}
+	c.dist, c.next = c.next, c.dist
+}
+
+// hitDistribution returns P(exactly k distinct bins of the u-bin uninformed
+// set are hit) for d uniform throws over all n bins. It composes the
+// Binomial(d, u/n) split with the occupancy recurrence
+//
+//	occ(j, k) = occ(j-1, k) * k/u + occ(j-1, k-1) * (u-k+1)/u
+//
+// incrementally: after processing throw j, occ holds the occupancy law for
+// j throws, and the binomial weight of "exactly j throws hit the set" is
+// accumulated into the result.
+func (c *chain) hitDistribution(d, u int) []float64 {
+	n := float64(c.n)
+	pu := float64(u) / n
+	out := make([]float64, u+1)
+
+	// Binomial(d, pu) PMF term for j = 0.
+	logPu, logQu := math.Log(pu), math.Log1p(-pu)
+	lgD, _ := math.Lgamma(float64(d + 1))
+	binom := func(j int) float64 {
+		lgJ, _ := math.Lgamma(float64(j + 1))
+		lgDJ, _ := math.Lgamma(float64(d - j + 1))
+		return math.Exp(lgD - lgJ - lgDJ + float64(j)*logPu + float64(d-j)*logQu)
+	}
+
+	occ := c.occ[:u+1]
+	prev := c.occPrev[:u+1]
+	for k := range occ {
+		occ[k] = 0
+	}
+	occ[0] = 1 // zero throws cover zero bins
+	out[0] += binom(0) * 1
+	uf := float64(u)
+	for j := 1; j <= d; j++ {
+		copy(prev, occ)
+		maxK := j
+		if maxK > u {
+			maxK = u
+		}
+		occ[0] = 0
+		for k := 1; k <= maxK; k++ {
+			occ[k] = prev[k]*float64(k)/uf + prev[k-1]*(uf-float64(k-1))/uf
+		}
+		for k := maxK + 1; k <= u; k++ {
+			occ[k] = 0
+		}
+		bj := binom(j)
+		if bj == 0 {
+			continue
+		}
+		for k := 0; k <= maxK; k++ {
+			if occ[k] != 0 {
+				out[k] += bj * occ[k]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"fabricgossip/internal/sim"
+)
+
+func TestExactPeMatchesPaperTTLs(t *testing.T) {
+	// The exact occupancy chain is strictly sharper than the closed-form
+	// union bound: it certifies pe <= 1e-6 one round earlier at fout=4
+	// (8 vs the paper's conservative 9) and several rounds earlier at
+	// fout=2 (14 vs the paper's 19). The paper's published TTLs therefore
+	// hold with margin under the exact analysis.
+	cases := []struct{ fout, wantTTL, paperTTL int }{
+		{4, 8, 9},
+		{3, 10, 11},
+		{2, 14, 19},
+	}
+	for _, c := range cases {
+		got, err := ExactTTLFor(100, c.fout, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.wantTTL {
+			t.Errorf("ExactTTLFor(100, %d, 1e-6) = %d, want %d", c.fout, got, c.wantTTL)
+		}
+		boundTTL, err := TTLFor(100, c.fout, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > boundTTL {
+			t.Errorf("exact TTL %d exceeds the conservative bound's %d", got, boundTTL)
+		}
+		pePaper, err := ExactPe(100, c.fout, c.paperTTL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pePaper > 1e-6 {
+			t.Errorf("exact pe at the paper's (fout=%d, TTL=%d) = %g, want <= 1e-6",
+				c.fout, c.paperTTL, pePaper)
+		}
+	}
+}
+
+func TestExactPeIsAProbabilityAndDecreases(t *testing.T) {
+	prev := 1.1
+	for ttl := 1; ttl <= 20; ttl++ {
+		pe, err := ExactPe(100, 3, ttl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe < 0 || pe > 1 {
+			t.Fatalf("pe(ttl=%d) = %g outside [0,1]", ttl, pe)
+		}
+		if pe > prev+1e-12 {
+			t.Fatalf("pe increased at ttl=%d: %g > %g", ttl, pe, prev)
+		}
+		prev = pe
+	}
+}
+
+func TestExactPeAgreesWithMonteCarlo(t *testing.T) {
+	// Simulate the DP's own model directly: every informed peer sends
+	// fout digests to uniform random peers each round.
+	const n, fout, ttl, trials = 20, 2, 4, 20000
+	rng := sim.NewRand(9)
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		informed := make([]bool, n)
+		informed[0] = true
+		count := 1
+		for r := 0; r < ttl && count < n; r++ {
+			senders := count
+			newly := make([]int, 0, 8)
+			for s := 0; s < senders*fout; s++ {
+				target := rng.Intn(n)
+				if !informed[target] {
+					informed[target] = true
+					newly = append(newly, target)
+				}
+			}
+			count += len(newly)
+		}
+		if count < n {
+			failures++
+		}
+	}
+	mc := float64(failures) / trials
+	exact, err := ExactPe(n, fout, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc-exact) > 0.03 {
+		t.Fatalf("Monte Carlo %g vs exact %g diverge", mc, exact)
+	}
+}
+
+func TestExactPeInvalidParams(t *testing.T) {
+	if _, err := ExactPe(1, 2, 3); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := ExactPe(10, 0, 3); err == nil {
+		t.Error("fout=0 accepted")
+	}
+	if _, err := ExactPe(10, 2, 0); err == nil {
+		t.Error("ttl=0 accepted")
+	}
+	if _, err := ExactTTLFor(10, 2, 0); err == nil {
+		t.Error("pe=0 accepted")
+	}
+}
+
+func TestHitDistributionProperties(t *testing.T) {
+	c, err := newChain(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distribution over distinct hits sums to 1 and never exceeds min(d, u).
+	for _, tc := range []struct{ d, u int }{{1, 49}, {6, 44}, {60, 30}, {147, 1}} {
+		out := c.hitDistribution(tc.d, tc.u)
+		sum := 0.0
+		for k, v := range out {
+			if v < -1e-15 {
+				t.Fatalf("negative mass at k=%d: %g", k, v)
+			}
+			if k > tc.d && v > 1e-12 {
+				t.Fatalf("mass %g at k=%d with only %d throws", v, k, tc.d)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("d=%d u=%d: mass sums to %g", tc.d, tc.u, sum)
+		}
+	}
+	// Hand-checked case: one throw over n=50 bins with u=10 uninformed
+	// hits exactly one uninformed peer with probability 10/50.
+	out := c.hitDistribution(1, 10)
+	if math.Abs(out[1]-0.2) > 1e-12 || math.Abs(out[0]-0.8) > 1e-12 {
+		t.Fatalf("single-throw law = %v, want [0.8 0.2 ...]", out[:2])
+	}
+}
+
+// §IV sentence: "with a network of n = 100 peers and fout = 3, we can
+// easily calculate that infect-and-die push disseminates each block to an
+// average of 94 peers with a standard deviation of 2.6, while transmitting
+// each block in full 282 times." The exact chain reproduces all three
+// numbers.
+func TestExactInfectAndDieMatchesPaperSentence(t *testing.T) {
+	r, err := ExactInfectAndDie(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Mean-94) > 0.5 {
+		t.Errorf("mean = %.2f, want ≈ 94", r.Mean)
+	}
+	if math.Abs(r.StdDev-2.6) > 0.15 {
+		t.Errorf("σ = %.2f, want ≈ 2.6", r.StdDev)
+	}
+	if math.Abs(r.MeanTransmits-282) > 1.5 {
+		t.Errorf("transmissions = %.1f, want ≈ 282", r.MeanTransmits)
+	}
+	// Reaching all peers without pull is rare — the motivation for the
+	// enhanced protocol.
+	if r.ReachAll > 0.01 {
+		t.Errorf("reach-all probability %.4f implausibly high", r.ReachAll)
+	}
+	// It agrees with the Monte Carlo estimate of the same process.
+	mc := SimulateInfectAndDie(100, 3, 4000, sim.NewRand(77))
+	if math.Abs(mc.MeanReached-r.Mean) > 0.6 {
+		t.Errorf("exact mean %.2f vs Monte Carlo %.2f diverge", r.Mean, mc.MeanReached)
+	}
+}
+
+func TestExactInfectAndDieInvalid(t *testing.T) {
+	if _, err := ExactInfectAndDie(1, 3); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestExactInfectAndDiePMFIsDistribution(t *testing.T) {
+	r, err := ExactInfectAndDie(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, p := range r.ReachPMF {
+		if p < -1e-15 {
+			t.Fatalf("negative mass at %d", i)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %g", sum)
+	}
+	if r.ReachPMF[0] != 0 {
+		t.Fatal("mass at zero reach")
+	}
+	// The source always counts itself.
+	if r.Mean < 1 {
+		t.Fatalf("mean %g below 1", r.Mean)
+	}
+}

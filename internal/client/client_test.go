@@ -1,0 +1,107 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fabricgossip/internal/chaincode"
+	"fabricgossip/internal/endorse"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/msp"
+)
+
+func newEndorser(t *testing.T, name string, state *ledger.StateDB) *endorse.Endorser {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(len(name)) + 5))
+	provider, err := msp.NewProvider(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, signer, err := provider.Enroll(msp.RolePeer, "orgA", name, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := endorse.NewEndorser(id, signer, state)
+	e.Install(chaincode.Counter{})
+	return e
+}
+
+func TestInvokeSubmitsEndorsedTransaction(t *testing.T) {
+	state := ledger.NewStateDB()
+	var submitted []*ledger.Transaction
+	c, err := New("client0", []*endorse.Endorser{newEndorser(t, "p0", state)},
+		func(tx *ledger.Transaction) error { submitted = append(submitted, tx); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.Invoke("counter", []string{"incr", "k"}, []byte("pay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(submitted) != 1 || submitted[0] != tx {
+		t.Fatal("transaction not submitted")
+	}
+	if len(tx.Endorsements) != 1 || tx.Client != "client0" {
+		t.Fatalf("tx = %+v", tx)
+	}
+	if s := c.Stats(); s.Submitted != 1 || s.ProposalConflicts != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInvokeDetectsProposalConflict(t *testing.T) {
+	fresh := ledger.NewStateDB()
+	stale := ledger.NewStateDB()
+	fresh.ApplyBlockWrites(1, []uint32{0}, []ledger.RWSet{
+		{Writes: []ledger.KVWrite{{Key: "k", Value: chaincode.EncodeUint64(3)}}},
+	})
+	c, err := New("client0",
+		[]*endorse.Endorser{newEndorser(t, "p0", fresh), newEndorser(t, "p1", stale)},
+		func(*ledger.Transaction) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Invoke("counter", []string{"incr", "k"}, nil)
+	if !errors.Is(err, ErrProposalConflict) {
+		t.Fatalf("err = %v, want ErrProposalConflict", err)
+	}
+	if s := c.Stats(); s.ProposalConflicts != 1 || s.Submitted != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInvokeEndorsementError(t *testing.T) {
+	c, err := New("c", []*endorse.Endorser{newEndorser(t, "p0", ledger.NewStateDB())},
+		func(*ledger.Transaction) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke("missing-chaincode", nil, nil); err == nil {
+		t.Fatal("unknown chaincode accepted")
+	}
+	if s := c.Stats(); s.EndorseErrors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInvokeSubmitError(t *testing.T) {
+	boom := errors.New("orderer unavailable")
+	c, err := New("c", []*endorse.Endorser{newEndorser(t, "p0", ledger.NewStateDB())},
+		func(*ledger.Transaction) error { return boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke("counter", []string{"incr", "k"}, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("c", nil, func(*ledger.Transaction) error { return nil }); err == nil {
+		t.Fatal("no endorsers accepted")
+	}
+	if _, err := New("c", []*endorse.Endorser{newEndorser(t, "p", ledger.NewStateDB())}, nil); err == nil {
+		t.Fatal("nil submitter accepted")
+	}
+}

@@ -1,0 +1,199 @@
+// Package endorse implements the execute phase of the EOV pipeline (paper
+// §II-B): endorsing peers simulate chaincodes against their current state,
+// sign the resulting read/write sets, and clients combine enough
+// endorsements into a transaction proposal. It also provides the N-of-M
+// endorsement policy used at validation time.
+package endorse
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fabricgossip/internal/chaincode"
+	"fabricgossip/internal/crypto"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/msp"
+)
+
+// Endorsement errors.
+var (
+	ErrUnknownChaincode   = errors.New("endorse: unknown chaincode")
+	ErrEndorsementsdiffer = errors.New("endorse: endorsers produced different read/write sets")
+	ErrPolicyUnsatisfied  = errors.New("endorse: endorsement policy not satisfied")
+)
+
+// Response is one endorser's reply to a proposal: the simulated read/write
+// set plus the endorser's signature over the proposal digest.
+type Response struct {
+	Endorser *msp.Identity
+	RWSet    ledger.RWSet
+	Digest   crypto.Digest
+	Sig      crypto.Signature
+}
+
+// Endorser simulates and signs proposals against a peer's state database.
+type Endorser struct {
+	identity *msp.Identity
+	signer   *crypto.Signer
+	state    *ledger.StateDB
+	codes    map[string]chaincode.Chaincode
+}
+
+// NewEndorser creates an endorser bound to a peer identity and its state.
+func NewEndorser(id *msp.Identity, signer *crypto.Signer, state *ledger.StateDB) *Endorser {
+	return &Endorser{
+		identity: id,
+		signer:   signer,
+		state:    state,
+		codes:    make(map[string]chaincode.Chaincode),
+	}
+}
+
+// Install registers a chaincode for execution.
+func (e *Endorser) Install(cc chaincode.Chaincode) { e.codes[cc.Name()] = cc }
+
+// Identity returns the endorser's certified identity.
+func (e *Endorser) Identity() *msp.Identity { return e.identity }
+
+// Endorse simulates the chaincode for a client proposal and returns the
+// signed response. payload is opaque application data bound into the
+// transaction digest.
+func (e *Endorser) Endorse(client, ccName string, args []string, payload []byte) (*Response, error) {
+	cc, ok := e.codes[ccName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownChaincode, ccName)
+	}
+	rw, err := chaincode.Simulate(cc, e.state, args)
+	if err != nil {
+		return nil, err
+	}
+	digest := ledger.ProposalDigest(client, ccName, rw, payload)
+	return &Response{
+		Endorser: e.identity,
+		RWSet:    rw,
+		Digest:   digest,
+		Sig:      e.signer.Sign(digest[:]),
+	}, nil
+}
+
+// AssembleTransaction combines endorsement responses into a transaction
+// proposal, verifying that all endorsers simulated identical read/write
+// sets. Divergent sets are the client-visible symptom of a proposal-time
+// conflict (paper §II-C) — the client must collect fresh endorsements.
+func AssembleTransaction(client, ccName string, payload []byte, responses []*Response) (*ledger.Transaction, error) {
+	if len(responses) == 0 {
+		return nil, fmt.Errorf("endorse: no endorsements")
+	}
+	first := responses[0]
+	for _, r := range responses[1:] {
+		if r.Digest != first.Digest || !rwSetsEqual(r.RWSet, first.RWSet) {
+			return nil, ErrEndorsementsdiffer
+		}
+	}
+	tx := &ledger.Transaction{
+		ID:        first.Digest,
+		Client:    client,
+		Chaincode: ccName,
+		RWSet:     first.RWSet,
+		Payload:   payload,
+	}
+	for _, r := range responses {
+		tx.Endorsements = append(tx.Endorsements, ledger.Endorsement{
+			Org:  r.Endorser.Org,
+			Name: r.Endorser.Name,
+			Sig:  r.Sig,
+		})
+	}
+	return tx, nil
+}
+
+func rwSetsEqual(a, b ledger.RWSet) bool {
+	if len(a.Reads) != len(b.Reads) || len(a.Writes) != len(b.Writes) {
+		return false
+	}
+	for i := range a.Reads {
+		if a.Reads[i] != b.Reads[i] {
+			return false
+		}
+	}
+	for i := range a.Writes {
+		if a.Writes[i].Key != b.Writes[i].Key || !bytes.Equal(a.Writes[i].Value, b.Writes[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Policy is an N-of-M endorsement policy: a transaction validates if at
+// least Required of the listed endorsers signed its digest.
+type Policy struct {
+	Required int
+	// Members maps "org/name" to the endorser's public key.
+	Members map[string]crypto.PublicKey
+}
+
+// NewPolicy builds a policy over the given identities.
+func NewPolicy(required int, ids ...*msp.Identity) Policy {
+	p := Policy{Required: required, Members: make(map[string]crypto.PublicKey, len(ids))}
+	for _, id := range ids {
+		p.Members[id.Org+"/"+id.Name] = id.Key
+	}
+	return p
+}
+
+// Checker returns the validation-phase policy checker for the ledger: it
+// recomputes the transaction digest and verifies the endorsement
+// signatures. Verdicts are memoized by transaction identity: in a
+// simulated organization every peer validates the same immutable
+// transaction object, and re-running hundreds of identical Ed25519
+// verifications per transaction would dominate experiment run time without
+// changing any outcome.
+func (p Policy) Checker() ledger.PolicyChecker {
+	var cache sync.Map // *ledger.Transaction -> error (nil stored as ok)
+	check := p.checkOnce
+	return func(tx *ledger.Transaction) error {
+		if v, ok := cache.Load(tx); ok {
+			if v == nil {
+				return nil
+			}
+			return v.(error)
+		}
+		err := check(tx)
+		if err == nil {
+			cache.Store(tx, nil)
+		} else {
+			cache.Store(tx, err)
+		}
+		return err
+	}
+}
+
+func (p Policy) checkOnce(tx *ledger.Transaction) error {
+	digest := ledger.ProposalDigest(tx.Client, tx.Chaincode, tx.RWSet, tx.Payload)
+	if digest != tx.ID {
+		return fmt.Errorf("%w: transaction id does not match content", ErrPolicyUnsatisfied)
+	}
+	valid := 0
+	seen := make(map[string]bool, len(tx.Endorsements))
+	for _, e := range tx.Endorsements {
+		key := e.Org + "/" + e.Name
+		if seen[key] {
+			continue // duplicate endorsements count once
+		}
+		pub, ok := p.Members[key]
+		if !ok {
+			continue // endorser not in policy
+		}
+		if crypto.Verify(pub, digest[:], e.Sig) != nil {
+			continue
+		}
+		seen[key] = true
+		valid++
+	}
+	if valid < p.Required {
+		return fmt.Errorf("%w: %d of %d required signatures", ErrPolicyUnsatisfied, valid, p.Required)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package endorse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fabricgossip/internal/chaincode"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/msp"
+)
+
+type fixture struct {
+	provider  *msp.Provider
+	endorsers []*Endorser
+	states    []*ledger.StateDB
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	provider, err := msp.NewProvider(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{provider: provider}
+	for i := 0; i < n; i++ {
+		id, signer, err := provider.Enroll(msp.RolePeer, "orgA", "peer"+string(rune('0'+i)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := ledger.NewStateDB()
+		e := NewEndorser(id, signer, state)
+		e.Install(chaincode.Counter{})
+		f.endorsers = append(f.endorsers, e)
+		f.states = append(f.states, state)
+	}
+	return f
+}
+
+func TestEndorseProducesVerifiableSignature(t *testing.T) {
+	f := newFixture(t, 1)
+	resp, err := f.endorsers[0].Endorse("client0", "counter", []string{"incr", "k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := AssembleTransaction("client0", "counter", nil, []*Response{resp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := NewPolicy(1, f.endorsers[0].Identity())
+	if err := policy.Checker()(tx); err != nil {
+		t.Fatalf("policy check: %v", err)
+	}
+}
+
+func TestEndorseUnknownChaincode(t *testing.T) {
+	f := newFixture(t, 1)
+	if _, err := f.endorsers[0].Endorse("c", "nope", nil, nil); !errors.Is(err, ErrUnknownChaincode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAssembleDetectsProposalTimeConflict(t *testing.T) {
+	f := newFixture(t, 2)
+	// Endorser 1 is one block behind: it has not seen the write to "k".
+	f.states[0].ApplyBlockWrites(1, []uint32{0}, []ledger.RWSet{
+		{Writes: []ledger.KVWrite{{Key: "k", Value: chaincode.EncodeUint64(5)}}},
+	})
+	r0, err := f.endorsers[0].Endorse("c", "counter", []string{"incr", "k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := f.endorsers[1].Endorse("c", "counter", []string{"incr", "k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different ledger heights -> different read versions -> the client
+	// detects the proposal-time conflict (paper §II-C).
+	if _, err := AssembleTransaction("c", "counter", nil, []*Response{r0, r1}); !errors.Is(err, ErrEndorsementsdiffer) {
+		t.Fatalf("err = %v, want ErrEndorsementsdiffer", err)
+	}
+}
+
+func TestAssembleAgreeingEndorsers(t *testing.T) {
+	f := newFixture(t, 3)
+	var responses []*Response
+	for _, e := range f.endorsers {
+		r, err := e.Endorse("c", "counter", []string{"incr", "k"}, []byte("pay"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		responses = append(responses, r)
+	}
+	tx, err := AssembleTransaction("c", "counter", []byte("pay"), responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Endorsements) != 3 {
+		t.Fatalf("endorsements = %d", len(tx.Endorsements))
+	}
+	// 2-of-3 policy passes; 3-of-3 passes; a policy requiring an absent
+	// endorser's signature fails.
+	ids := []*msp.Identity{
+		f.endorsers[0].Identity(), f.endorsers[1].Identity(), f.endorsers[2].Identity(),
+	}
+	if err := NewPolicy(2, ids...).Checker()(tx); err != nil {
+		t.Fatalf("2-of-3: %v", err)
+	}
+	if err := NewPolicy(3, ids...).Checker()(tx); err != nil {
+		t.Fatalf("3-of-3: %v", err)
+	}
+	if err := NewPolicy(1, ids[0]).Checker()(tx); err != nil {
+		t.Fatalf("1-of-1 subset: %v", err)
+	}
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	if _, err := AssembleTransaction("c", "cc", nil, nil); err == nil {
+		t.Fatal("empty endorsement list accepted")
+	}
+}
+
+func TestPolicyRejectsForgedEndorsement(t *testing.T) {
+	f := newFixture(t, 2)
+	r0, _ := f.endorsers[0].Endorse("c", "counter", []string{"incr", "k"}, nil)
+	tx, err := AssembleTransaction("c", "counter", nil, []*Response{r0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim endorser 1 signed it (it did not).
+	tx.Endorsements = append(tx.Endorsements, ledger.Endorsement{
+		Org: "orgA", Name: f.endorsers[1].Identity().Name, Sig: r0.Sig,
+	})
+	policy := NewPolicy(2, f.endorsers[0].Identity(), f.endorsers[1].Identity())
+	if err := policy.Checker()(tx); !errors.Is(err, ErrPolicyUnsatisfied) {
+		t.Fatalf("forged endorsement: err = %v", err)
+	}
+}
+
+func TestPolicyRejectsDuplicateEndorsements(t *testing.T) {
+	f := newFixture(t, 1)
+	r0, _ := f.endorsers[0].Endorse("c", "counter", []string{"incr", "k"}, nil)
+	tx, _ := AssembleTransaction("c", "counter", nil, []*Response{r0, r0})
+	policy := NewPolicy(2, f.endorsers[0].Identity())
+	if err := policy.Checker()(tx); !errors.Is(err, ErrPolicyUnsatisfied) {
+		t.Fatalf("duplicate endorsements satisfied 2-of-1: %v", err)
+	}
+}
+
+func TestPolicyRejectsTamperedContent(t *testing.T) {
+	f := newFixture(t, 1)
+	r0, _ := f.endorsers[0].Endorse("c", "counter", []string{"incr", "k"}, nil)
+	tx, _ := AssembleTransaction("c", "counter", nil, []*Response{r0})
+	tx.RWSet.Writes[0].Value = chaincode.EncodeUint64(999) // tamper after endorsement
+	policy := NewPolicy(1, f.endorsers[0].Identity())
+	if err := policy.Checker()(tx); err == nil {
+		t.Fatal("tampered write set passed policy")
+	}
+}
+
+func TestEndToEndValidationWithPolicy(t *testing.T) {
+	f := newFixture(t, 1)
+	policy := NewPolicy(1, f.endorsers[0].Identity())
+	led := ledger.NewLedger(policy.Checker())
+
+	r, err := f.endorsers[0].Endorse("c", "counter", []string{"incr", "k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := AssembleTransaction("c", "counter", nil, []*Response{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &ledger.Block{Num: 0, Txs: []*ledger.Transaction{tx}}
+	b.DataHash = ledger.ComputeDataHash(b.Txs)
+	res, err := led.Commit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid != 1 {
+		t.Fatalf("commit result %+v", res)
+	}
+	vv, _ := led.State().Get("k")
+	v, _ := chaincode.DecodeUint64(vv.Value)
+	if v != 1 {
+		t.Fatalf("counter = %d, want 1", v)
+	}
+}

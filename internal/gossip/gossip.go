@@ -1,0 +1,485 @@
+// Package gossip implements the shared infrastructure of Fabric's gossip
+// layer (paper §III): the per-peer block buffer with in-order delivery, the
+// membership heartbeats and ledger-height metadata (state info) that all
+// peers exchange, and the recovery (anti-entropy) component that lets peers
+// catch up on missing block ranges.
+//
+// The two dissemination variants plug into this core as Protocol
+// implementations:
+//
+//   - gossip/original: infect-and-die push + periodic pull (stock Fabric);
+//   - gossip/enhanced: the paper's infect-upon-contagion push with TTL,
+//     digests, randomized initial gossiper, and no pull.
+package gossip
+
+import (
+	"sync"
+	"time"
+
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// Protocol is a pluggable dissemination strategy.
+type Protocol interface {
+	// Name identifies the protocol in logs and reports.
+	Name() string
+	// Start is called once, after the core is wired, so the protocol can
+	// arm its timers.
+	Start(c *Core)
+	// Stop cancels the protocol's timers.
+	Stop()
+	// OnOrdererBlock is invoked on the leader peer when the ordering
+	// service delivers a freshly cut block.
+	OnOrdererBlock(b *ledger.Block)
+	// Handle processes a dissemination message. It reports whether the
+	// message type belonged to this protocol.
+	Handle(from wire.NodeID, msg wire.Message) bool
+	// OnBlockStored is invoked whenever a block body is stored for the
+	// first time, regardless of the path it arrived by (push, pull or
+	// recovery), so the protocol can serve queued requests.
+	OnBlockStored(b *ledger.Block)
+}
+
+// Config parameterizes the shared gossip core. Durations follow Fabric's
+// defaults where they exist.
+type Config struct {
+	// Self is this peer's node id; Peers lists every peer of the
+	// organization including Self (gossip operates on a complete graph,
+	// paper §III-A).
+	Self  wire.NodeID
+	Peers []wire.NodeID
+
+	// StateInfoInterval is how often the peer gossips its ledger height;
+	// StateInfoFanout is to how many random peers.
+	StateInfoInterval time.Duration
+	StateInfoFanout   int
+
+	// AliveInterval/AliveFanout parameterize membership heartbeats. They
+	// carry no protocol state here but reproduce the background traffic
+	// floor of the paper's bandwidth figures.
+	AliveInterval time.Duration
+	AliveFanout   int
+	// AliveMetaSize pads heartbeats to a realistic encoded size.
+	AliveMetaSize int
+	// AliveExpiration is how long a peer stays in the live view after its
+	// last heartbeat. Zero defaults to 3x AliveInterval.
+	AliveExpiration time.Duration
+
+	// RecoveryInterval is how often the peer checks whether it is behind
+	// the highest advertised ledger and fetches a batch of missing
+	// blocks. RecoveryBatch caps the range requested at once.
+	RecoveryInterval time.Duration
+	RecoveryBatch    int
+}
+
+// DefaultConfig returns the Fabric-default shared parameters for the given
+// membership.
+func DefaultConfig(self wire.NodeID, peers []wire.NodeID) Config {
+	return Config{
+		Self:              self,
+		Peers:             peers,
+		StateInfoInterval: 4 * time.Second,
+		StateInfoFanout:   3,
+		AliveInterval:     5 * time.Second,
+		AliveFanout:       3,
+		AliveMetaSize:     256,
+		RecoveryInterval:  10 * time.Second,
+		RecoveryBatch:     32,
+	}
+}
+
+// Core is the per-peer gossip state shared by both protocol variants. All
+// exported methods are safe for concurrent use (required by the TCP
+// runtime; the simulated runtime is single-threaded anyway).
+type Core struct {
+	cfg   Config
+	ep    transport.Endpoint
+	sched sim.Scheduler
+	rng   *sim.Rand
+	proto Protocol
+
+	mu          sync.Mutex
+	blocks      map[uint64]*ledger.Block
+	height      uint64 // next block needed for in-order delivery
+	highest     uint64 // highest block number stored (valid if hasAny)
+	hasAny      bool
+	peerHeights map[wire.NodeID]uint64
+	membership  *Membership
+	aliveSeq    uint64
+	timers      []sim.Timer
+	started     bool
+	stopped     bool
+
+	onFirstReception func(b *ledger.Block, at time.Duration)
+	onCommit         func(b *ledger.Block)
+}
+
+// New creates a gossip core. The protocol is attached but not started;
+// call Start.
+func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, proto Protocol) *Core {
+	expiration := cfg.AliveExpiration
+	if expiration == 0 {
+		expiration = 3 * cfg.AliveInterval
+	}
+	c := &Core{
+		cfg:         cfg,
+		ep:          ep,
+		sched:       sched,
+		rng:         rng,
+		proto:       proto,
+		blocks:      make(map[uint64]*ledger.Block),
+		peerHeights: make(map[wire.NodeID]uint64),
+		membership:  NewMembership(cfg.Self, expiration),
+	}
+	ep.SetHandler(c.handleMessage)
+	return c
+}
+
+// OnFirstReception installs the hook invoked the first time any block body
+// is stored (used by the harness to measure dissemination latency). Must be
+// set before Start.
+func (c *Core) OnFirstReception(fn func(b *ledger.Block, at time.Duration)) {
+	c.onFirstReception = fn
+}
+
+// OnCommit installs the in-order delivery hook: blocks are handed to it in
+// strictly increasing order with no gaps (the peer package validates and
+// commits from here). Must be set before Start.
+func (c *Core) OnCommit(fn func(b *ledger.Block)) { c.onCommit = fn }
+
+// ID returns this peer's node id.
+func (c *Core) ID() wire.NodeID { return c.cfg.Self }
+
+// Scheduler returns the core's scheduler, for protocols to arm timers.
+func (c *Core) Scheduler() sim.Scheduler { return c.sched }
+
+// Rand returns the core's random stream.
+func (c *Core) Rand() *sim.Rand { return c.rng }
+
+// Config returns the shared configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Start arms the periodic state-info, alive and recovery timers and starts
+// the protocol.
+func (c *Core) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	if c.cfg.StateInfoInterval > 0 {
+		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.StateInfoInterval, c.stateInfoTick))
+	}
+	if c.cfg.AliveInterval > 0 {
+		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.AliveInterval, c.aliveTick))
+	}
+	if c.cfg.RecoveryInterval > 0 {
+		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.RecoveryInterval, c.recoveryTick))
+	}
+	c.mu.Unlock()
+	c.proto.Start(c)
+}
+
+// Stop cancels all timers (core and protocol).
+func (c *Core) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	timers := c.timers
+	c.timers = nil
+	c.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	c.proto.Stop()
+}
+
+// everyTimer emulates sim.Engine.Every on any Scheduler so the core works
+// on both runtimes.
+func everyTimer(sched sim.Scheduler, interval time.Duration, fn func()) sim.Timer {
+	if e, ok := sched.(*sim.Engine); ok {
+		return e.Every(interval, fn)
+	}
+	p := &rearming{sched: sched, interval: interval, fn: fn}
+	p.arm()
+	return p
+}
+
+type rearming struct {
+	sched    sim.Scheduler
+	interval time.Duration
+	fn       func()
+
+	mu      sync.Mutex
+	cur     sim.Timer
+	stopped bool
+}
+
+func (p *rearming) arm() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.cur = p.sched.After(p.interval, func() {
+		p.fn()
+		p.arm()
+	})
+}
+
+func (p *rearming) Stop() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return false
+	}
+	p.stopped = true
+	if p.cur != nil {
+		p.cur.Stop()
+	}
+	return true
+}
+
+// Send transmits a message to another peer. Errors are dropped: gossip is
+// loss-tolerant by design and a failed send is equivalent to a lost packet.
+func (c *Core) Send(to wire.NodeID, msg wire.Message) {
+	_ = c.ep.Send(to, msg)
+}
+
+// RandomPeers samples k distinct peers uniformly, never including self.
+// If fewer than k other peers exist, all of them are returned.
+func (c *Core) RandomPeers(k int) []wire.NodeID {
+	n := len(c.cfg.Peers)
+	if k > n-1 {
+		k = n - 1
+	}
+	if k <= 0 {
+		return nil
+	}
+	selfIdx := -1
+	for i, p := range c.cfg.Peers {
+		if p == c.cfg.Self {
+			selfIdx = i
+			break
+		}
+	}
+	skip := map[int]bool{}
+	if selfIdx >= 0 {
+		skip[selfIdx] = true
+	}
+	idx := c.rng.SampleWithout(n, k, skip)
+	out := make([]wire.NodeID, k)
+	for i, j := range idx {
+		out[i] = c.cfg.Peers[j]
+	}
+	return out
+}
+
+// HasBlock reports whether the body of block num is stored.
+func (c *Core) HasBlock(num uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.blocks[num]
+	return ok
+}
+
+// Block returns the stored body of block num, or nil.
+func (c *Core) Block(num uint64) *ledger.Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blocks[num]
+}
+
+// Height returns the in-order ledger height (next needed block number).
+func (c *Core) Height() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.height
+}
+
+// AddBlock stores a block body. It returns true if the body is new. First
+// receptions fire the OnFirstReception hook; completed prefixes are handed
+// to OnCommit in order. The protocol's OnBlockStored runs for new bodies.
+func (c *Core) AddBlock(b *ledger.Block) bool {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return false
+	}
+	if _, ok := c.blocks[b.Num]; ok {
+		c.mu.Unlock()
+		return false
+	}
+	c.blocks[b.Num] = b
+	if !c.hasAny || b.Num > c.highest {
+		c.highest = b.Num
+		c.hasAny = true
+	}
+	var commits []*ledger.Block
+	for {
+		nb, ok := c.blocks[c.height]
+		if !ok {
+			break
+		}
+		commits = append(commits, nb)
+		c.height++
+	}
+	first := c.onFirstReception
+	commitFn := c.onCommit
+	now := c.sched.Now()
+	c.mu.Unlock()
+
+	if first != nil {
+		first(b, now)
+	}
+	if commitFn != nil {
+		for _, cb := range commits {
+			commitFn(cb)
+		}
+	}
+	c.proto.OnBlockStored(b)
+	return true
+}
+
+// handleMessage dispatches inbound messages: shared types here, everything
+// else to the protocol.
+func (c *Core) handleMessage(from wire.NodeID, msg wire.Message) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	switch m := msg.(type) {
+	case *wire.StateInfo:
+		c.mu.Lock()
+		if m.Height > c.peerHeights[from] {
+			c.peerHeights[from] = m.Height
+		}
+		c.mu.Unlock()
+	case *wire.StateRequest:
+		c.serveStateRequest(from, m)
+	case *wire.StateResponse:
+		for _, b := range m.Blocks {
+			c.AddBlock(b)
+		}
+	case *wire.Alive:
+		c.mu.Lock()
+		c.membership.Observe(from, m.Seq, c.sched.Now())
+		c.mu.Unlock()
+	case *wire.DeliverBlock:
+		// Ordering service -> leader peer.
+		c.proto.OnOrdererBlock(m.Block)
+	default:
+		c.proto.Handle(from, msg)
+	}
+}
+
+// --- periodic components ---
+
+func (c *Core) stateInfoTick() {
+	c.mu.Lock()
+	h := c.height
+	c.mu.Unlock()
+	msg := &wire.StateInfo{Height: h}
+	for _, p := range c.RandomPeers(c.cfg.StateInfoFanout) {
+		c.Send(p, msg)
+	}
+}
+
+func (c *Core) aliveTick() {
+	c.mu.Lock()
+	c.aliveSeq++
+	seq := c.aliveSeq
+	c.mu.Unlock()
+	msg := &wire.Alive{Seq: seq, Meta: make([]byte, c.cfg.AliveMetaSize)}
+	for _, p := range c.RandomPeers(c.cfg.AliveFanout) {
+		c.Send(p, msg)
+	}
+}
+
+// recoveryTick implements the paper's recovery component: if a peer's
+// ledger is behind the highest advertised height, it requests the
+// consecutive missing blocks from one of the most advanced peers.
+func (c *Core) recoveryTick() {
+	c.mu.Lock()
+	var best wire.NodeID
+	var bestH uint64
+	candidates := make([]wire.NodeID, 0, 4)
+	for p, h := range c.peerHeights {
+		if h > bestH {
+			bestH = h
+			candidates = candidates[:0]
+		}
+		if h == bestH && h > 0 {
+			candidates = append(candidates, p)
+		}
+	}
+	myH := c.height
+	batch := uint64(c.cfg.RecoveryBatch)
+	c.mu.Unlock()
+
+	if bestH <= myH || len(candidates) == 0 {
+		return
+	}
+	best = candidates[c.rng.Intn(len(candidates))]
+	to := bestH
+	if batch > 0 && to > myH+batch {
+		to = myH + batch
+	}
+	c.Send(best, &wire.StateRequest{From: myH, To: to})
+}
+
+func (c *Core) serveStateRequest(from wire.NodeID, req *wire.StateRequest) {
+	c.mu.Lock()
+	var blocks []*ledger.Block
+	limit := req.To
+	if max := req.From + uint64(c.cfg.RecoveryBatch); c.cfg.RecoveryBatch > 0 && limit > max {
+		limit = max
+	}
+	for num := req.From; num < limit; num++ {
+		b, ok := c.blocks[num]
+		if !ok {
+			break // only consecutive runs are useful to the requester
+		}
+		blocks = append(blocks, b)
+	}
+	c.mu.Unlock()
+	if len(blocks) > 0 {
+		c.Send(from, &wire.StateResponse{Blocks: blocks})
+	}
+}
+
+// LivePeers returns the ids of peers currently believed alive (including
+// self), from the heartbeat view.
+func (c *Core) LivePeers() []wire.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.membership.Live(c.sched.Now())
+}
+
+// LeaderPeer returns the organization's dynamic-election leader: the
+// lowest-id peer currently believed alive.
+func (c *Core) LeaderPeer() wire.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.membership.Leader(c.sched.Now())
+}
+
+// IsLeader reports whether this peer currently believes it leads the
+// organization.
+func (c *Core) IsLeader() bool { return c.LeaderPeer() == c.cfg.Self }
+
+// PeerHeights returns a copy of the advertised heights view.
+func (c *Core) PeerHeights() map[wire.NodeID]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[wire.NodeID]uint64, len(c.peerHeights))
+	for k, v := range c.peerHeights {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package gossip
+
+import (
+	"sort"
+	"time"
+
+	"fabricgossip/internal/wire"
+)
+
+// Membership tracks which peers of the organization are believed alive,
+// from the periodic Alive heartbeats every peer gossips (paper §III-A:
+// "peers use gossip to build and maintain a local view of other peers in
+// the network"). A peer that has not been heard from within the expiration
+// window is considered dead until a fresh heartbeat arrives.
+//
+// The view also determines the organization's leader peer: Fabric's static
+// leader policy picks a designated peer, while its dynamic leader election
+// converges on the lowest-id live peer. Membership implements the dynamic
+// rule; the harness uses peer 0 which is also the static choice while it
+// stays alive.
+type Membership struct {
+	self wire.NodeID
+	// expiration is how long a peer stays live after its last heartbeat.
+	expiration time.Duration
+	lastSeen   map[wire.NodeID]time.Duration
+	lastSeq    map[wire.NodeID]uint64
+}
+
+// NewMembership creates a view for self over the given expiration window.
+func NewMembership(self wire.NodeID, expiration time.Duration) *Membership {
+	return &Membership{
+		self:       self,
+		expiration: expiration,
+		lastSeen:   make(map[wire.NodeID]time.Duration),
+		lastSeq:    make(map[wire.NodeID]uint64),
+	}
+}
+
+// Observe records a heartbeat from peer with the given sequence number at
+// the given time. Stale (replayed or reordered) heartbeats with sequence
+// numbers at or below the freshest seen are ignored, so a dead peer cannot
+// be resurrected by an old message floating in the network.
+func (m *Membership) Observe(peer wire.NodeID, seq uint64, at time.Duration) {
+	if peer == m.self {
+		return
+	}
+	if last, ok := m.lastSeq[peer]; ok && seq <= last {
+		return
+	}
+	m.lastSeq[peer] = seq
+	m.lastSeen[peer] = at
+}
+
+// Alive reports whether peer is believed alive at time now. Self is always
+// alive.
+func (m *Membership) Alive(peer wire.NodeID, now time.Duration) bool {
+	if peer == m.self {
+		return true
+	}
+	seen, ok := m.lastSeen[peer]
+	if !ok {
+		return false
+	}
+	return now-seen <= m.expiration
+}
+
+// Live returns the sorted ids of all peers believed alive at now,
+// including self.
+func (m *Membership) Live(now time.Duration) []wire.NodeID {
+	out := []wire.NodeID{m.self}
+	for p, seen := range m.lastSeen {
+		if now-seen <= m.expiration {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leader returns the dynamic-election leader: the lowest-id live peer
+// (self counts). This is the convergence point of Fabric's leader election
+// once heartbeats have propagated.
+func (m *Membership) Leader(now time.Duration) wire.NodeID {
+	live := m.Live(now)
+	return live[0]
+}
+
+// IsLeader reports whether self currently believes it is the leader.
+func (m *Membership) IsLeader(now time.Duration) bool {
+	return m.Leader(now) == m.self
+}

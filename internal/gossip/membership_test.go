@@ -1,0 +1,144 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func TestMembershipObserveAndExpire(t *testing.T) {
+	m := NewMembership(0, sec(3))
+	if m.Alive(1, sec(0)) {
+		t.Fatal("unseen peer reported alive")
+	}
+	m.Observe(1, 1, sec(0))
+	if !m.Alive(1, sec(3)) {
+		t.Fatal("peer dead within the window")
+	}
+	if m.Alive(1, sec(4)) {
+		t.Fatal("peer alive past expiration")
+	}
+	// A fresh heartbeat revives it.
+	m.Observe(1, 2, sec(10))
+	if !m.Alive(1, sec(12)) {
+		t.Fatal("revived peer not alive")
+	}
+}
+
+func TestMembershipIgnoresStaleHeartbeats(t *testing.T) {
+	m := NewMembership(0, sec(3))
+	m.Observe(1, 5, sec(0))
+	// A replayed older heartbeat arriving later must not extend liveness.
+	m.Observe(1, 4, sec(2))
+	m.Observe(1, 5, sec(2))
+	if m.Alive(1, sec(4)) {
+		t.Fatal("stale heartbeat extended liveness")
+	}
+}
+
+func TestMembershipSelfAlwaysAlive(t *testing.T) {
+	m := NewMembership(7, sec(1))
+	if !m.Alive(7, sec(100)) {
+		t.Fatal("self not alive")
+	}
+	m.Observe(7, 1, sec(0)) // self-heartbeats are ignored
+	live := m.Live(sec(100))
+	if len(live) != 1 || live[0] != 7 {
+		t.Fatalf("live = %v", live)
+	}
+}
+
+func TestMembershipLeaderIsLowestLiveID(t *testing.T) {
+	m := NewMembership(5, sec(3))
+	m.Observe(2, 1, sec(0))
+	m.Observe(8, 1, sec(0))
+	if got := m.Leader(sec(1)); got != 2 {
+		t.Fatalf("leader = %v, want 2", got)
+	}
+	// Peer 2 expires: self (5) becomes the lowest live id.
+	if got := m.Leader(sec(10)); got != 5 {
+		t.Fatalf("leader after expiry = %v, want self (5)", got)
+	}
+	if !m.IsLeader(sec(10)) {
+		t.Fatal("IsLeader disagrees with Leader")
+	}
+}
+
+func TestCoreLeaderFailover(t *testing.T) {
+	// Five peers heartbeat each other; peer 0 leads. Crash peer 0: within
+	// the expiration window every surviving peer elects peer 1.
+	o := buildFailoverOrg(t)
+	o.engine.RunUntil(5 * time.Second)
+	for i := 1; i < len(o.cores); i++ {
+		if got := o.cores[i].LeaderPeer(); got != 0 {
+			t.Fatalf("peer %d leader = %v before crash, want 0", i, got)
+		}
+	}
+	if !o.cores[0].IsLeader() {
+		t.Fatal("peer 0 does not believe it leads")
+	}
+
+	o.net.SetNodeDown(0, true)
+	o.engine.RunUntil(15 * time.Second) // > expiration
+	for i := 1; i < len(o.cores); i++ {
+		if got := o.cores[i].LeaderPeer(); got != 1 {
+			t.Fatalf("peer %d leader = %v after crash, want 1", i, got)
+		}
+		live := o.cores[i].LivePeers()
+		for _, p := range live {
+			if p == 0 {
+				t.Fatalf("peer %d still lists the dead leader as live", i)
+			}
+		}
+	}
+	if !o.cores[1].IsLeader() {
+		t.Fatal("peer 1 did not take over leadership")
+	}
+
+	// Revive peer 0: heartbeats resume and leadership returns to it.
+	o.net.SetNodeDown(0, false)
+	o.engine.RunUntil(25 * time.Second)
+	for i := 1; i < len(o.cores); i++ {
+		if got := o.cores[i].LeaderPeer(); got != 0 {
+			t.Fatalf("peer %d leader = %v after revival, want 0", i, got)
+		}
+	}
+}
+
+type failoverOrg struct {
+	engine *sim.Engine
+	net    *transport.SimNetwork
+	cores  []*Core
+}
+
+func buildFailoverOrg(t *testing.T) *failoverOrg {
+	t.Helper()
+	e := sim.NewEngine(31)
+	o := &failoverOrg{engine: e}
+	o.net = transport.NewSimNetwork(e,
+		netmodel.Model{PropMin: time.Millisecond, PropMax: 2 * time.Millisecond}, nil)
+	const n = 5
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i)
+	}
+	for i := 0; i < n; i++ {
+		ep := o.net.AddNode()
+		cfg := DefaultConfig(ep.ID(), ids)
+		cfg.AliveInterval = time.Second
+		cfg.AliveFanout = n - 1 // broadcast heartbeats: fast converging views
+		cfg.AliveExpiration = 3 * time.Second
+		cfg.StateInfoInterval = 0
+		cfg.RecoveryInterval = 0
+		core := New(cfg, ep, e, e.Rand("g"), &nullProtocol{})
+		core.Start()
+		o.cores = append(o.cores, core)
+	}
+	return o
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"fabricgossip/internal/gossip"
+	"fabricgossip/internal/gossip/enhanced"
+	"fabricgossip/internal/gossip/original"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/metrics"
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// DisseminationResult is everything a dissemination experiment measured.
+type DisseminationResult struct {
+	Params    Params
+	Latencies *metrics.LatencyRecorder
+	Traffic   *netmodel.Traffic
+
+	// LeaderID and RegularID are the two peers whose bandwidth the
+	// paper's Figures 6/9/10/11/14 plot.
+	LeaderID  wire.NodeID
+	RegularID wire.NodeID
+	// NumBuckets is the series length at Params.Bucket granularity.
+	NumBuckets int
+
+	// BlockBytes is the encoded size of one block of the workload.
+	BlockBytes int
+	// BodyTransmissions counts full-block sends during dissemination
+	// (Data + PullData + recovery batches), excluding orderer deliveries.
+	BodyTransmissions uint64
+	// RecoveryServed counts blocks that had to be fetched by the recovery
+	// component (the enhanced paper runs never need it).
+	RecoveryServed uint64
+	// WallBlocks is how many blocks were fully disseminated to all peers.
+	WallBlocks int
+}
+
+// RunDissemination builds an organization of Params.NumPeers peers over the
+// calibrated LAN model, injects Params.NumBlocks blocks at the leader peer
+// on the block interval, and measures per-peer/per-block dissemination
+// latency and per-peer bandwidth.
+func RunDissemination(p Params) (*DisseminationResult, error) {
+	if p.NumPeers < 2 {
+		return nil, fmt.Errorf("harness: need at least 2 peers, got %d", p.NumPeers)
+	}
+	engine := sim.NewEngine(p.Seed)
+	traffic := netmodel.NewTraffic(p.Bucket)
+	net := transport.NewSimNetwork(engine, netmodel.LAN(), traffic)
+
+	peers := make([]wire.NodeID, p.NumPeers)
+	for i := range peers {
+		peers[i] = wire.NodeID(i)
+	}
+
+	rec := metrics.NewLatencyRecorder()
+	// leaderSeen[num] is the dissemination start: the leader's reception
+	// of the block from the ordering service.
+	leaderSeen := make(map[uint64]time.Duration, p.NumBlocks)
+	received := make([]int, p.NumBlocks) // peers holding each block
+
+	cores := make([]*gossip.Core, p.NumPeers)
+	for i := 0; i < p.NumPeers; i++ {
+		ep := net.AddNode()
+		cfg := gossip.DefaultConfig(ep.ID(), peers)
+		var proto gossip.Protocol
+		switch p.Variant {
+		case VariantOriginal:
+			proto = original.New(p.Original)
+		case VariantEnhanced:
+			proto = enhanced.New(p.Enhanced)
+		default:
+			return nil, fmt.Errorf("harness: unknown variant %q", p.Variant)
+		}
+		core := gossip.New(cfg, ep, engine, engine.Rand("gossip"), proto)
+		self := ep.ID()
+		core.OnFirstReception(func(b *ledger.Block, at time.Duration) {
+			if self == 0 {
+				// The leader is the dissemination origin: its reception
+				// defines t=0 and is excluded from the latency CDFs.
+				leaderSeen[b.Num] = at
+			} else {
+				start, ok := leaderSeen[b.Num]
+				if !ok {
+					// Block reached a peer before the leader (recovery
+					// race); anchor at current time.
+					start = at
+					leaderSeen[b.Num] = start
+				}
+				rec.Record(b.Num, self, at-start)
+			}
+			if b.Num < uint64(len(received)) {
+				received[b.Num]++
+			}
+		})
+		cores[i] = core
+	}
+	orderer := net.AddNode()
+	for _, c := range cores {
+		c.Start()
+	}
+
+	// Background floor: the paper's ≈0.4 MB/s of non-dissemination system
+	// traffic per peer, accounted once per simulated second.
+	if p.BackgroundBytesPerSec > 0 {
+		half := int(p.BackgroundBytesPerSec / 2)
+		for _, id := range peers {
+			id := id
+			engine.Every(time.Second, func() {
+				traffic.Record(id, id, wire.TypeAlive, half, engine.Now())
+			})
+		}
+	}
+
+	blocks := BuildChain(p.NumBlocks, p.TxPerBlock, p.TxPayload, p.Seed)
+	for i, b := range blocks {
+		b := b
+		engine.At(time.Duration(i)*p.BlockInterval, func() {
+			_ = orderer.Send(0, &wire.DeliverBlock{Block: b})
+		})
+	}
+
+	end := time.Duration(p.NumBlocks-1)*p.BlockInterval + p.Tail
+	engine.RunUntil(end)
+	for _, c := range cores {
+		c.Stop()
+	}
+
+	complete := 0
+	for _, got := range received {
+		if got == p.NumPeers {
+			complete++
+		}
+	}
+	res := &DisseminationResult{
+		Params:            p,
+		Latencies:         rec,
+		Traffic:           traffic,
+		LeaderID:          0,
+		RegularID:         wire.NodeID(1 + p.Seed%int64(p.NumPeers-1)),
+		NumBuckets:        int(end/p.Bucket) + 1,
+		BlockBytes:        wire.BlockEncodedSize(blocks[0]),
+		BodyTransmissions: traffic.CountOf(wire.TypeData) + traffic.CountOf(wire.TypePullData),
+		RecoveryServed:    traffic.CountOf(wire.TypeStateResponse),
+		WallBlocks:        complete,
+	}
+	return res, nil
+}
+
+// BuildChain constructs a hash-linked chain of blocks with the workload's
+// transaction shape. Payload bytes are deterministic from the seed.
+func BuildChain(n, txPerBlock, payloadSize int, seed int64) []*ledger.Block {
+	rng := sim.NewRand(sim.StreamSeed(seed, "chain"))
+	blocks := make([]*ledger.Block, n)
+	var prev *ledger.Block
+	for i := 0; i < n; i++ {
+		txs := make([]*ledger.Transaction, txPerBlock)
+		for j := range txs {
+			payload := make([]byte, payloadSize)
+			for k := 0; k < len(payload); k += 64 {
+				payload[k] = byte(rng.Intn(256))
+			}
+			key := fmt.Sprintf("asset-%d", rng.Intn(1000))
+			rw := ledger.RWSet{
+				Reads:  []ledger.KVRead{{Key: key, Version: ledger.Version{BlockNum: uint64(i)}}},
+				Writes: []ledger.KVWrite{{Key: key, Value: payload[:16]}},
+			}
+			txs[j] = &ledger.Transaction{
+				ID:        ledger.ProposalDigest(fmt.Sprintf("client-%d", j), "high-throughput", rw, payload),
+				Client:    fmt.Sprintf("client-%d", j),
+				Chaincode: "high-throughput",
+				RWSet:     rw,
+				Endorsements: []ledger.Endorsement{
+					{Org: "orgA", Name: "endorser0", Sig: make([]byte, 64)},
+				},
+				Payload: payload,
+			}
+		}
+		b := &ledger.Block{Num: uint64(i), Txs: txs, DataHash: ledger.ComputeDataHash(txs)}
+		if prev != nil {
+			b.PrevHash = prev.Hash()
+		}
+		b.Sig = make([]byte, 64)
+		blocks[i] = b
+		prev = b
+	}
+	return blocks
+}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExperimentIDs lists every regenerable experiment, in paper order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experimentSpecs))
+	for id := range experimentSpecs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+type experimentSpec struct {
+	title  string
+	params func(seed int64) Params
+	kind   string // "peer", "block", "bandwidth", "analytics", "table2"
+}
+
+var experimentSpecs = map[string]experimentSpec{
+	"fig4": {
+		title:  "Latency at the peer level, original gossip (fout=3, pull 4s)",
+		params: func(s int64) Params { return DefaultParams(VariantOriginal, s) },
+		kind:   "peer",
+	},
+	"fig5": {
+		title:  "Latency at the block level, original gossip",
+		params: func(s int64) Params { return DefaultParams(VariantOriginal, s) },
+		kind:   "block",
+	},
+	"fig6": {
+		title:  "Bandwidth, leader vs regular peer, original gossip",
+		params: func(s int64) Params { return DefaultParams(VariantOriginal, s) },
+		kind:   "bandwidth",
+	},
+	"fig7": {
+		title:  "Latency at the peer level, enhanced gossip (fout=4, TTL=9)",
+		params: Fig7Params,
+		kind:   "peer",
+	},
+	"fig8": {
+		title:  "Latency at the block level, enhanced gossip (fout=4, TTL=9)",
+		params: Fig7Params,
+		kind:   "block",
+	},
+	"fig9": {
+		title:  "Bandwidth, leader vs regular peer, enhanced gossip (fout=4, TTL=9)",
+		params: Fig7Params,
+		kind:   "bandwidth",
+	},
+	"fig10": {
+		title:  "Bandwidth ablation: leader uses fleaderout = fout = 4",
+		params: Fig10Params,
+		kind:   "bandwidth",
+	},
+	"fig11": {
+		title:  "Bandwidth ablation: digests disabled (bodies on every hop)",
+		params: Fig11Params,
+		kind:   "bandwidth",
+	},
+	"fig12": {
+		title:  "Latency at the peer level, enhanced gossip (fout=2, TTL=19)",
+		params: Fig12Params,
+		kind:   "peer",
+	},
+	"fig13": {
+		title:  "Latency at the block level, enhanced gossip (fout=2, TTL=19)",
+		params: Fig12Params,
+		kind:   "block",
+	},
+	"fig14": {
+		title:  "Bandwidth, leader vs regular peer, enhanced gossip (fout=2, TTL=19)",
+		params: Fig12Params,
+		kind:   "bandwidth",
+	},
+	"analytics": {
+		title: "§IV analytic claims",
+		kind:  "analytics",
+	},
+	"table2": {
+		title: "Invalidated transactions under different block periods",
+		kind:  "table2",
+	},
+}
+
+// RunExperiment regenerates one experiment. quick shrinks the workload for
+// tests and smoke runs (fewer peers/blocks; same protocol behaviour and
+// qualitative shape).
+func RunExperiment(id string, seed int64, quick bool) (Report, error) {
+	spec, ok := experimentSpecs[id]
+	if !ok {
+		return Report{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	switch spec.kind {
+	case "analytics":
+		return AnalyticsReport(seed), nil
+	case "table2":
+		return Table2Report(seed, quick)
+	}
+	p := spec.params(seed)
+	if quick {
+		blocks := 30
+		if id == "fig11" {
+			blocks = 10
+		}
+		p = QuickScale(p, 40, blocks)
+	}
+	res, err := RunDissemination(p)
+	if err != nil {
+		return Report{}, err
+	}
+	switch spec.kind {
+	case "peer":
+		return PeerLatencyReport(id, spec.title, res)
+	case "block":
+		return BlockLatencyReport(id, spec.title, res)
+	case "bandwidth":
+		return BandwidthReport(id, spec.title, res), nil
+	}
+	return Report{}, fmt.Errorf("harness: bad experiment kind %q", spec.kind)
+}

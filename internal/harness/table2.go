@@ -1,0 +1,308 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fabricgossip/internal/chaincode"
+	"fabricgossip/internal/client"
+	"fabricgossip/internal/endorse"
+	"fabricgossip/internal/gossip"
+	"fabricgossip/internal/gossip/enhanced"
+	"fabricgossip/internal/gossip/original"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/msp"
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/order"
+	"fabricgossip/internal/peer"
+	"fabricgossip/internal/raft"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// ConflictParams configures one Table II run: the counter-increment
+// workload over the full execute-order-validate pipeline (paper §V-D).
+type ConflictParams struct {
+	Seed     int64
+	NumPeers int
+	Variant  Variant
+	Original original.Config
+	Enhanced enhanced.Config
+
+	// Keys integers are each incremented Rounds times, one permutation of
+	// all keys per round, at TxRate transactions per second (paper: 100
+	// keys x 100 rounds at 5 tx/s = 10,000 transactions).
+	Keys   int
+	Rounds int
+	TxRate float64
+
+	// BlockPeriod is the orderer batch timeout Table II varies
+	// (0.75/1/1.5/2 s). MaxTxPerBlock stays at the §V-A cap.
+	BlockPeriod   time.Duration
+	MaxTxPerBlock int
+	// ValidationPerTx is the modelled per-transaction validation cost
+	// (paper: ≈50 ms).
+	ValidationPerTx time.Duration
+	// RaftOrderers, when > 0, replaces the solo consenter with a Raft
+	// cluster of that many ordering nodes (the paper used a 4-node Kafka
+	// CFT cluster; Fabric v1.4.1 replaced it with Raft). The lead service
+	// delivers blocks to the organization's leader peer.
+	RaftOrderers int
+}
+
+// DefaultConflictParams returns the paper's Table II workload for one
+// variant and block period.
+func DefaultConflictParams(v Variant, period time.Duration, seed int64) ConflictParams {
+	p := ConflictParams{
+		Seed:            seed,
+		NumPeers:        100,
+		Variant:         v,
+		Original:        original.DefaultConfig(),
+		Keys:            100,
+		Rounds:          100,
+		TxRate:          5,
+		BlockPeriod:     period,
+		MaxTxPerBlock:   50,
+		ValidationPerTx: 50 * time.Millisecond,
+	}
+	cfg, err := enhanced.ConfigFor(p.NumPeers, 4, 1e-6, 2)
+	if err != nil {
+		panic(err) // statically known-good parameters
+	}
+	p.Enhanced = cfg
+	return p
+}
+
+// ConflictResult reports one run's outcome.
+type ConflictResult struct {
+	Params ConflictParams
+	// TotalTx is the number of submitted increments.
+	TotalTx int
+	// Conflicts is TotalTx minus the sum over all counters in the final
+	// ledger — the paper's accounting of validation-time conflicts.
+	Conflicts int
+	// PeerReportedConflicts cross-checks Conflicts from the endorser
+	// peer's commit results.
+	PeerReportedConflicts int
+	// Blocks is how many blocks the ordering service cut.
+	Blocks uint64
+	// MeanTxPerBlock is TotalTx / Blocks.
+	MeanTxPerBlock float64
+}
+
+// RunConflictExperiment runs one full EOV pipeline experiment and counts
+// validation-time conflicts.
+func RunConflictExperiment(p ConflictParams) (*ConflictResult, error) {
+	if p.NumPeers < 2 {
+		return nil, fmt.Errorf("harness: need at least 2 peers")
+	}
+	engine := sim.NewEngine(p.Seed)
+	net := transport.NewSimNetwork(engine, netmodel.LAN(), netmodel.NewTraffic(10*time.Second))
+
+	// Identities: an MSP certifies the orderer and the endorsing peer.
+	idRng := rand.New(rand.NewSource(p.Seed + 1))
+	provider, err := msp.NewProvider(idRng)
+	if err != nil {
+		return nil, err
+	}
+	ordererID, ordererSigner, err := provider.Enroll(msp.RoleOrderer, "ordererOrg", "orderer0", idRng)
+	if err != nil {
+		return nil, err
+	}
+	endorserID, endorserSigner, err := provider.Enroll(msp.RolePeer, "orgA", "peer1", idRng)
+	if err != nil {
+		return nil, err
+	}
+	policy := endorse.NewPolicy(1, endorserID)
+	// One shared checker: its verification cache is what lets 100 peers
+	// validate the same 10,000 transactions without 1M Ed25519 verifies.
+	checker := policy.Checker()
+
+	peerIDs := make([]wire.NodeID, p.NumPeers)
+	for i := range peerIDs {
+		peerIDs[i] = wire.NodeID(i)
+	}
+
+	peers := make([]*peer.Peer, p.NumPeers)
+	for i := 0; i < p.NumPeers; i++ {
+		ep := net.AddNode()
+		gcfg := gossip.DefaultConfig(ep.ID(), peerIDs)
+		var proto gossip.Protocol
+		switch p.Variant {
+		case VariantOriginal:
+			proto = original.New(p.Original)
+		case VariantEnhanced:
+			proto = enhanced.New(p.Enhanced)
+		default:
+			return nil, fmt.Errorf("harness: unknown variant %q", p.Variant)
+		}
+		core := gossip.New(gcfg, ep, engine, engine.Rand("gossip"), proto)
+		peers[i] = peer.New(core, checker, engine, peer.Config{
+			ValidationPerTx: p.ValidationPerTx,
+			OrdererKey:      ordererID.Key,
+		})
+	}
+
+	// Ordering service: one delivery endpoint on the same network; cut
+	// blocks go to the leader peer (peer 0). The consenter is solo by
+	// default, or a Raft cluster when RaftOrderers > 0.
+	ordererEp := net.AddNode()
+	oCfg := order.Config{MaxTxPerBlock: p.MaxTxPerBlock, BatchTimeout: p.BlockPeriod}
+	deliver := func(b *ledger.Block) { _ = ordererEp.Send(0, &wire.DeliverBlock{Block: b}) }
+	var service *order.Service
+	if p.RaftOrderers > 0 {
+		raftIDs := make([]wire.NodeID, p.RaftOrderers)
+		raftEps := make([]*transport.SimEndpoint, p.RaftOrderers)
+		for i := range raftIDs {
+			raftEps[i] = net.AddNode()
+			raftIDs[i] = raftEps[i].ID()
+		}
+		for i := 0; i < p.RaftOrderers; i++ {
+			node := raft.New(raft.DefaultConfig(raftIDs[i], raftIDs), raftEps[i], engine, engine.Rand("raft"))
+			d := func(*ledger.Block) {} // only the lead service delivers
+			if i == 0 {
+				d = deliver
+			}
+			svc := order.NewService(oCfg, engine, raft.NewConsenter(node, engine), ordererSigner, d)
+			if i == 0 {
+				service = svc
+			}
+			node.Start()
+		}
+	} else {
+		service = order.NewService(oCfg, engine, order.NewSolo(engine, 5*time.Millisecond), ordererSigner, deliver)
+	}
+	ordererEp.SetHandler(func(_ wire.NodeID, msg wire.Message) {
+		if st, ok := msg.(*wire.SubmitTx); ok {
+			_ = service.Broadcast(st.Tx)
+		}
+	})
+
+	for _, pr := range peers {
+		pr.Gossip().Start()
+	}
+
+	// The single endorsing peer (paper: "we focus on validation-time
+	// conflicts and therefore use a single endorsing peer"). Peer 1 is a
+	// regular, non-leader peer.
+	const endorserIdx = 1
+	endorser := endorse.NewEndorser(endorserID, endorserSigner, peers[endorserIdx].State())
+	endorser.Install(chaincode.Counter{})
+
+	// The client submits proposals through the endorser and broadcasts
+	// the assembled transaction to the ordering node over the network.
+	clientEp := net.AddNode()
+	cl, err := client.New("client0", []*endorse.Endorser{endorser}, func(tx *ledger.Transaction) error {
+		return clientEp.Send(ordererEp.ID(), &wire.SubmitTx{Tx: tx})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Workload: Rounds permutations of Keys increments at TxRate tx/s.
+	wrng := engine.Rand("workload")
+	keys := make([]string, p.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ctr-%03d", i)
+	}
+	interval := time.Duration(float64(time.Second) / p.TxRate)
+	total := 0
+	for r := 0; r < p.Rounds; r++ {
+		perm := wrng.Perm(p.Keys)
+		for i, ki := range perm {
+			key := keys[ki]
+			at := time.Duration(r*p.Keys+i) * interval
+			engine.At(at, func() {
+				// Conflicted transactions are not resent (§V-D); the
+				// endorsement itself cannot fail for this chaincode.
+				_, _ = cl.Invoke("counter", []string{"incr", key}, nil)
+			})
+			total++
+		}
+	}
+
+	// Run until the last transaction's block has certainly drained
+	// through ordering, dissemination and validation everywhere.
+	end := time.Duration(total)*interval + p.BlockPeriod + 60*time.Second
+	engine.RunUntil(end)
+	for _, pr := range peers {
+		pr.Gossip().Stop()
+	}
+
+	// Paper accounting: conflicts = total - sum of the final counters.
+	var sum uint64
+	state := peers[endorserIdx].State()
+	for _, key := range keys {
+		vv, _ := state.Get(key)
+		v, err := chaincode.DecodeUint64(vv.Value)
+		if err != nil {
+			return nil, fmt.Errorf("harness: counter %s corrupt: %w", key, err)
+		}
+		sum += v
+	}
+	res := &ConflictResult{
+		Params:                p,
+		TotalTx:               total,
+		Conflicts:             total - int(sum),
+		PeerReportedConflicts: peers[endorserIdx].Conflicts(),
+		Blocks:                service.Height(),
+	}
+	if res.Blocks > 0 {
+		res.MeanTxPerBlock = float64(res.TotalTx) / float64(res.Blocks)
+	}
+	return res, nil
+}
+
+// Table2Report reproduces Table II: validation-time conflicts for block
+// periods 2/1.5/1/0.75 s under both gossip variants, averaged over five
+// seeds (as in the paper). quick shrinks the workload for smoke tests.
+func Table2Report(seed int64, quick bool) (Report, error) {
+	r := Report{ID: "table2", Title: "Invalidated transactions under different block periods (avg of 5 runs)"}
+	periods := []time.Duration{2 * time.Second, 1500 * time.Millisecond, time.Second, 750 * time.Millisecond}
+	seeds := []int64{seed, seed + 1, seed + 2, seed + 3, seed + 4}
+	shrink := func(p ConflictParams) ConflictParams { return p }
+	if quick {
+		periods = periods[:2]
+		seeds = seeds[:1]
+		shrink = func(p ConflictParams) ConflictParams {
+			p.NumPeers = 30
+			p.Keys = 30
+			p.Rounds = 10
+			cfg, err := enhanced.ConfigFor(p.NumPeers, 4, 1e-6, 2)
+			if err == nil {
+				p.Enhanced = cfg
+			}
+			return p
+		}
+	}
+	r.addf("%-8s %-9s %-11s %10s %10s %10s", "period", "tx/block", "validation", "original", "enhanced", "difference")
+	for _, period := range periods {
+		var oSum, eSum float64
+		var txPerBlock, valTime float64
+		for _, s := range seeds {
+			op, err := RunConflictExperiment(shrink(DefaultConflictParams(VariantOriginal, period, s)))
+			if err != nil {
+				return r, err
+			}
+			ep, err := RunConflictExperiment(shrink(DefaultConflictParams(VariantEnhanced, period, s)))
+			if err != nil {
+				return r, err
+			}
+			oSum += float64(op.Conflicts)
+			eSum += float64(ep.Conflicts)
+			txPerBlock = op.MeanTxPerBlock
+			valTime = (time.Duration(op.MeanTxPerBlock) * op.Params.ValidationPerTx).Seconds()
+		}
+		o := oSum / float64(len(seeds))
+		e := eSum / float64(len(seeds))
+		diff := 0.0
+		if o > 0 {
+			diff = 100 * (e - o) / o
+		}
+		r.addf("%-8v %-9.1f %-11.2f %10.1f %10.1f %9.1f%%",
+			period, txPerBlock, valTime, o, e, diff)
+	}
+	return r, nil
+}

@@ -1,0 +1,76 @@
+package ledger
+
+import (
+	"testing"
+)
+
+func TestLedgerCommitFlow(t *testing.T) {
+	l := NewLedger(nil)
+	g := mkBlock(0, nil, mkTx("c", "k", Version{}, 1))
+	res, err := l.Commit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid != 1 || res.Invalid != 0 {
+		t.Fatalf("genesis result = %+v", res)
+	}
+	if l.Height() != 1 {
+		t.Fatalf("height = %d, want 1", l.Height())
+	}
+	vv, ok := l.State().Get("k")
+	if !ok || vv.Version != (Version{0, 0}) {
+		t.Fatalf("state after commit = %+v, ok=%v", vv, ok)
+	}
+
+	// Second block: a valid update reading 0.0 and a stale duplicate.
+	b1 := mkBlock(1, g,
+		mkTx("c1", "k", Version{0, 0}, 2),
+		mkTx("c2", "k", Version{0, 0}, 3),
+	)
+	res, err = l.Commit(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid != 1 || res.Invalid != 1 {
+		t.Fatalf("b1 result = %+v, want 1 valid 1 invalid", res)
+	}
+	vv, _ = l.State().Get("k")
+	if vv.Version != (Version{1, 0}) || vv.Value[0] != 2 {
+		t.Fatalf("state = %+v, want value 2 at version 1.0", vv)
+	}
+}
+
+func TestLedgerRejectsOutOfOrderCommit(t *testing.T) {
+	l := NewLedger(nil)
+	g := mkBlock(0, nil)
+	b2 := mkBlock(2, nil)
+	if _, err := l.Commit(b2); err == nil {
+		t.Fatal("future block accepted")
+	}
+	if _, err := l.Commit(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(g); err == nil {
+		t.Fatal("duplicate block accepted")
+	}
+}
+
+func TestLedgerInvalidTxLeavesNoState(t *testing.T) {
+	l := NewLedger(nil)
+	g := mkBlock(0, nil, mkTx("c", "k", Version{9, 9}, 1)) // stale read
+	res, err := l.Commit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invalid != 1 {
+		t.Fatalf("result = %+v, want 1 invalid", res)
+	}
+	if _, ok := l.State().Get("k"); ok {
+		t.Fatal("invalid transaction wrote state")
+	}
+	// The block is still appended: invalid txs remain in the chain but
+	// have no effect (paper §II-B).
+	if l.Height() != 1 {
+		t.Fatalf("height = %d, want 1", l.Height())
+	}
+}

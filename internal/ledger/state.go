@@ -1,0 +1,83 @@
+package ledger
+
+import (
+	"sync"
+)
+
+// VersionedValue is a state-database entry: the latest committed value of a
+// key together with the version that wrote it.
+type VersionedValue struct {
+	Value   []byte
+	Version Version
+}
+
+// StateDB is the versioned key/value store materializing the result of all
+// valid transactions (paper §II-B). It is safe for concurrent use.
+type StateDB struct {
+	mu   sync.RWMutex
+	data map[string]VersionedValue
+}
+
+// NewStateDB returns an empty state database.
+func NewStateDB() *StateDB {
+	return &StateDB{data: make(map[string]VersionedValue)}
+}
+
+// Get returns the committed value and version for key. Missing keys return
+// ok=false; their implicit version is the zero Version, which is how read
+// sets of never-written keys validate.
+func (s *StateDB) Get(key string) (VersionedValue, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vv, ok := s.data[key]
+	return vv, ok
+}
+
+// VersionOf returns the committed version of key (zero Version if unset).
+func (s *StateDB) VersionOf(key string) Version {
+	vv, _ := s.Get(key)
+	return vv.Version
+}
+
+// apply installs a write set at the given block/tx position. Callers hold
+// the lock via ApplyBlockWrites.
+func (s *StateDB) apply(writes []KVWrite, v Version) {
+	for _, w := range writes {
+		val := make([]byte, len(w.Value))
+		copy(val, w.Value)
+		s.data[w.Key] = VersionedValue{Value: val, Version: v}
+	}
+}
+
+// ApplyBlockWrites commits the write sets of the valid transactions of
+// block num. txNums[i] gives the in-block position of writeSets[i].
+func (s *StateDB) ApplyBlockWrites(num uint64, txNums []uint32, writeSets []RWSet) {
+	if len(txNums) != len(writeSets) {
+		panic("ledger: ApplyBlockWrites length mismatch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, rw := range writeSets {
+		s.apply(rw.Writes, Version{BlockNum: num, TxNum: txNums[i]})
+	}
+}
+
+// Len returns the number of keys with committed values.
+func (s *StateDB) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Snapshot returns a copy of the full state, for tests and inspection.
+func (s *StateDB) Snapshot() map[string]VersionedValue {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]VersionedValue, len(s.data))
+	for k, vv := range s.data {
+		val := make([]byte, len(vv.Value))
+		copy(val, vv.Value)
+		out[k] = VersionedValue{Value: val, Version: vv.Version}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package ledger
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockStore is the append-only, hash-verified chain of blocks a peer
+// maintains. It is safe for concurrent use.
+type BlockStore struct {
+	mu     sync.RWMutex
+	blocks []*Block
+}
+
+// NewBlockStore returns an empty store.
+func NewBlockStore() *BlockStore { return &BlockStore{} }
+
+// Height returns the number of stored blocks; the next expected block
+// number equals the height.
+func (s *BlockStore) Height() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(len(s.blocks))
+}
+
+// Append verifies linkage and adds b to the chain.
+func (s *BlockStore) Append(b *Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prev *Block
+	if n := len(s.blocks); n > 0 {
+		prev = s.blocks[n-1]
+	}
+	if err := b.VerifyLinkage(prev); err != nil {
+		return err
+	}
+	s.blocks = append(s.blocks, b)
+	return nil
+}
+
+// Get returns block num.
+func (s *BlockStore) Get(num uint64) (*Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if num >= uint64(len(s.blocks)) {
+		return nil, fmt.Errorf("ledger: block %d not stored (height %d)", num, len(s.blocks))
+	}
+	return s.blocks[num], nil
+}
+
+// Range returns blocks [from, to) that are present, clamped to the chain;
+// it is the batch primitive used by the recovery component.
+func (s *BlockStore) Range(from, to uint64) []*Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := uint64(len(s.blocks))
+	if from >= h || from >= to {
+		return nil
+	}
+	if to > h {
+		to = h
+	}
+	out := make([]*Block, to-from)
+	copy(out, s.blocks[from:to])
+	return out
+}
+
+// Last returns the most recent block, or nil for an empty chain.
+func (s *BlockStore) Last() *Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.blocks) == 0 {
+		return nil
+	}
+	return s.blocks[len(s.blocks)-1]
+}

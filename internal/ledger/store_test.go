@@ -1,0 +1,85 @@
+package ledger
+
+import (
+	"testing"
+)
+
+func chainOf(t *testing.T, n int) (*BlockStore, []*Block) {
+	t.Helper()
+	s := NewBlockStore()
+	blocks := make([]*Block, n)
+	var prev *Block
+	for i := 0; i < n; i++ {
+		b := mkBlock(uint64(i), prev, mkTx("c", "k", Version{}, byte(i)))
+		if err := s.Append(b); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		blocks[i] = b
+		prev = b
+	}
+	return s, blocks
+}
+
+func TestBlockStoreAppendGet(t *testing.T) {
+	s, blocks := chainOf(t, 5)
+	if s.Height() != 5 {
+		t.Fatalf("height = %d, want 5", s.Height())
+	}
+	for i, want := range blocks {
+		got, err := s.Get(uint64(i))
+		if err != nil || got != want {
+			t.Fatalf("Get(%d) = %v, %v", i, got, err)
+		}
+	}
+	if _, err := s.Get(5); err == nil {
+		t.Fatal("Get past height succeeded")
+	}
+	if s.Last() != blocks[4] {
+		t.Fatal("Last() wrong")
+	}
+}
+
+func TestBlockStoreRejectsBrokenChain(t *testing.T) {
+	s, blocks := chainOf(t, 2)
+	bad := mkBlock(2, blocks[0]) // links to block 0, not block 1
+	if err := s.Append(bad); err == nil {
+		t.Fatal("broken linkage accepted")
+	}
+	if err := s.Append(mkBlock(7, blocks[1])); err == nil {
+		t.Fatal("gap in numbering accepted")
+	}
+	if s.Height() != 2 {
+		t.Fatalf("failed appends changed height to %d", s.Height())
+	}
+}
+
+func TestBlockStoreRange(t *testing.T) {
+	s, blocks := chainOf(t, 10)
+	cases := []struct {
+		from, to uint64
+		want     int
+		first    uint64
+	}{
+		{0, 10, 10, 0},
+		{3, 7, 4, 3},
+		{8, 100, 2, 8}, // clamped to height
+		{10, 12, 0, 0}, // beyond chain
+		{5, 5, 0, 0},   // empty interval
+		{6, 2, 0, 0},   // inverted interval
+	}
+	for _, c := range cases {
+		got := s.Range(c.from, c.to)
+		if len(got) != c.want {
+			t.Fatalf("Range(%d,%d) len = %d, want %d", c.from, c.to, len(got), c.want)
+		}
+		if c.want > 0 && got[0] != blocks[c.first] {
+			t.Fatalf("Range(%d,%d)[0] = block %d, want %d", c.from, c.to, got[0].Num, c.first)
+		}
+	}
+}
+
+func TestBlockStoreEmptyLast(t *testing.T) {
+	if NewBlockStore().Last() != nil {
+		t.Fatal("Last on empty store should be nil")
+	}
+}

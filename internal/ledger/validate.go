@@ -1,0 +1,74 @@
+package ledger
+
+// ValidationCode classifies the outcome of validating one transaction
+// within a block.
+type ValidationCode uint8
+
+// Validation outcomes. Values start at 1 so the zero value is invalid.
+const (
+	// CodeValid marks a transaction whose endorsements satisfy the policy
+	// and whose read set matches the committed state.
+	CodeValid ValidationCode = iota + 1
+	// CodeMVCCConflict marks a validation-time conflict (paper §II-C):
+	// the transaction read a version that is no longer current.
+	CodeMVCCConflict
+	// CodeEndorsementFailure marks a transaction whose endorsements do not
+	// satisfy the endorsement policy.
+	CodeEndorsementFailure
+)
+
+// String returns a short name for the code.
+func (c ValidationCode) String() string {
+	switch c {
+	case CodeValid:
+		return "VALID"
+	case CodeMVCCConflict:
+		return "MVCC_CONFLICT"
+	case CodeEndorsementFailure:
+		return "ENDORSEMENT_FAILURE"
+	default:
+		return "INVALID_CODE"
+	}
+}
+
+// PolicyChecker validates a transaction's endorsements. Implementations
+// live in the endorse package; the ledger only needs the verdict.
+type PolicyChecker func(tx *Transaction) error
+
+// ValidateBlock runs Fabric's validation phase for one block against the
+// current state database: endorsement-policy check, then MVCC read-set
+// check. As in Fabric, a transaction also conflicts with earlier valid
+// transactions of the same block that wrote any key it read.
+//
+// It returns one code per transaction. It does not mutate the state
+// database; callers apply the write sets of valid transactions afterwards
+// (see Ledger.Commit).
+func ValidateBlock(state *StateDB, b *Block, policy PolicyChecker) []ValidationCode {
+	codes := make([]ValidationCode, len(b.Txs))
+	// Keys written by earlier VALID transactions in this block.
+	wroteInBlock := make(map[string]bool)
+	for i, tx := range b.Txs {
+		if policy != nil {
+			if err := policy(tx); err != nil {
+				codes[i] = CodeEndorsementFailure
+				continue
+			}
+		}
+		conflict := false
+		for _, r := range tx.RWSet.Reads {
+			if wroteInBlock[r.Key] || state.VersionOf(r.Key) != r.Version {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			codes[i] = CodeMVCCConflict
+			continue
+		}
+		codes[i] = CodeValid
+		for _, w := range tx.RWSet.Writes {
+			wroteInBlock[w.Key] = true
+		}
+	}
+	return codes
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestDistributionQuantiles(t *testing.T) {
+	d := NewDistribution([]time.Duration{ms(50), ms(10), ms(30), ms(20), ms(40)})
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.2, ms(10)},
+		{0.5, ms(30)},
+		{1.0, ms(50)},
+		{0.0, ms(10)},  // clamps low
+		{-0.5, ms(10)}, // clamps low
+		{2.0, ms(50)},  // clamps high
+	}
+	for _, c := range cases {
+		if got := d.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%g) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if d.Min() != ms(10) || d.Max() != ms(50) || d.Mean() != ms(30) {
+		t.Errorf("min/max/mean = %v/%v/%v", d.Min(), d.Max(), d.Mean())
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	d := NewDistribution(nil)
+	if d.Quantile(0.5) != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.N() != 0 {
+		t.Fatal("empty distribution should return zeros")
+	}
+	if d.FractionBelow(time.Second) != 0 {
+		t.Fatal("empty FractionBelow should be 0")
+	}
+}
+
+func TestDistributionDoesNotAliasInput(t *testing.T) {
+	in := []time.Duration{ms(3), ms(1), ms(2)}
+	d := NewDistribution(in)
+	in[0] = ms(999)
+	if d.Max() != ms(3) {
+		t.Fatal("distribution aliases caller slice")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	d := NewDistribution([]time.Duration{ms(10), ms(20), ms(30), ms(40)})
+	cases := []struct {
+		x    time.Duration
+		want float64
+	}{
+		{ms(5), 0}, {ms(10), 0.25}, {ms(25), 0.5}, {ms(40), 1}, {ms(100), 1},
+	}
+	for _, c := range cases {
+		if got := d.FractionBelow(c.x); got != c.want {
+			t.Errorf("FractionBelow(%v) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogit(t *testing.T) {
+	if Logit(0.5) != 0 {
+		t.Errorf("Logit(0.5) = %g", Logit(0.5))
+	}
+	if math.Abs(Logit(0.9)+Logit(0.1)) > 1e-12 {
+		t.Error("Logit not antisymmetric")
+	}
+	if Logit(0.9999) <= Logit(0.99) {
+		t.Error("Logit not increasing")
+	}
+}
+
+func TestProbPlot(t *testing.T) {
+	samples := make([]time.Duration, 1000)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	d := NewDistribution(samples)
+	rows := ProbPlot(d, PeerLevelTicks)
+	if len(rows) != len(PeerLevelTicks) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Latency < rows[i-1].Latency {
+			t.Fatal("probability plot not monotone")
+		}
+		if rows[i].LogitP <= rows[i-1].LogitP {
+			t.Fatal("logit ticks not increasing")
+		}
+	}
+	// Median of 1..1000 ms is 500 ms.
+	var mid ProbPlotRow
+	for _, r := range rows {
+		if r.P == 0.5 {
+			mid = r
+		}
+	}
+	if mid.Latency != ms(500) {
+		t.Fatalf("median row = %v, want 500ms", mid.Latency)
+	}
+}
+
+func TestLatencyRecorderExtremes(t *testing.T) {
+	r := NewLatencyRecorder()
+	// Peer 0 fast (10ms), peer 1 medium (50ms), peer 2 slow (900ms), over 4 blocks.
+	for b := uint64(0); b < 4; b++ {
+		r.Record(b, 0, ms(10))
+		r.Record(b, 1, ms(50))
+		r.Record(b, 2, ms(900))
+	}
+	if r.Count() != 12 || r.Peers() != 3 || r.Blocks() != 4 {
+		t.Fatalf("count/peers/blocks = %d/%d/%d", r.Count(), r.Peers(), r.Blocks())
+	}
+	pe, err := r.PeerExtremes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Fastest.Mean() != ms(10) || pe.Median.Mean() != ms(50) || pe.Slowest.Mean() != ms(900) {
+		t.Fatalf("peer extremes = %v/%v/%v", pe.Fastest.Mean(), pe.Median.Mean(), pe.Slowest.Mean())
+	}
+
+	// Block extremes: make block 3 slow to finish.
+	r2 := NewLatencyRecorder()
+	for b := uint64(0); b < 3; b++ {
+		r2.Record(b, 0, ms(10))
+		r2.Record(b, 1, ms(20+int(b)))
+	}
+	r2.Record(3, 0, ms(10))
+	r2.Record(3, 1, ms(5000))
+	be, err := r2.BlockExtremes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Slowest.Max() != ms(5000) {
+		t.Fatalf("slowest block max = %v", be.Slowest.Max())
+	}
+	if be.Fastest.Max() != ms(20) {
+		t.Fatalf("fastest block max = %v", be.Fastest.Max())
+	}
+}
+
+func TestLatencyRecorderEmptyErrors(t *testing.T) {
+	r := NewLatencyRecorder()
+	if _, err := r.PeerExtremes(); err == nil {
+		t.Error("PeerExtremes on empty recorder succeeded")
+	}
+	if _, err := r.BlockExtremes(); err == nil {
+		t.Error("BlockExtremes on empty recorder succeeded")
+	}
+}
+
+func TestAllPoolsEverything(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(0, 0, ms(1))
+	r.Record(0, 1, ms(2))
+	r.Record(1, 0, ms(3))
+	d := r.All()
+	if d.N() != 3 || d.Max() != ms(3) {
+		t.Fatalf("All() n=%d max=%v", d.N(), d.Max())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := Summarize(NewDistribution(samples))
+	if s.N != 100 || s.Min != ms(1) || s.Max != ms(100) || s.P50 != ms(50) || s.P95 != ms(95) || s.P99 != ms(99) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+// Property: quantiles are monotone in p for any sample set.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v)
+		}
+		d := NewDistribution(samples)
+		prev := time.Duration(-1)
+		for p := 0.05; p <= 1.0; p += 0.05 {
+			q := d.Quantile(p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return d.Quantile(1.0) == d.Max() && d.Min() <= d.Mean() && d.Mean() <= d.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

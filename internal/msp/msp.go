@@ -1,0 +1,139 @@
+// Package msp implements a minimal membership service provider: the trusted
+// authority that certifies the identities of peers, orderers and clients in
+// a permissioned deployment (paper §II-A).
+//
+// An identity is a (role, org, name, public key) tuple signed by the MSP
+// root key. Nodes verify each other's certificates against the root public
+// key before accepting protocol messages.
+package msp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"fabricgossip/internal/crypto"
+)
+
+// Role classifies what a certified identity is allowed to do.
+type Role uint8
+
+// Roles are numbered from 1 so the zero value is invalid.
+const (
+	RolePeer Role = iota + 1
+	RoleOrderer
+	RoleClient
+)
+
+// String returns the lowercase role name.
+func (r Role) String() string {
+	switch r {
+	case RolePeer:
+		return "peer"
+	case RoleOrderer:
+		return "orderer"
+	case RoleClient:
+		return "client"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Identity is a certified network participant.
+type Identity struct {
+	Role Role
+	Org  string
+	Name string
+	Key  crypto.PublicKey
+	Cert crypto.Signature // MSP root signature over the canonical encoding
+}
+
+func certBytes(role Role, org, name string, key crypto.PublicKey) []byte {
+	b := make([]byte, 0, 1+len(org)+len(name)+len(key)+2)
+	b = append(b, byte(role))
+	b = append(b, byte(len(org)))
+	b = append(b, org...)
+	b = append(b, byte(len(name)))
+	b = append(b, name...)
+	b = append(b, key...)
+	return b
+}
+
+// Errors returned by verification.
+var (
+	ErrUnknownIdentity = errors.New("msp: identity not certified by this provider")
+	ErrWrongRole       = errors.New("msp: identity has wrong role")
+)
+
+// Provider is the trusted certification authority. It is safe for
+// concurrent use.
+type Provider struct {
+	root *crypto.Signer
+
+	mu     sync.RWMutex
+	byName map[string]*Identity
+}
+
+// NewProvider creates a provider with a root key drawn from rng.
+func NewProvider(rng *rand.Rand) (*Provider, error) {
+	root, err := crypto.NewSigner(rng)
+	if err != nil {
+		return nil, fmt.Errorf("msp: generating root key: %w", err)
+	}
+	return &Provider{root: root, byName: make(map[string]*Identity)}, nil
+}
+
+// RootKey returns the root public key nodes use to verify certificates.
+func (p *Provider) RootKey() crypto.PublicKey { return p.root.Public() }
+
+// Enroll certifies a new participant and returns its identity together with
+// a signer bound to that identity.
+func (p *Provider) Enroll(role Role, org, name string, rng *rand.Rand) (*Identity, *crypto.Signer, error) {
+	if role < RolePeer || role > RoleClient {
+		return nil, nil, fmt.Errorf("msp: invalid role %d", role)
+	}
+	signer, err := crypto.NewSigner(rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("msp: generating identity key: %w", err)
+	}
+	id := &Identity{
+		Role: role,
+		Org:  org,
+		Name: name,
+		Key:  signer.Public(),
+	}
+	id.Cert = p.root.Sign(certBytes(role, org, name, id.Key))
+
+	p.mu.Lock()
+	p.byName[qualified(org, name)] = id
+	p.mu.Unlock()
+	return id, signer, nil
+}
+
+// Lookup returns the certified identity for org/name, if any.
+func (p *Provider) Lookup(org, name string) (*Identity, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	id, ok := p.byName[qualified(org, name)]
+	return id, ok
+}
+
+func qualified(org, name string) string { return org + "/" + name }
+
+// VerifyIdentity checks that id's certificate was issued by the holder of
+// rootKey and optionally that it carries the expected role (pass 0 to skip
+// the role check).
+func VerifyIdentity(rootKey crypto.PublicKey, id *Identity, wantRole Role) error {
+	if id == nil {
+		return ErrUnknownIdentity
+	}
+	msg := certBytes(id.Role, id.Org, id.Name, id.Key)
+	if err := crypto.Verify(rootKey, msg, id.Cert); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnknownIdentity, err)
+	}
+	if wantRole != 0 && id.Role != wantRole {
+		return fmt.Errorf("%w: got %v, want %v", ErrWrongRole, id.Role, wantRole)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package msp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fabricgossip/internal/crypto"
+)
+
+func newProvider(t *testing.T) *Provider {
+	t.Helper()
+	p, err := NewProvider(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEnrollAndVerify(t *testing.T) {
+	p := newProvider(t)
+	rng := rand.New(rand.NewSource(2))
+	id, signer, err := p.Enroll(RolePeer, "orgA", "peer0", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyIdentity(p.RootKey(), id, RolePeer); err != nil {
+		t.Fatalf("VerifyIdentity: %v", err)
+	}
+	// Identity key matches the returned signer.
+	msg := []byte("payload")
+	if err := crypto.Verify(id.Key, msg, signer.Sign(msg)); err != nil {
+		t.Fatalf("identity signer mismatch: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongRole(t *testing.T) {
+	p := newProvider(t)
+	rng := rand.New(rand.NewSource(2))
+	id, _, _ := p.Enroll(RoleClient, "orgA", "c0", rng)
+	err := VerifyIdentity(p.RootKey(), id, RolePeer)
+	if !errors.Is(err, ErrWrongRole) {
+		t.Fatalf("err = %v, want ErrWrongRole", err)
+	}
+	// Skipping the role check accepts the identity.
+	if err := VerifyIdentity(p.RootKey(), id, 0); err != nil {
+		t.Fatalf("role-agnostic verification failed: %v", err)
+	}
+}
+
+func TestVerifyRejectsForgedCert(t *testing.T) {
+	p := newProvider(t)
+	otherP, err := NewProvider(rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	id, _, _ := p.Enroll(RolePeer, "orgA", "peer0", rng)
+	if err := VerifyIdentity(otherP.RootKey(), id, RolePeer); !errors.Is(err, ErrUnknownIdentity) {
+		t.Fatalf("err = %v, want ErrUnknownIdentity", err)
+	}
+}
+
+func TestVerifyRejectsTamperedFields(t *testing.T) {
+	p := newProvider(t)
+	rng := rand.New(rand.NewSource(2))
+	id, _, _ := p.Enroll(RolePeer, "orgA", "peer0", rng)
+	tampered := *id
+	tampered.Name = "peer1"
+	if err := VerifyIdentity(p.RootKey(), &tampered, RolePeer); err == nil {
+		t.Fatal("tampered name accepted")
+	}
+	tampered = *id
+	tampered.Role = RoleOrderer
+	if err := VerifyIdentity(p.RootKey(), &tampered, RoleOrderer); err == nil {
+		t.Fatal("tampered role accepted")
+	}
+}
+
+func TestVerifyNilIdentity(t *testing.T) {
+	p := newProvider(t)
+	if err := VerifyIdentity(p.RootKey(), nil, RolePeer); !errors.Is(err, ErrUnknownIdentity) {
+		t.Fatalf("err = %v, want ErrUnknownIdentity", err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p := newProvider(t)
+	rng := rand.New(rand.NewSource(2))
+	want, _, _ := p.Enroll(RoleOrderer, "ordererOrg", "o1", rng)
+	got, ok := p.Lookup("ordererOrg", "o1")
+	if !ok || got != want {
+		t.Fatalf("Lookup = %v, %v; want the enrolled identity", got, ok)
+	}
+	if _, ok := p.Lookup("ordererOrg", "missing"); ok {
+		t.Fatal("Lookup found a non-enrolled identity")
+	}
+}
+
+func TestEnrollRejectsInvalidRole(t *testing.T) {
+	p := newProvider(t)
+	if _, _, err := p.Enroll(Role(0), "o", "n", rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid role accepted")
+	}
+	if _, _, err := p.Enroll(Role(9), "o", "n", rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid role accepted")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	cases := map[Role]string{
+		RolePeer:    "peer",
+		RoleOrderer: "orderer",
+		RoleClient:  "client",
+		Role(7):     "role(7)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Role(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package netmodel models the cluster network of the paper's testbed: a
+// 1 Gbps LAN connecting Docker containers, with store-and-forward
+// transmission time, propagation delay, and a heavy-ish processing jitter
+// reflecting containerized hosts under load. It also provides the per-peer
+// bandwidth accounting behind the paper's network-utilization figures.
+package netmodel
+
+import (
+	"time"
+
+	"fabricgossip/internal/sim"
+)
+
+// Model computes per-message one-way delivery delays.
+//
+// Delay = U(PropMin, PropMax)                    propagation + switching
+//   - size / BandwidthBytesPerSec                store-and-forward serialization
+//   - LogNormal(ProcMedian, ProcSigma) <= ProcMax  endpoint processing jitter
+//
+// The lognormal term models the scheduling/processing variability of peers
+// running in containers on shared hosts (the paper's 100 containers on 15
+// servers); its tail is what stretches the last percentiles of per-hop
+// latency without affecting the median much.
+type Model struct {
+	BandwidthBytesPerSec float64
+	PropMin              time.Duration
+	PropMax              time.Duration
+	ProcMedian           time.Duration
+	ProcSigma            float64
+	ProcMax              time.Duration
+}
+
+// LAN returns the calibrated model used by every experiment in this
+// reproduction (see DESIGN.md, "Calibration, not curve-fitting").
+func LAN() Model {
+	return Model{
+		BandwidthBytesPerSec: 125e6, // 1 Gbps
+		PropMin:              150 * time.Microsecond,
+		PropMax:              500 * time.Microsecond,
+		ProcMedian:           8 * time.Millisecond,
+		ProcSigma:            0.9,
+		ProcMax:              150 * time.Millisecond,
+	}
+}
+
+// Delay draws a delivery delay for a message of the given encoded size.
+func (m Model) Delay(rng *sim.Rand, size int) time.Duration {
+	d := m.PropMin
+	if spread := m.PropMax - m.PropMin; spread > 0 {
+		d += time.Duration(rng.Int63n(int64(spread)))
+	}
+	if m.BandwidthBytesPerSec > 0 {
+		d += time.Duration(float64(size) / m.BandwidthBytesPerSec * float64(time.Second))
+	}
+	if m.ProcMedian > 0 {
+		proc := time.Duration(rng.LogNormal(0, m.ProcSigma) * float64(m.ProcMedian))
+		if m.ProcMax > 0 && proc > m.ProcMax {
+			proc = m.ProcMax
+		}
+		d += proc
+	}
+	return d
+}
+
+// TransmitTime returns only the serialization component for size bytes,
+// used by tests and capacity estimates.
+func (m Model) TransmitTime(size int) time.Duration {
+	if m.BandwidthBytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / m.BandwidthBytesPerSec * float64(time.Second))
+}

@@ -1,0 +1,133 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/wire"
+)
+
+func TestDelayComponents(t *testing.T) {
+	rng := sim.NewRand(1)
+	m := Model{
+		BandwidthBytesPerSec: 125e6,
+		PropMin:              100 * time.Microsecond,
+		PropMax:              200 * time.Microsecond,
+	}
+	// Without processing jitter, delay = prop + size/bw.
+	for i := 0; i < 1000; i++ {
+		d := m.Delay(rng, 125_000) // 1 ms of serialization at 1 Gbps
+		lo := 100*time.Microsecond + time.Millisecond
+		hi := 200*time.Microsecond + time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("delay %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestDelayGrowsWithSize(t *testing.T) {
+	rng := sim.NewRand(2)
+	m := Model{BandwidthBytesPerSec: 125e6, PropMin: time.Millisecond, PropMax: time.Millisecond}
+	small := m.Delay(rng, 100)
+	large := m.Delay(rng, 10_000_000)
+	if large <= small {
+		t.Fatalf("large message (%v) not slower than small (%v)", large, small)
+	}
+}
+
+func TestDelayProcessingClamp(t *testing.T) {
+	rng := sim.NewRand(3)
+	m := Model{
+		ProcMedian: time.Millisecond,
+		ProcSigma:  3.0, // extreme tail
+		ProcMax:    5 * time.Millisecond,
+	}
+	for i := 0; i < 5000; i++ {
+		if d := m.Delay(rng, 0); d > 5*time.Millisecond {
+			t.Fatalf("delay %v exceeds clamp", d)
+		}
+	}
+}
+
+func TestLANModelSane(t *testing.T) {
+	m := LAN()
+	rng := sim.NewRand(4)
+	var sum time.Duration
+	const trials = 10_000
+	for i := 0; i < trials; i++ {
+		sum += m.Delay(rng, 160_000) // one 160 KB block
+	}
+	mean := sum / trials
+	// A block hop on the calibrated LAN should take single-digit
+	// milliseconds on average — fast push phase, as in the paper.
+	if mean < time.Millisecond || mean > 20*time.Millisecond {
+		t.Fatalf("mean block-hop delay %v outside sane range", mean)
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	m := Model{BandwidthBytesPerSec: 125e6}
+	if got := m.TransmitTime(125e6); got != time.Second {
+		t.Fatalf("TransmitTime(1s worth) = %v", got)
+	}
+	if got := (Model{}).TransmitTime(1000); got != 0 {
+		t.Fatalf("zero-bandwidth TransmitTime = %v, want 0", got)
+	}
+}
+
+func TestTrafficBucketsAndSeries(t *testing.T) {
+	tr := NewTraffic(10 * time.Second)
+	// 1 MB from node 0 to node 1 in bucket 0, 2 MB in bucket 2.
+	tr.Record(0, 1, wire.TypeData, 1_000_000, 5*time.Second)
+	tr.Record(0, 1, wire.TypeData, 2_000_000, 25*time.Second)
+
+	s0 := tr.NodeSeries(0, 3)
+	s1 := tr.NodeSeries(1, 3)
+	want := []float64{0.1, 0, 0.2} // MB/s over 10 s buckets
+	for i := range want {
+		if s0[i] != want[i] || s1[i] != want[i] {
+			t.Fatalf("series = %v / %v, want %v", s0, s1, want)
+		}
+	}
+	if avg := tr.NodeAverage(0, 3); avg < 0.099 || avg > 0.101 {
+		t.Fatalf("average = %v, want 0.1", avg)
+	}
+	if tr.TotalBytes() != 3_000_000 {
+		t.Fatalf("total = %d", tr.TotalBytes())
+	}
+}
+
+func TestTrafficPerTypeAccounting(t *testing.T) {
+	tr := NewTraffic(time.Second)
+	tr.Record(0, 1, wire.TypeData, 100, 0)
+	tr.Record(1, 2, wire.TypeData, 100, 0)
+	tr.Record(2, 0, wire.TypePushDigest, 10, 0)
+	if tr.CountOf(wire.TypeData) != 2 {
+		t.Fatalf("CountOf(Data) = %d, want 2", tr.CountOf(wire.TypeData))
+	}
+	if tr.BytesOf(wire.TypeData) != 200 {
+		t.Fatalf("BytesOf(Data) = %d, want 200", tr.BytesOf(wire.TypeData))
+	}
+	bd := tr.Breakdown()
+	if bd[wire.TypePushDigest] != [2]uint64{1, 10} {
+		t.Fatalf("Breakdown = %v", bd)
+	}
+}
+
+func TestTrafficZeroBucketDefaults(t *testing.T) {
+	tr := NewTraffic(0)
+	if tr.Bucket() != 10*time.Second {
+		t.Fatalf("default bucket = %v", tr.Bucket())
+	}
+}
+
+func TestNodeSeriesUnknownNodeIsZero(t *testing.T) {
+	tr := NewTraffic(time.Second)
+	s := tr.NodeSeries(42, 3)
+	for _, v := range s {
+		if v != 0 {
+			t.Fatalf("unknown node series = %v", s)
+		}
+	}
+}

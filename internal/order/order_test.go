@@ -1,0 +1,186 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fabricgossip/internal/crypto"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/sim"
+)
+
+func mkTx(i int) *ledger.Transaction {
+	rw := ledger.RWSet{Writes: []ledger.KVWrite{{Key: "k", Value: []byte{byte(i)}}}}
+	return &ledger.Transaction{
+		ID:        ledger.ProposalDigest("c", "cc", rw, []byte{byte(i)}),
+		Client:    "c",
+		Chaincode: "cc",
+		RWSet:     rw,
+		Payload:   []byte{byte(i)},
+	}
+}
+
+type fixture struct {
+	engine  *sim.Engine
+	service *Service
+	signer  *crypto.Signer
+	blocks  []*ledger.Block
+}
+
+func newFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	f := &fixture{engine: sim.NewEngine(1)}
+	signer, err := crypto.NewSigner(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.signer = signer
+	consenter := NewSolo(f.engine, 2*time.Millisecond)
+	f.service = NewService(cfg, f.engine, consenter, signer, func(b *ledger.Block) {
+		f.blocks = append(f.blocks, b)
+	})
+	return f
+}
+
+func TestCutBySize(t *testing.T) {
+	f := newFixture(t, Config{MaxTxPerBlock: 3, BatchTimeout: time.Minute})
+	for i := 0; i < 7; i++ {
+		if err := f.service.Broadcast(mkTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.engine.RunUntil(time.Second)
+	if len(f.blocks) != 2 {
+		t.Fatalf("cut %d blocks, want 2 full blocks (7th tx pending)", len(f.blocks))
+	}
+	for i, b := range f.blocks {
+		if len(b.Txs) != 3 {
+			t.Fatalf("block %d has %d txs", i, len(b.Txs))
+		}
+	}
+	_, bySize, byTimeout := f.service.Stats()
+	if bySize != 2 || byTimeout != 0 {
+		t.Fatalf("bySize=%d byTimeout=%d", bySize, byTimeout)
+	}
+}
+
+func TestCutByTimeout(t *testing.T) {
+	f := newFixture(t, Config{MaxTxPerBlock: 50, BatchTimeout: 2 * time.Second})
+	_ = f.service.Broadcast(mkTx(0))
+	f.engine.RunUntil(time.Second)
+	if len(f.blocks) != 0 {
+		t.Fatal("block cut before timeout")
+	}
+	f.engine.RunUntil(3 * time.Second)
+	if len(f.blocks) != 1 || len(f.blocks[0].Txs) != 1 {
+		t.Fatalf("blocks = %d", len(f.blocks))
+	}
+	_, bySize, byTimeout := f.service.Stats()
+	if bySize != 0 || byTimeout != 1 {
+		t.Fatalf("bySize=%d byTimeout=%d", bySize, byTimeout)
+	}
+}
+
+func TestTimeoutRestartsPerBatch(t *testing.T) {
+	f := newFixture(t, Config{MaxTxPerBlock: 50, BatchTimeout: time.Second})
+	// One tx at t=0, one at t=5s: two separate timeout cuts.
+	_ = f.service.Broadcast(mkTx(0))
+	f.engine.RunUntil(3 * time.Second)
+	f.engine.After(0, func() { _ = f.service.Broadcast(mkTx(1)) })
+	f.engine.RunUntil(10 * time.Second)
+	if len(f.blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(f.blocks))
+	}
+	for i, b := range f.blocks {
+		if b.Num != uint64(i) || len(b.Txs) != 1 {
+			t.Fatalf("block %d: num=%d txs=%d", i, b.Num, len(b.Txs))
+		}
+	}
+}
+
+func TestStaleTTCIgnoredAfterSizeCut(t *testing.T) {
+	f := newFixture(t, Config{MaxTxPerBlock: 2, BatchTimeout: time.Second})
+	// Batch fills before the timeout: the pending TTC must not cut an
+	// empty or premature block when it fires.
+	_ = f.service.Broadcast(mkTx(0))
+	_ = f.service.Broadcast(mkTx(1)) // cuts by size
+	f.engine.RunUntil(5 * time.Second)
+	if len(f.blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(f.blocks))
+	}
+	// A new tx after the stale TTC still cuts correctly by timeout.
+	f.engine.After(0, func() { _ = f.service.Broadcast(mkTx(2)) })
+	f.engine.RunUntil(10 * time.Second)
+	if len(f.blocks) != 2 || len(f.blocks[1].Txs) != 1 {
+		t.Fatalf("second cut wrong: %d blocks", len(f.blocks))
+	}
+}
+
+func TestBlocksAreChainedAndSigned(t *testing.T) {
+	f := newFixture(t, Config{MaxTxPerBlock: 2, BatchTimeout: time.Minute})
+	for i := 0; i < 6; i++ {
+		_ = f.service.Broadcast(mkTx(i))
+	}
+	f.engine.RunUntil(time.Second)
+	if len(f.blocks) != 3 {
+		t.Fatalf("blocks = %d", len(f.blocks))
+	}
+	var prev *ledger.Block
+	for _, b := range f.blocks {
+		if err := b.VerifyLinkage(prev); err != nil {
+			t.Fatalf("linkage: %v", err)
+		}
+		if err := crypto.Verify(f.signer.Public(), b.HeaderBytes(), b.Sig); err != nil {
+			t.Fatalf("block %d signature: %v", b.Num, err)
+		}
+		prev = b
+	}
+	if f.service.Height() != 3 {
+		t.Fatalf("height = %d", f.service.Height())
+	}
+}
+
+func TestOrderPreservesSubmissionOrderUnderSolo(t *testing.T) {
+	f := newFixture(t, Config{MaxTxPerBlock: 4, BatchTimeout: time.Minute})
+	var want []crypto.Digest
+	for i := 0; i < 12; i++ {
+		tx := mkTx(i)
+		want = append(want, tx.ID)
+		_ = f.service.Broadcast(tx)
+	}
+	f.engine.RunUntil(time.Second)
+	var got []crypto.Digest
+	for _, b := range f.blocks {
+		for _, tx := range b.Txs {
+			got = append(got, tx.ID)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ordered %d txs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}
+
+func TestDecodeEntryErrors(t *testing.T) {
+	if _, _, _, err := decodeEntry(nil); err == nil {
+		t.Error("nil entry accepted")
+	}
+	if _, _, _, err := decodeEntry([]byte{99, 1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, _, _, err := decodeEntry([]byte{entryTx, 0xFF}); err == nil {
+		t.Error("garbage tx entry accepted")
+	}
+}
+
+func TestSoloWithoutCallbackErrors(t *testing.T) {
+	s := NewSolo(sim.NewEngine(1), 0)
+	if err := s.Submit([]byte{1}); err == nil {
+		t.Fatal("submit without OnCommit succeeded")
+	}
+}

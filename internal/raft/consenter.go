@@ -1,0 +1,128 @@
+package raft
+
+import (
+	"sync"
+	"time"
+
+	"fabricgossip/internal/sim"
+)
+
+// Consenter adapts a Raft node to the ordering service's Consenter
+// interface with at-least-once submission semantics: every submitted
+// payload is tracked until it is observed in the committed stream, and
+// re-proposed if it has not committed within a sweep interval (covering
+// lost forwards to a crashed leader and leaderless windows). This mirrors
+// the Kafka producer semantics of the paper's deployment; exactly-once is
+// not required because the downstream validation phase is idempotent
+// (duplicate transactions fail MVCC, duplicate time-to-cut markers are
+// ignored by the block cutter).
+type Consenter struct {
+	node  *Node
+	sched sim.Scheduler
+
+	mu       sync.Mutex
+	commitFn func(data []byte)
+	pending  map[string]time.Duration // payload -> submission time
+	sweeping bool
+	stopped  bool
+
+	// sweepInterval is how often unacknowledged payloads are re-proposed.
+	sweepInterval time.Duration
+	// maxAge drops payloads that failed to commit for this long (clients
+	// resubmit at their level).
+	maxAge time.Duration
+}
+
+// NewConsenter wraps a node. OnCommit must be called (by the ordering
+// service) before Submit.
+func NewConsenter(node *Node, sched sim.Scheduler) *Consenter {
+	c := &Consenter{
+		node:          node,
+		sched:         sched,
+		pending:       make(map[string]time.Duration),
+		sweepInterval: 250 * time.Millisecond,
+		maxAge:        30 * time.Second,
+	}
+	return c
+}
+
+// Node returns the wrapped Raft node.
+func (c *Consenter) Node() *Node { return c.node }
+
+// Stop halts the retry sweep.
+func (c *Consenter) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+}
+
+// OnCommit implements order.Consenter.
+func (c *Consenter) OnCommit(fn func(data []byte)) {
+	c.mu.Lock()
+	c.commitFn = fn
+	c.mu.Unlock()
+	c.node.OnApply(func(data []byte) {
+		c.mu.Lock()
+		delete(c.pending, string(data))
+		cb := c.commitFn
+		c.mu.Unlock()
+		if cb != nil {
+			cb(data)
+		}
+	})
+}
+
+// Submit implements order.Consenter.
+func (c *Consenter) Submit(data []byte) error {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil
+	}
+	c.pending[string(data)] = c.sched.Now()
+	if !c.sweeping {
+		c.sweeping = true
+		c.armSweepLocked()
+	}
+	c.mu.Unlock()
+	// Best-effort immediate proposal; the sweep covers failures.
+	_ = c.node.Propose(data)
+	return nil
+}
+
+func (c *Consenter) armSweepLocked() {
+	c.sched.After(c.sweepInterval, c.sweep)
+}
+
+func (c *Consenter) sweep() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	now := c.sched.Now()
+	var retry [][]byte
+	for key, at := range c.pending {
+		age := now - at
+		if age > c.maxAge {
+			delete(c.pending, key)
+			continue
+		}
+		if age < c.sweepInterval {
+			continue // freshly submitted: the first proposal is in flight
+		}
+		// Re-proposing resets the age so a slow-but-successful commit is
+		// not re-proposed again on the very next sweep.
+		c.pending[key] = now
+		retry = append(retry, []byte(key))
+	}
+	if len(c.pending) > 0 {
+		c.armSweepLocked()
+	} else {
+		c.sweeping = false
+	}
+	c.mu.Unlock()
+	for _, data := range retry {
+		_ = c.node.Propose(data)
+	}
+}

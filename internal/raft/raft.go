@@ -1,0 +1,567 @@
+// Package raft implements the crash-fault-tolerant replicated log backing
+// the ordering service: leader election, log replication and commit, per
+// the Raft protocol (Ongaro & Ousterhout). It substitutes for the paper's
+// Kafka/ZooKeeper CFT ordering cluster (see DESIGN.md) — Fabric itself made
+// the same substitution in v1.4.1.
+//
+// The implementation covers the consensus core used by the ordering
+// service: elections with randomized timeouts, AppendEntries consistency
+// repair, majority commit, and exactly-once in-order application. Log
+// compaction and membership changes are out of scope (the ordering cluster
+// is static, as in the paper's deployment).
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// State is a Raft role.
+type State uint8
+
+// Raft roles.
+const (
+	Follower State = iota + 1
+	Candidate
+	Leader
+)
+
+// String returns the role name.
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Config parameterizes a Raft node.
+type Config struct {
+	// ID is this node; Peers lists the whole cluster including ID.
+	ID    wire.NodeID
+	Peers []wire.NodeID
+	// ElectionTimeoutMin/Max bound the randomized election timeout.
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// HeartbeatInterval is the leader's idle AppendEntries period. It
+	// must be well below the election timeout.
+	HeartbeatInterval time.Duration
+	// MaxEntriesPerAppend bounds the entries shipped per AppendEntries.
+	MaxEntriesPerAppend int
+}
+
+// DefaultConfig returns LAN-appropriate timing for the given cluster.
+func DefaultConfig(id wire.NodeID, peers []wire.NodeID) Config {
+	return Config{
+		ID:                  id,
+		Peers:               peers,
+		ElectionTimeoutMin:  150 * time.Millisecond,
+		ElectionTimeoutMax:  300 * time.Millisecond,
+		HeartbeatInterval:   50 * time.Millisecond,
+		MaxEntriesPerAppend: 64,
+	}
+}
+
+// ErrNotLeader is returned by Propose on a non-leader that knows no leader
+// to forward to.
+var ErrNotLeader = errors.New("raft: not the leader")
+
+// Node is one Raft participant.
+type Node struct {
+	cfg   Config
+	ep    transport.Endpoint
+	sched sim.Scheduler
+	rng   *sim.Rand
+
+	mu       sync.Mutex
+	state    State
+	term     uint64
+	votedFor wire.NodeID
+	voted    bool
+	leader   wire.NodeID
+	hasLead  bool
+	// log is 0-indexed internally; Raft indices are 1-based (index 0 is
+	// the empty prefix with term 0).
+	log         []wire.RaftEntry
+	commitIndex uint64
+	lastApplied uint64
+	votes       map[wire.NodeID]bool
+	nextIndex   map[wire.NodeID]uint64
+	matchIndex  map[wire.NodeID]uint64
+
+	electionTimer  sim.Timer
+	heartbeatTimer sim.Timer
+	stopped        bool
+
+	applyFn func(data []byte)
+	// onStateChange is a test/diagnostic hook.
+	onStateChange func(State, uint64)
+}
+
+// New creates a node and installs its message handler on the endpoint. The
+// node is passive until Start.
+func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand) *Node {
+	n := &Node{
+		cfg:        cfg,
+		ep:         ep,
+		sched:      sched,
+		rng:        rng,
+		state:      Follower,
+		votes:      make(map[wire.NodeID]bool),
+		nextIndex:  make(map[wire.NodeID]uint64),
+		matchIndex: make(map[wire.NodeID]uint64),
+	}
+	ep.SetHandler(n.handle)
+	return n
+}
+
+// OnApply installs the committed-entry callback: entries are delivered in
+// log order, exactly once per node. Must be set before Start.
+func (n *Node) OnApply(fn func(data []byte)) { n.applyFn = fn }
+
+// OnStateChange installs a hook observing role transitions.
+func (n *Node) OnStateChange(fn func(State, uint64)) { n.onStateChange = fn }
+
+// Start arms the election timeout.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.resetElectionTimerLocked()
+}
+
+// Stop halts all timers.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = true
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+	}
+	if n.heartbeatTimer != nil {
+		n.heartbeatTimer.Stop()
+	}
+}
+
+// Status reports the node's current role, term and leader view.
+func (n *Node) Status() (state State, term uint64, leader wire.NodeID, known bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state, n.term, n.leader, n.hasLead
+}
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitIndex
+}
+
+// Propose appends data to the replicated log. On the leader it is accepted
+// locally; on a follower it is forwarded to the known leader. It returns
+// ErrNotLeader when no leader is known yet — callers retry.
+func (n *Node) Propose(data []byte) error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return errors.New("raft: node stopped")
+	}
+	if n.state == Leader {
+		n.log = append(n.log, wire.RaftEntry{Term: n.term, Data: data})
+		n.matchIndex[n.cfg.ID] = n.lastIndexLocked()
+		// A single-node cluster commits immediately.
+		n.advanceCommitLocked()
+		apply := n.collectApplyLocked()
+		n.mu.Unlock()
+		n.runApplies(apply)
+		n.broadcastAppends()
+		return nil
+	}
+	leader, known := n.leader, n.hasLead
+	n.mu.Unlock()
+	if !known {
+		return ErrNotLeader
+	}
+	n.send(leader, &wire.RaftForward{Data: data})
+	return nil
+}
+
+// --- helpers (index math; callers hold mu) ---
+
+func (n *Node) lastIndexLocked() uint64 { return uint64(len(n.log)) }
+
+func (n *Node) termAtLocked(index uint64) uint64 {
+	if index == 0 {
+		return 0
+	}
+	if index > uint64(len(n.log)) {
+		return 0
+	}
+	return n.log[index-1].Term
+}
+
+func (n *Node) majority() int { return len(n.cfg.Peers)/2 + 1 }
+
+func (n *Node) send(to wire.NodeID, msg wire.Message) {
+	if to == n.cfg.ID {
+		return
+	}
+	_ = n.ep.Send(to, msg)
+}
+
+// --- role transitions (callers hold mu) ---
+
+func (n *Node) becomeFollowerLocked(term uint64) {
+	prev := n.state
+	n.state = Follower
+	if term > n.term {
+		n.term = term
+		n.voted = false
+	}
+	if n.heartbeatTimer != nil {
+		n.heartbeatTimer.Stop()
+		n.heartbeatTimer = nil
+	}
+	n.resetElectionTimerLocked()
+	if prev != Follower && n.onStateChange != nil {
+		n.onStateChange(Follower, n.term)
+	}
+}
+
+func (n *Node) resetElectionTimerLocked() {
+	if n.stopped {
+		return
+	}
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+	}
+	spread := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	d := n.cfg.ElectionTimeoutMin
+	if spread > 0 {
+		d += time.Duration(n.rng.Int63n(int64(spread)))
+	}
+	n.electionTimer = n.sched.After(d, n.electionTimeout)
+}
+
+func (n *Node) electionTimeout() {
+	n.mu.Lock()
+	if n.stopped || n.state == Leader {
+		n.mu.Unlock()
+		return
+	}
+	// Become candidate.
+	n.state = Candidate
+	n.term++
+	n.voted = true
+	n.votedFor = n.cfg.ID
+	n.hasLead = false
+	n.votes = map[wire.NodeID]bool{n.cfg.ID: true}
+	term := n.term
+	lastIdx := n.lastIndexLocked()
+	lastTerm := n.termAtLocked(lastIdx)
+	n.resetElectionTimerLocked()
+	if n.onStateChange != nil {
+		n.onStateChange(Candidate, term)
+	}
+	peers := n.cfg.Peers
+	n.mu.Unlock()
+
+	req := &wire.RaftVoteRequest{
+		Term:         term,
+		Candidate:    n.cfg.ID,
+		LastLogIndex: lastIdx,
+		LastLogTerm:  lastTerm,
+	}
+	for _, p := range peers {
+		n.send(p, req)
+	}
+	// Single-node cluster: immediate leadership.
+	n.mu.Lock()
+	if n.state == Candidate && len(n.votes) >= n.majority() {
+		n.becomeLeaderLocked()
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) becomeLeaderLocked() {
+	n.state = Leader
+	n.leader = n.cfg.ID
+	n.hasLead = true
+	last := n.lastIndexLocked()
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = last + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.cfg.ID] = last
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+		n.electionTimer = nil
+	}
+	if n.onStateChange != nil {
+		n.onStateChange(Leader, n.term)
+	}
+	n.armHeartbeatLocked()
+	// Send the initial empty heartbeats asynchronously.
+	n.sched.After(0, n.broadcastAppends)
+}
+
+func (n *Node) armHeartbeatLocked() {
+	if n.stopped {
+		return
+	}
+	n.heartbeatTimer = n.sched.After(n.cfg.HeartbeatInterval, func() {
+		n.mu.Lock()
+		if n.stopped || n.state != Leader {
+			n.mu.Unlock()
+			return
+		}
+		n.armHeartbeatLocked()
+		n.mu.Unlock()
+		n.broadcastAppends()
+	})
+}
+
+// broadcastAppends ships log suffixes (or heartbeats) to all followers.
+func (n *Node) broadcastAppends() {
+	n.mu.Lock()
+	if n.state != Leader || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	type out struct {
+		to  wire.NodeID
+		msg *wire.RaftAppend
+	}
+	var outs []out
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		next := n.nextIndex[p]
+		if next == 0 {
+			next = 1
+		}
+		prevIdx := next - 1
+		entries := make([]wire.RaftEntry, 0)
+		for idx := next; idx <= n.lastIndexLocked() && len(entries) < n.cfg.MaxEntriesPerAppend; idx++ {
+			entries = append(entries, n.log[idx-1])
+		}
+		outs = append(outs, out{p, &wire.RaftAppend{
+			Term:         n.term,
+			Leader:       n.cfg.ID,
+			PrevLogIndex: prevIdx,
+			PrevLogTerm:  n.termAtLocked(prevIdx),
+			Entries:      entries,
+			LeaderCommit: n.commitIndex,
+		}})
+	}
+	n.mu.Unlock()
+	for _, o := range outs {
+		n.send(o.to, o.msg)
+	}
+}
+
+// --- message handling ---
+
+func (n *Node) handle(from wire.NodeID, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.RaftVoteRequest:
+		n.handleVoteRequest(from, m)
+	case *wire.RaftVoteResponse:
+		n.handleVoteResponse(from, m)
+	case *wire.RaftAppend:
+		n.handleAppend(from, m)
+	case *wire.RaftAppendResponse:
+		n.handleAppendResponse(from, m)
+	case *wire.RaftForward:
+		_ = n.Propose(m.Data)
+	}
+}
+
+func (n *Node) handleVoteRequest(from wire.NodeID, m *wire.RaftVoteRequest) {
+	n.mu.Lock()
+	if m.Term > n.term {
+		n.becomeFollowerLocked(m.Term)
+	}
+	grant := false
+	if m.Term == n.term && (!n.voted || n.votedFor == m.Candidate) {
+		// Candidate's log must be at least as up-to-date as ours.
+		lastIdx := n.lastIndexLocked()
+		lastTerm := n.termAtLocked(lastIdx)
+		upToDate := m.LastLogTerm > lastTerm ||
+			(m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIdx)
+		if upToDate {
+			grant = true
+			n.voted = true
+			n.votedFor = m.Candidate
+			n.resetElectionTimerLocked()
+		}
+	}
+	term := n.term
+	n.mu.Unlock()
+	n.send(from, &wire.RaftVoteResponse{Term: term, Granted: grant})
+}
+
+func (n *Node) handleVoteResponse(from wire.NodeID, m *wire.RaftVoteResponse) {
+	n.mu.Lock()
+	if m.Term > n.term {
+		n.becomeFollowerLocked(m.Term)
+		n.mu.Unlock()
+		return
+	}
+	if n.state != Candidate || m.Term < n.term || !m.Granted {
+		n.mu.Unlock()
+		return
+	}
+	n.votes[from] = true
+	if len(n.votes) >= n.majority() {
+		n.becomeLeaderLocked()
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) handleAppend(from wire.NodeID, m *wire.RaftAppend) {
+	n.mu.Lock()
+	if m.Term < n.term {
+		term := n.term
+		n.mu.Unlock()
+		n.send(from, &wire.RaftAppendResponse{Term: term, Success: false, MatchIndex: 0})
+		return
+	}
+	if m.Term > n.term || n.state != Follower {
+		n.becomeFollowerLocked(m.Term)
+	} else {
+		n.resetElectionTimerLocked()
+	}
+	n.leader = m.Leader
+	n.hasLead = true
+
+	// Consistency check.
+	if m.PrevLogIndex > n.lastIndexLocked() || n.termAtLocked(m.PrevLogIndex) != m.PrevLogTerm {
+		// Hint the leader to back up to our log end (or below the
+		// conflicting prefix).
+		hint := n.lastIndexLocked()
+		if m.PrevLogIndex <= hint {
+			hint = m.PrevLogIndex - 1
+		}
+		term := n.term
+		n.mu.Unlock()
+		n.send(from, &wire.RaftAppendResponse{Term: term, Success: false, MatchIndex: hint})
+		return
+	}
+	// Append entries, truncating on conflict.
+	idx := m.PrevLogIndex
+	for _, e := range m.Entries {
+		idx++
+		if idx <= n.lastIndexLocked() {
+			if n.log[idx-1].Term == e.Term {
+				continue // already have it
+			}
+			n.log = n.log[:idx-1] // conflict: truncate suffix
+		}
+		n.log = append(n.log, e)
+	}
+	match := m.PrevLogIndex + uint64(len(m.Entries))
+	if m.LeaderCommit > n.commitIndex {
+		c := m.LeaderCommit
+		if last := n.lastIndexLocked(); c > last {
+			c = last
+		}
+		n.commitIndex = c
+	}
+	term := n.term
+	apply := n.collectApplyLocked()
+	n.mu.Unlock()
+
+	n.runApplies(apply)
+	n.send(from, &wire.RaftAppendResponse{Term: term, Success: true, MatchIndex: match})
+}
+
+func (n *Node) handleAppendResponse(from wire.NodeID, m *wire.RaftAppendResponse) {
+	n.mu.Lock()
+	if m.Term > n.term {
+		n.becomeFollowerLocked(m.Term)
+		n.mu.Unlock()
+		return
+	}
+	if n.state != Leader || m.Term < n.term {
+		n.mu.Unlock()
+		return
+	}
+	resend := false
+	if m.Success {
+		if m.MatchIndex > n.matchIndex[from] {
+			n.matchIndex[from] = m.MatchIndex
+		}
+		n.nextIndex[from] = m.MatchIndex + 1
+		n.advanceCommitLocked()
+		resend = n.nextIndex[from] <= n.lastIndexLocked()
+	} else {
+		next := m.MatchIndex + 1
+		if next < 1 {
+			next = 1
+		}
+		if next < n.nextIndex[from] {
+			n.nextIndex[from] = next
+		} else if n.nextIndex[from] > 1 {
+			n.nextIndex[from]--
+		}
+		resend = true
+	}
+	apply := n.collectApplyLocked()
+	n.mu.Unlock()
+
+	n.runApplies(apply)
+	if resend {
+		n.broadcastAppends()
+	}
+}
+
+// advanceCommitLocked moves commitIndex to the highest majority-replicated
+// index of the current term (Raft's commit rule).
+func (n *Node) advanceCommitLocked() {
+	for idx := n.lastIndexLocked(); idx > n.commitIndex; idx-- {
+		if n.termAtLocked(idx) != n.term {
+			break // only current-term entries commit by counting
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count >= n.majority() {
+			n.commitIndex = idx
+			break
+		}
+	}
+}
+
+// collectApplyLocked returns the newly committed entries to apply.
+func (n *Node) collectApplyLocked() []wire.RaftEntry {
+	if n.applyFn == nil || n.lastApplied >= n.commitIndex {
+		return nil
+	}
+	out := make([]wire.RaftEntry, 0, n.commitIndex-n.lastApplied)
+	for n.lastApplied < n.commitIndex {
+		n.lastApplied++
+		out = append(out, n.log[n.lastApplied-1])
+	}
+	return out
+}
+
+func (n *Node) runApplies(entries []wire.RaftEntry) {
+	for _, e := range entries {
+		n.applyFn(e.Data)
+	}
+}

@@ -1,0 +1,88 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// Property: election safety — across randomized message-loss schedules,
+// at most one node is ever leader of a given term, and every node's applied
+// prefix stays consistent with every other's.
+func TestPropertyElectionAndLogSafetyUnderLoss(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			engine := sim.NewEngine(seed + 500)
+			model := netmodel.Model{PropMin: time.Millisecond, PropMax: 5 * time.Millisecond}
+			net := transport.NewSimNetwork(engine, model, nil)
+			net.SetDropRate(0.15)
+
+			const n = 5
+			ids := make([]wire.NodeID, n)
+			for i := range ids {
+				ids[i] = wire.NodeID(i)
+			}
+			leadersByTerm := make(map[uint64][]wire.NodeID)
+			applied := make([][]string, n)
+			nodes := make([]*Node, n)
+			for i := 0; i < n; i++ {
+				ep := net.AddNode()
+				node := New(DefaultConfig(ids[i], ids), ep, engine, engine.Rand("raft"))
+				id := ids[i]
+				node.OnStateChange(func(s State, term uint64) {
+					if s == Leader {
+						leadersByTerm[term] = append(leadersByTerm[term], id)
+					}
+				})
+				idx := i
+				node.OnApply(func(data []byte) {
+					applied[idx] = append(applied[idx], string(data))
+				})
+				nodes[i] = node
+				node.Start()
+			}
+			// Drive proposals at whichever node currently leads while the
+			// lossy network forces retries and possible re-elections.
+			for i := 0; i < 10; i++ {
+				payload := []byte{byte('a' + i)}
+				engine.At(time.Duration(i)*300*time.Millisecond, func() {
+					for _, nd := range nodes {
+						if st, _, _, _ := nd.Status(); st == Leader {
+							_ = nd.Propose(payload)
+							return
+						}
+					}
+				})
+			}
+			engine.RunUntil(20 * time.Second)
+
+			// Election safety.
+			for term, leaders := range leadersByTerm {
+				if len(leaders) > 1 {
+					t.Fatalf("term %d had %d leaders: %v", term, len(leaders), leaders)
+				}
+			}
+			// Log matching: every pair of applied sequences agrees on the
+			// common prefix.
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					m := len(applied[i])
+					if len(applied[j]) < m {
+						m = len(applied[j])
+					}
+					for k := 0; k < m; k++ {
+						if applied[i][k] != applied[j][k] {
+							t.Fatalf("nodes %d and %d diverge at %d: %q vs %q",
+								i, j, k, applied[i][k], applied[j][k])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,245 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an ordered queue of events.
+// Events scheduled for the same instant fire in scheduling order, which —
+// together with seeded random streams (see Rand) — makes every run exactly
+// reproducible from its seed.
+//
+// Protocol code is written against the Scheduler interface so that the same
+// logic runs unchanged under virtual time (Engine) and real time
+// (RealScheduler).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler abstracts time for protocol code: the discrete-event Engine and
+// the wall-clock RealScheduler both implement it.
+type Scheduler interface {
+	// Now returns the elapsed time since the start of the run.
+	Now() time.Duration
+	// After schedules fn to run once, d from now. A non-positive d means
+	// "as soon as possible" (still asynchronously, never inline).
+	After(d time.Duration, fn func()) Timer
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Stop cancels the callback if it has not fired yet and reports
+	// whether it was cancelled before firing.
+	Stop() bool
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use: all events run sequentially on the goroutine that calls
+// Run, RunFor or RunUntil, which is what gives simulated protocols their
+// determinism.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	streams map[string]*Rand
+	seed    int64
+	stopped bool
+}
+
+// NewEngine returns an engine whose random streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		streams: make(map[string]*Rand),
+		seed:    seed,
+	}
+}
+
+// Seed returns the root seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled-but-not-yet-popped entries.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// After schedules fn to run at Now()+d. Negative delays are clamped to zero,
+// so the event fires after all events already scheduled for the current
+// instant.
+func (e *Engine) After(d time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("sim: After called with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn at an absolute virtual time. Times in the past are clamped
+// to the current instant.
+func (e *Engine) At(t time.Duration, fn func()) Timer {
+	return e.After(t-e.now, fn)
+}
+
+// Every schedules fn at now+interval, now+2*interval, ... until the returned
+// timer is stopped. The first firing is one full interval from now.
+func (e *Engine) Every(interval time.Duration, fn func()) Timer {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: Every called with non-positive interval %v", interval))
+	}
+	p := &periodic{}
+	var arm func()
+	arm = func() {
+		p.mu = e.After(interval, func() {
+			if p.stopped {
+				return
+			}
+			fn()
+			if !p.stopped {
+				arm()
+			}
+		})
+	}
+	arm()
+	return p
+}
+
+// Step executes the single next event and reports whether one was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the number of events executed.
+func (e *Engine) Run() int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t (even if the queue drained earlier). It returns the number of events
+// executed.
+func (e *Engine) RunUntil(t time.Duration) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next.at > t {
+			break
+		}
+		if e.Step() {
+			n++
+		}
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return n
+}
+
+// RunFor is shorthand for RunUntil(Now()+d).
+func (e *Engine) RunFor(d time.Duration) int { return e.RunUntil(e.now + d) }
+
+// Stop makes the currently executing Run/RunUntil return after the current
+// event completes. Scheduled events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() (*event, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0], true
+	}
+	return nil, false
+}
+
+// event implements Timer.
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+	fired     bool
+}
+
+func (ev *event) Stop() bool {
+	if ev.fired || ev.cancelled {
+		return false
+	}
+	ev.cancelled = true
+	return true
+}
+
+// periodic implements Timer for Every.
+type periodic struct {
+	mu      Timer
+	stopped bool
+}
+
+func (p *periodic) Stop() bool {
+	if p.stopped {
+		return false
+	}
+	p.stopped = true
+	if p.mu != nil {
+		p.mu.Stop()
+	}
+	return true
+}
+
+// eventQueue is a min-heap ordered by (time, insertion sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

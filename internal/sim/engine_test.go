@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.After(3*time.Second, func() { got = append(got, 3) })
+	e.After(1*time.Second, func() { got = append(got, 1) })
+	e.After(2*time.Second, func() { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	e.After(time.Second, func() {
+		e.After(time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+		fired = append(fired, e.Now())
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("nested events fired at %v, want [1s 2s]", fired)
+	}
+}
+
+func TestEngineZeroAndNegativeDelaysClampToNow(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.After(time.Second, func() {
+		e.After(-5*time.Second, func() {
+			if e.Now() != time.Second {
+				t.Errorf("negative delay fired at %v, want 1s", e.Now())
+			}
+			ran++
+		})
+		e.After(0, func() { ran++ })
+	})
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerStopAfterFireReturnsFalse(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.After(time.Second, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+func TestRunUntilAdvancesClockAndStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		e.After(d, func() { fired = append(fired, d) })
+	}
+	n := e.RunUntil(3 * time.Second)
+	if n != 2 {
+		t.Fatalf("RunUntil executed %d events, want 2", n)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+	n = e.Run()
+	if n != 1 || e.Now() != 5*time.Second {
+		t.Fatalf("after Run: n=%d now=%v, want 1 and 5s", n, e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine(1)
+	e.RunFor(10 * time.Second)
+	if e.Now() != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s", e.Now())
+	}
+	e.RunFor(5 * time.Second)
+	if e.Now() != 15*time.Second {
+		t.Fatalf("Now() = %v, want 15s", e.Now())
+	}
+}
+
+func TestEveryFiresPeriodicallyUntilStopped(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	tm := e.Every(time.Second, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(3500 * time.Millisecond)
+	tm.Stop()
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("periodic fired %d times (%v), want 3", len(fired), fired)
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if fired[i] != want {
+			t.Fatalf("firing %d at %v, want %v", i, fired[i], want)
+		}
+	}
+}
+
+func TestEveryStopFromWithinCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tm Timer
+	tm = e.Every(time.Second, func() {
+		count++
+		if count == 2 {
+			tm.Stop()
+		}
+	})
+	e.RunUntil(10 * time.Second)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	// Remaining events still runnable.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count after resume = %d, want 10", count)
+	}
+}
+
+func TestEngineDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		r := e.Rand("test")
+		var vals []int64
+		e.Every(time.Second, func() { vals = append(vals, r.Int63()) })
+		e.RunUntil(20 * time.Second)
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandStreamsAreIndependent(t *testing.T) {
+	e := NewEngine(7)
+	a := e.Rand("a").Int63()
+	b := e.Rand("b").Int63()
+	if a == b {
+		t.Fatal("different streams produced identical first values")
+	}
+	if e.Rand("a") != e.Rand("a") {
+		t.Fatal("same stream name should return the same stream")
+	}
+}
+
+func TestSampleWithout(t *testing.T) {
+	r := NewRand(3)
+	skip := map[int]bool{2: true, 5: true}
+	for trial := 0; trial < 200; trial++ {
+		got := r.SampleWithout(10, 4, skip)
+		if len(got) != 4 {
+			t.Fatalf("sample size %d, want 4", len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 10 {
+				t.Fatalf("sample value %d out of range", v)
+			}
+			if skip[v] {
+				t.Fatalf("sampled skipped value %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d in %v", v, got)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutPanicsWhenTooFewCandidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRand(1).SampleWithout(3, 3, map[int]bool{0: true})
+}
+
+// Property: for any batch of non-negative delays, events fire in
+// non-decreasing time order and the clock ends at the max delay.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(9)
+		var fired []time.Duration
+		var maxD time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Millisecond
+			if d > maxD {
+				maxD = d
+			}
+			e.After(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == maxD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	NewEngine(1).After(time.Second, nil)
+}
+
+func TestEveryNonPositiveIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive interval")
+		}
+	}()
+	NewEngine(1).Every(0, func() {})
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random stream. It wraps math/rand with a small set
+// of helpers used across the simulator. Each named stream is seeded from the
+// engine's root seed and the stream name, so adding a new consumer of
+// randomness does not perturb existing streams.
+type Rand struct {
+	*rand.Rand
+}
+
+// Rand returns the engine's random stream with the given name, creating it
+// on first use. Streams are stable across calls.
+func (e *Engine) Rand(name string) *Rand {
+	if r, ok := e.streams[name]; ok {
+		return r
+	}
+	r := NewRand(StreamSeed(e.seed, name))
+	e.streams[name] = r
+	return r
+}
+
+// NewRand returns a stream seeded with the given value.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// StreamSeed derives a per-stream seed from a root seed and a stream name.
+func StreamSeed(root int64, name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return root ^ int64(h.Sum64())
+}
+
+// SampleWithout returns k distinct values drawn uniformly from [0, n)
+// excluding the values in skip. It panics if fewer than k candidates exist.
+// The result order is random.
+func (r *Rand) SampleWithout(n, k int, skip map[int]bool) []int {
+	candidates := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !skip[i] {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) < k {
+		panic("sim: SampleWithout: not enough candidates")
+	}
+	r.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	return candidates[:k]
+}
+
+// Exp returns an exponentially distributed duration with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealSchedulerFiresCallback(t *testing.T) {
+	s := NewRealScheduler()
+	defer s.Close()
+	done := make(chan struct{})
+	s.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("callback did not fire")
+	}
+	if s.Now() <= 0 {
+		t.Fatal("Now() should be positive after elapsed time")
+	}
+}
+
+func TestRealSchedulerStopPreventsFiring(t *testing.T) {
+	s := NewRealScheduler()
+	defer s.Close()
+	var mu sync.Mutex
+	fired := false
+	tm := s.After(50*time.Millisecond, func() {
+		mu.Lock()
+		fired = true
+		mu.Unlock()
+	})
+	if !tm.Stop() {
+		t.Fatal("Stop should report true before firing")
+	}
+	time.Sleep(120 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestRealSchedulerCloseCancelsAll(t *testing.T) {
+	s := NewRealScheduler()
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < 5; i++ {
+		s.After(50*time.Millisecond, func() {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		})
+	}
+	s.Close()
+	time.Sleep(120 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 0 {
+		t.Fatalf("%d callbacks fired after Close, want 0", count)
+	}
+	// After Close, new timers are inert.
+	tm := s.After(time.Millisecond, func() {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if tm.Stop() {
+		t.Fatal("inert timer Stop should report false")
+	}
+}

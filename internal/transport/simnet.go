@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"fmt"
+
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/wire"
+)
+
+// SimNetwork is the discrete-event implementation of the transport. It is
+// driven by a sim.Engine and must only be used from engine callbacks (the
+// engine is single-threaded).
+type SimNetwork struct {
+	engine  *sim.Engine
+	model   netmodel.Model
+	traffic *netmodel.Traffic
+	rng     *sim.Rand
+
+	nodes    []*SimEndpoint
+	downLink map[[2]wire.NodeID]bool
+	dropRate float64
+	// DownNode silences a node entirely (crash-style fault).
+	downNode map[wire.NodeID]bool
+}
+
+// NewSimNetwork creates a simulated network. traffic may be nil to skip
+// accounting.
+func NewSimNetwork(engine *sim.Engine, model netmodel.Model, traffic *netmodel.Traffic) *SimNetwork {
+	return &SimNetwork{
+		engine:   engine,
+		model:    model,
+		traffic:  traffic,
+		rng:      engine.Rand("transport"),
+		downLink: make(map[[2]wire.NodeID]bool),
+		downNode: make(map[wire.NodeID]bool),
+	}
+}
+
+// AddNode attaches a new endpoint and returns it. IDs are assigned densely
+// from 0 in creation order.
+func (n *SimNetwork) AddNode() *SimEndpoint {
+	ep := &SimEndpoint{net: n, id: wire.NodeID(len(n.nodes))}
+	n.nodes = append(n.nodes, ep)
+	return ep
+}
+
+// Size returns the number of attached endpoints.
+func (n *SimNetwork) Size() int { return len(n.nodes) }
+
+// Engine returns the driving engine.
+func (n *SimNetwork) Engine() *sim.Engine { return n.engine }
+
+// SetLinkDown cuts (or restores) the directed link from -> to.
+func (n *SimNetwork) SetLinkDown(from, to wire.NodeID, down bool) {
+	if down {
+		n.downLink[[2]wire.NodeID{from, to}] = true
+	} else {
+		delete(n.downLink, [2]wire.NodeID{from, to})
+	}
+}
+
+// SetNodeDown crashes (or revives) a node: all its inbound and outbound
+// messages are dropped.
+func (n *SimNetwork) SetNodeDown(id wire.NodeID, down bool) {
+	if down {
+		n.downNode[id] = true
+	} else {
+		delete(n.downNode, id)
+	}
+}
+
+// SetDropRate installs a uniform message loss probability in [0, 1).
+func (n *SimNetwork) SetDropRate(p float64) { n.dropRate = p }
+
+func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
+	if int(to) >= len(n.nodes) {
+		return fmt.Errorf("transport: unknown destination %v", to)
+	}
+	size := msg.EncodedSize()
+	// Bytes leave the sender's NIC whether or not they arrive.
+	if n.traffic != nil {
+		n.traffic.Record(from, to, msg.Type(), size, n.engine.Now())
+	}
+	if n.downNode[from] || n.downNode[to] || n.downLink[[2]wire.NodeID{from, to}] {
+		return nil // silently lost
+	}
+	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		return nil
+	}
+	dst := n.nodes[to]
+	delay := n.model.Delay(n.rng, size)
+	n.engine.After(delay, func() {
+		if h := dst.handler; h != nil && !n.downNode[dst.id] {
+			h(from, msg)
+		}
+	})
+	return nil
+}
+
+// SimEndpoint implements Endpoint on a SimNetwork.
+type SimEndpoint struct {
+	net     *SimNetwork
+	id      wire.NodeID
+	handler Handler
+}
+
+// ID implements Endpoint.
+func (ep *SimEndpoint) ID() wire.NodeID { return ep.id }
+
+// SetHandler implements Endpoint.
+func (ep *SimEndpoint) SetHandler(h Handler) { ep.handler = h }
+
+// Send implements Endpoint.
+func (ep *SimEndpoint) Send(to wire.NodeID, msg wire.Message) error {
+	return ep.net.send(ep.id, to, msg)
+}

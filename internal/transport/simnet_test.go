@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/wire"
+)
+
+func fixedModel(d time.Duration) netmodel.Model {
+	return netmodel.Model{PropMin: d, PropMax: d}
+}
+
+func TestSimNetworkDeliversWithModelDelay(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewSimNetwork(e, fixedModel(5*time.Millisecond), nil)
+	a, b := n.AddNode(), n.AddNode()
+	if a.ID() != 0 || b.ID() != 1 || n.Size() != 2 {
+		t.Fatalf("ids = %v, %v; size = %d", a.ID(), b.ID(), n.Size())
+	}
+
+	var gotFrom wire.NodeID
+	var gotAt time.Duration
+	var gotMsg wire.Message
+	b.SetHandler(func(from wire.NodeID, msg wire.Message) {
+		gotFrom, gotAt, gotMsg = from, e.Now(), msg
+	})
+	sent := &wire.StateInfo{Height: 7}
+	if err := a.Send(b.ID(), sent); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if gotMsg != sent {
+		t.Fatal("message not delivered (or copied)")
+	}
+	if gotFrom != a.ID() {
+		t.Fatalf("from = %v, want %v", gotFrom, a.ID())
+	}
+	if gotAt != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", gotAt)
+	}
+}
+
+func TestSimNetworkUnknownDestination(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewSimNetwork(e, fixedModel(0), nil)
+	a := n.AddNode()
+	if err := a.Send(99, &wire.StateInfo{}); err == nil {
+		t.Fatal("send to unknown node succeeded")
+	}
+}
+
+func TestSimNetworkNoHandlerNoCrash(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewSimNetwork(e, fixedModel(0), nil)
+	a, b := n.AddNode(), n.AddNode()
+	_ = b
+	if err := a.Send(1, &wire.StateInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run() // handler nil: message silently discarded
+}
+
+func TestSimNetworkLinkFault(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewSimNetwork(e, fixedModel(0), nil)
+	a, b := n.AddNode(), n.AddNode()
+	count := 0
+	b.SetHandler(func(wire.NodeID, wire.Message) { count++ })
+
+	n.SetLinkDown(a.ID(), b.ID(), true)
+	_ = a.Send(b.ID(), &wire.StateInfo{})
+	e.Run()
+	if count != 0 {
+		t.Fatal("message crossed a down link")
+	}
+	n.SetLinkDown(a.ID(), b.ID(), false)
+	_ = a.Send(b.ID(), &wire.StateInfo{})
+	e.Run()
+	if count != 1 {
+		t.Fatal("message lost after link restore")
+	}
+}
+
+func TestSimNetworkNodeDown(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewSimNetwork(e, fixedModel(0), nil)
+	a, b, c := n.AddNode(), n.AddNode(), n.AddNode()
+	var bGot, cGot int
+	b.SetHandler(func(wire.NodeID, wire.Message) { bGot++ })
+	c.SetHandler(func(wire.NodeID, wire.Message) { cGot++ })
+
+	n.SetNodeDown(b.ID(), true)
+	_ = a.Send(b.ID(), &wire.StateInfo{}) // inbound to down node: dropped
+	_ = b.Send(c.ID(), &wire.StateInfo{}) // outbound from down node: dropped
+	_ = a.Send(c.ID(), &wire.StateInfo{}) // unrelated: delivered
+	e.Run()
+	if bGot != 0 || cGot != 1 {
+		t.Fatalf("bGot=%d cGot=%d, want 0 and 1", bGot, cGot)
+	}
+	n.SetNodeDown(b.ID(), false)
+	_ = a.Send(b.ID(), &wire.StateInfo{})
+	e.Run()
+	if bGot != 1 {
+		t.Fatal("revived node did not receive")
+	}
+}
+
+func TestSimNetworkDropRate(t *testing.T) {
+	e := sim.NewEngine(42)
+	n := NewSimNetwork(e, fixedModel(0), nil)
+	a, b := n.AddNode(), n.AddNode()
+	got := 0
+	b.SetHandler(func(wire.NodeID, wire.Message) { got++ })
+	n.SetDropRate(0.5)
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		_ = a.Send(b.ID(), &wire.StateInfo{})
+	}
+	e.Run()
+	if got < sent/3 || got > 2*sent/3 {
+		t.Fatalf("got %d of %d at drop rate 0.5", got, sent)
+	}
+}
+
+func TestSimNetworkTrafficAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := netmodel.NewTraffic(time.Second)
+	n := NewSimNetwork(e, fixedModel(0), tr)
+	a, b := n.AddNode(), n.AddNode()
+	b.SetHandler(func(wire.NodeID, wire.Message) {})
+	msg := &wire.StateInfo{Height: 1}
+	_ = a.Send(b.ID(), msg)
+	e.Run()
+	if tr.CountOf(wire.TypeStateInfo) != 1 {
+		t.Fatal("message not accounted")
+	}
+	if got := tr.TotalBytes(); got != uint64(msg.EncodedSize()) {
+		t.Fatalf("accounted %d bytes, want %d", got, msg.EncodedSize())
+	}
+	// Dropped messages still consume sender bandwidth.
+	n.SetLinkDown(a.ID(), b.ID(), true)
+	_ = a.Send(b.ID(), msg)
+	e.Run()
+	if tr.CountOf(wire.TypeStateInfo) != 2 {
+		t.Fatal("dropped message not accounted at sender")
+	}
+}
+
+func TestSimNetworkDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := sim.NewEngine(7)
+		n := NewSimNetwork(e, netmodel.LAN(), nil)
+		a, b := n.AddNode(), n.AddNode()
+		var at []time.Duration
+		b.SetHandler(func(wire.NodeID, wire.Message) { at = append(at, e.Now()) })
+		for i := 0; i < 50; i++ {
+			_ = a.Send(b.ID(), &wire.StateInfo{Height: uint64(i)})
+		}
+		e.Run()
+		return at
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, x[i], y[i])
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/wire"
+)
+
+// maxFrame bounds accepted frame sizes (a full block batch fits well
+// within it; anything larger is a protocol violation).
+const maxFrame = 256 << 20
+
+// AddressBook resolves node ids to dialable addresses.
+type AddressBook interface {
+	Resolve(id wire.NodeID) (string, bool)
+}
+
+// StaticAddressBook is a fixed id -> address map.
+type StaticAddressBook map[wire.NodeID]string
+
+// Resolve implements AddressBook.
+func (b StaticAddressBook) Resolve(id wire.NodeID) (string, bool) {
+	addr, ok := b[id]
+	return addr, ok
+}
+
+// TCPEndpoint implements Endpoint over real TCP connections with
+// length-prefixed frames. Frame layout:
+//
+//	[4-byte big-endian length][4-byte big-endian sender id][wire message]
+//
+// Connections to a destination are created on first use and cached.
+type TCPEndpoint struct {
+	id      wire.NodeID
+	book    AddressBook
+	ln      net.Listener
+	traffic *netmodel.Traffic
+	start   time.Time
+
+	mu      sync.Mutex
+	handler Handler
+	conns   map[wire.NodeID]*sendConn
+	// all tracks every live connection — dialed and accepted — so Close
+	// can unblock their reader goroutines.
+	all    map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type sendConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// ListenTCP starts an endpoint listening on addr (e.g. "127.0.0.1:0").
+// traffic may be nil.
+func ListenTCP(id wire.NodeID, addr string, book AddressBook, traffic *netmodel.Traffic) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &TCPEndpoint{
+		id:      id,
+		book:    book,
+		ln:      ln,
+		traffic: traffic,
+		start:   time.Now(),
+		conns:   make(map[wire.NodeID]*sendConn),
+		all:     make(map[net.Conn]struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the listening address (useful with ":0").
+func (ep *TCPEndpoint) Addr() string { return ep.ln.Addr().String() }
+
+// ID implements Endpoint.
+func (ep *TCPEndpoint) ID() wire.NodeID { return ep.id }
+
+// SetHandler implements Endpoint.
+func (ep *TCPEndpoint) SetHandler(h Handler) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.handler = h
+}
+
+func (ep *TCPEndpoint) currentHandler() Handler {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.handler
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Send implements Endpoint.
+func (ep *TCPEndpoint) Send(to wire.NodeID, msg wire.Message) error {
+	sc, err := ep.connTo(to)
+	if err != nil {
+		return err
+	}
+	body := wire.Marshal(msg)
+	frame := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], uint32(ep.id))
+	copy(frame[8:], body)
+
+	sc.mu.Lock()
+	_, werr := sc.conn.Write(frame)
+	sc.mu.Unlock()
+	if werr != nil {
+		// Connection went bad: forget it so the next send redials.
+		ep.mu.Lock()
+		if ep.conns[to] == sc {
+			delete(ep.conns, to)
+		}
+		ep.mu.Unlock()
+		_ = sc.conn.Close()
+		return fmt.Errorf("transport: send to %v: %w", to, werr)
+	}
+	if ep.traffic != nil {
+		ep.traffic.Record(ep.id, to, msg.Type(), len(frame), time.Since(ep.start))
+	}
+	return nil
+}
+
+func (ep *TCPEndpoint) connTo(to wire.NodeID) (*sendConn, error) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sc, ok := ep.conns[to]; ok {
+		ep.mu.Unlock()
+		return sc, nil
+	}
+	ep.mu.Unlock()
+
+	addr, ok := ep.book.Resolve(to)
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for %v", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v (%s): %w", to, addr, err)
+	}
+
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if sc, ok := ep.conns[to]; ok { // lost the race; keep the existing one
+		_ = conn.Close()
+		return sc, nil
+	}
+	sc := &sendConn{conn: conn}
+	ep.conns[to] = sc
+	ep.all[conn] = struct{}{}
+	// Outbound connections also carry inbound frames (full duplex).
+	ep.wg.Add(1)
+	go ep.readLoop(conn)
+	return sc, nil
+}
+
+func (ep *TCPEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		ep.all[conn] = struct{}{}
+		ep.wg.Add(1)
+		ep.mu.Unlock()
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *TCPEndpoint) readLoop(conn net.Conn) {
+	defer ep.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		ep.mu.Lock()
+		delete(ep.all, conn)
+		ep.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n < 4 || n > maxFrame {
+			return // protocol violation; drop the connection
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		from := wire.NodeID(binary.BigEndian.Uint32(payload[:4]))
+		msg, err := wire.Unmarshal(payload[4:])
+		if err != nil {
+			return // corrupt frame; drop the connection
+		}
+		if h := ep.currentHandler(); h != nil {
+			h(from, msg)
+		}
+	}
+}
+
+// Close shuts the endpoint down and waits for its goroutines to exit.
+func (ep *TCPEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.conns = make(map[wire.NodeID]*sendConn)
+	all := make([]net.Conn, 0, len(ep.all))
+	for c := range ep.all {
+		all = append(all, c)
+	}
+	ep.mu.Unlock()
+
+	err := ep.ln.Close()
+	for _, c := range all {
+		_ = c.Close() // unblocks the reader goroutines
+	}
+	ep.wg.Wait()
+	return err
+}

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/wire"
+)
+
+// startPair brings up two TCP endpoints that know each other's addresses.
+func startPair(t *testing.T, traffic *netmodel.Traffic) (*TCPEndpoint, *TCPEndpoint) {
+	t.Helper()
+	book := StaticAddressBook{}
+	a, err := ListenTCP(0, "127.0.0.1:0", book, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(1, "127.0.0.1:0", book, traffic)
+	if err != nil {
+		_ = a.Close()
+		t.Fatal(err)
+	}
+	book[0] = a.Addr()
+	book[1] = b.Addr()
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := startPair(t, nil)
+
+	var mu sync.Mutex
+	var got []wire.Message
+	var from []wire.NodeID
+	b.SetHandler(func(f wire.NodeID, m wire.Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, m)
+		from = append(from, f)
+	})
+
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.ID(), &wire.StateInfo{Height: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 10
+	}, "10 messages")
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, m := range got {
+		si, ok := m.(*wire.StateInfo)
+		if !ok || si.Height != uint64(i) {
+			t.Fatalf("message %d = %#v", i, m)
+		}
+		if from[i] != a.ID() {
+			t.Fatalf("from = %v, want %v", from[i], a.ID())
+		}
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, b := startPair(t, nil)
+	var mu sync.Mutex
+	gotA, gotB := 0, 0
+	a.SetHandler(func(wire.NodeID, wire.Message) { mu.Lock(); gotA++; mu.Unlock() })
+	b.SetHandler(func(wire.NodeID, wire.Message) { mu.Lock(); gotB++; mu.Unlock() })
+	if err := a.Send(1, &wire.PullHello{Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(0, &wire.PullHello{Nonce: 2}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return gotA == 1 && gotB == 1 }, "both directions")
+}
+
+func TestTCPCarriesBlocks(t *testing.T) {
+	a, b := startPair(t, nil)
+	var mu sync.Mutex
+	var blk *wire.Data
+	b.SetHandler(func(_ wire.NodeID, m wire.Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		if d, ok := m.(*wire.Data); ok {
+			blk = d
+		}
+	})
+	sent := &wire.Data{Block: testBlockTCP(3), Counter: 4}
+	if err := a.Send(1, sent); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return blk != nil }, "block")
+	mu.Lock()
+	defer mu.Unlock()
+	if blk.Counter != 4 || blk.Block.Num != 3 || blk.Block.Hash() != sent.Block.Hash() {
+		t.Fatalf("got %+v", blk)
+	}
+}
+
+func TestTCPSendUnknownDestination(t *testing.T) {
+	a, _ := startPair(t, nil)
+	if err := a.Send(42, &wire.PullHello{}); err == nil {
+		t.Fatal("send to unknown id succeeded")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, b := startPair(t, nil)
+	_ = a.Close()
+	if err := a.Send(b.ID(), &wire.PullHello{}); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestTCPTrafficAccounting(t *testing.T) {
+	tr := netmodel.NewTraffic(time.Second)
+	a, b := startPair(t, tr)
+	var mu sync.Mutex
+	got := 0
+	b.SetHandler(func(wire.NodeID, wire.Message) { mu.Lock(); got++; mu.Unlock() })
+	if err := a.Send(1, &wire.StateInfo{Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return got == 1 }, "delivery")
+	if tr.CountOf(wire.TypeStateInfo) != 1 {
+		t.Fatal("traffic not recorded")
+	}
+}
+
+func testBlockTCP(num uint64) *ledger.Block {
+	rw := ledger.RWSet{Writes: []ledger.KVWrite{{Key: "k", Value: []byte{1}}}}
+	tx := &ledger.Transaction{
+		ID:        ledger.ProposalDigest("c", "cc", rw, nil),
+		Client:    "c",
+		Chaincode: "cc",
+		RWSet:     rw,
+		Payload:   make([]byte, 128),
+	}
+	return &ledger.Block{Num: num, Txs: []*ledger.Transaction{tx}, DataHash: ledger.ComputeDataHash([]*ledger.Transaction{tx})}
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"sync"
+
+	"fabricgossip/internal/ledger"
+)
+
+// encodeBlock writes the full canonical encoding of a block.
+func encodeBlock(s sink, b *ledger.Block) {
+	s.uvarint(b.Num)
+	putDigest(s, b.PrevHash)
+	putDigest(s, b.DataHash)
+	putBytes(s, b.Sig)
+	s.uvarint(uint64(len(b.Txs)))
+	for _, tx := range b.Txs {
+		encodeTx(s, tx)
+	}
+}
+
+func encodeTx(s sink, tx *ledger.Transaction) {
+	putDigest(s, tx.ID)
+	putString(s, tx.Client)
+	putString(s, tx.Chaincode)
+	s.uvarint(uint64(len(tx.RWSet.Reads)))
+	for _, r := range tx.RWSet.Reads {
+		putString(s, r.Key)
+		s.uvarint(r.Version.BlockNum)
+		s.uvarint(uint64(r.Version.TxNum))
+	}
+	s.uvarint(uint64(len(tx.RWSet.Writes)))
+	for _, w := range tx.RWSet.Writes {
+		putString(s, w.Key)
+		putBytes(s, w.Value)
+	}
+	s.uvarint(uint64(len(tx.Endorsements)))
+	for _, e := range tx.Endorsements {
+		putString(s, e.Org)
+		putString(s, e.Name)
+		putBytes(s, e.Sig)
+	}
+	putBytes(s, tx.Payload)
+}
+
+func decodeBlock(d *decoder) *ledger.Block {
+	b := &ledger.Block{}
+	b.Num = d.uvarint("block num")
+	b.PrevHash = d.digest("prev hash")
+	b.DataHash = d.digest("data hash")
+	b.Sig = d.bytesField("block sig")
+	n := d.uvarint("tx count")
+	if d.err != nil {
+		return b
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("tx count")
+		return b
+	}
+	b.Txs = make([]*ledger.Transaction, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		b.Txs = append(b.Txs, decodeTx(d))
+	}
+	return b
+}
+
+func decodeTx(d *decoder) *ledger.Transaction {
+	tx := &ledger.Transaction{}
+	tx.ID = d.digest("tx id")
+	tx.Client = d.str("client")
+	tx.Chaincode = d.str("chaincode")
+	nr := d.uvarint("read count")
+	if d.err != nil {
+		return tx
+	}
+	if nr > uint64(len(d.buf)) {
+		d.fail("read count")
+		return tx
+	}
+	for i := uint64(0); i < nr && d.err == nil; i++ {
+		r := ledger.KVRead{Key: d.str("read key")}
+		r.Version.BlockNum = d.uvarint("read block")
+		r.Version.TxNum = uint32(d.uvarint("read tx"))
+		tx.RWSet.Reads = append(tx.RWSet.Reads, r)
+	}
+	nw := d.uvarint("write count")
+	if d.err != nil {
+		return tx
+	}
+	if nw > uint64(len(d.buf)) {
+		d.fail("write count")
+		return tx
+	}
+	for i := uint64(0); i < nw && d.err == nil; i++ {
+		w := ledger.KVWrite{Key: d.str("write key")}
+		w.Value = d.bytesField("write value")
+		tx.RWSet.Writes = append(tx.RWSet.Writes, w)
+	}
+	ne := d.uvarint("endorsement count")
+	if d.err != nil {
+		return tx
+	}
+	if ne > uint64(len(d.buf)) {
+		d.fail("endorsement count")
+		return tx
+	}
+	for i := uint64(0); i < ne && d.err == nil; i++ {
+		e := ledger.Endorsement{Org: d.str("endorser org"), Name: d.str("endorser name")}
+		e.Sig = d.bytesField("endorsement sig")
+		tx.Endorsements = append(tx.Endorsements, e)
+	}
+	tx.Payload = d.bytesField("payload")
+	return tx
+}
+
+// blockSizes caches the encoded size of blocks. Blocks are immutable once
+// emitted by the ordering service, and the same block is transmitted
+// hundreds of times per experiment, so the cache removes the dominant
+// sizing cost from the simulation's hot path.
+var blockSizes sync.Map // *ledger.Block -> int
+
+// BlockEncodedSize returns the exact encoded length of b, cached.
+func BlockEncodedSize(b *ledger.Block) int {
+	if v, ok := blockSizes.Load(b); ok {
+		return v.(int)
+	}
+	c := &countSink{}
+	encodeBlock(c, b)
+	blockSizes.Store(b, c.n)
+	return c.n
+}

@@ -1,0 +1,344 @@
+package wire
+
+import (
+	"fabricgossip/internal/ledger"
+)
+
+// --- Block dissemination (push phase) ---
+
+// Data carries a full block during the push phase. Counter implements the
+// paper's infect-upon-contagion hop counter: it is 0 for the copy leaving
+// the ordering service and increments at every forwarding hop. The original
+// Fabric protocol ignores the counter.
+type Data struct {
+	Block   *ledger.Block
+	Counter uint32
+}
+
+// Type implements Message.
+func (*Data) Type() MsgType { return TypeData }
+
+// EncodedSize implements Message.
+func (m *Data) EncodedSize() int {
+	// type byte + counter varint + cached block size
+	return 1 + uvarintLen(uint64(m.Counter)) + BlockEncodedSize(m.Block)
+}
+
+func (m *Data) encode(s sink) {
+	s.uvarint(uint64(m.Counter))
+	encodeBlock(s, m.Block)
+}
+
+func decodeData(d *decoder) *Data {
+	m := &Data{}
+	m.Counter = uint32(d.uvarint("counter"))
+	m.Block = decodeBlock(d)
+	return m
+}
+
+// BlockOffer is one entry of a push digest: "I can give you block Num; it
+// is Counter hops into its epidemic".
+type BlockOffer struct {
+	Num     uint64
+	Counter uint32
+}
+
+// PushDigest offers blocks by number instead of pushing their bodies
+// (enhanced protocol, "digests for the push phase"). Receivers answer with
+// a PushRequest for the bodies they lack.
+type PushDigest struct {
+	Offers []BlockOffer
+}
+
+// Type implements Message.
+func (*PushDigest) Type() MsgType { return TypePushDigest }
+
+// EncodedSize implements Message.
+func (m *PushDigest) EncodedSize() int { return encodedSize(m) }
+
+func (m *PushDigest) encode(s sink) {
+	s.uvarint(uint64(len(m.Offers)))
+	for _, o := range m.Offers {
+		s.uvarint(o.Num)
+		s.uvarint(uint64(o.Counter))
+	}
+}
+
+func decodePushDigest(d *decoder) *PushDigest {
+	m := &PushDigest{}
+	n := d.uvarint("offer count")
+	if d.err != nil {
+		return m
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("offer count")
+		return m
+	}
+	m.Offers = make([]BlockOffer, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		o := BlockOffer{Num: d.uvarint("offer num")}
+		o.Counter = uint32(d.uvarint("offer counter"))
+		m.Offers = append(m.Offers, o)
+	}
+	return m
+}
+
+// PushRequest asks the sender of a PushDigest for the listed block bodies.
+type PushRequest struct {
+	Nums []uint64
+}
+
+// Type implements Message.
+func (*PushRequest) Type() MsgType { return TypePushRequest }
+
+// EncodedSize implements Message.
+func (m *PushRequest) EncodedSize() int { return encodedSize(m) }
+
+func (m *PushRequest) encode(s sink) { putUint64s(s, m.Nums) }
+
+func decodePushRequest(d *decoder) *PushRequest {
+	return &PushRequest{Nums: d.uint64s("request nums")}
+}
+
+// --- Pull component (original Fabric gossip) ---
+
+// PullHello opens a pull round with a random peer (Fabric's pull mediator
+// Hello). Nonce correlates the round's four messages.
+type PullHello struct {
+	Nonce uint64
+}
+
+// Type implements Message.
+func (*PullHello) Type() MsgType { return TypePullHello }
+
+// EncodedSize implements Message.
+func (m *PullHello) EncodedSize() int { return encodedSize(m) }
+
+func (m *PullHello) encode(s sink) { s.uvarint(m.Nonce) }
+
+func decodePullHello(d *decoder) *PullHello {
+	return &PullHello{Nonce: d.uvarint("nonce")}
+}
+
+// PullDigest answers a PullHello with the numbers of recently held blocks.
+type PullDigest struct {
+	Nonce uint64
+	Nums  []uint64
+}
+
+// Type implements Message.
+func (*PullDigest) Type() MsgType { return TypePullDigest }
+
+// EncodedSize implements Message.
+func (m *PullDigest) EncodedSize() int { return encodedSize(m) }
+
+func (m *PullDigest) encode(s sink) {
+	s.uvarint(m.Nonce)
+	putUint64s(s, m.Nums)
+}
+
+func decodePullDigest(d *decoder) *PullDigest {
+	m := &PullDigest{Nonce: d.uvarint("nonce")}
+	m.Nums = d.uint64s("digest nums")
+	return m
+}
+
+// PullRequest asks for the block bodies the puller is missing.
+type PullRequest struct {
+	Nonce uint64
+	Nums  []uint64
+}
+
+// Type implements Message.
+func (*PullRequest) Type() MsgType { return TypePullRequest }
+
+// EncodedSize implements Message.
+func (m *PullRequest) EncodedSize() int { return encodedSize(m) }
+
+func (m *PullRequest) encode(s sink) {
+	s.uvarint(m.Nonce)
+	putUint64s(s, m.Nums)
+}
+
+func decodePullRequest(d *decoder) *PullRequest {
+	m := &PullRequest{Nonce: d.uvarint("nonce")}
+	m.Nums = d.uint64s("request nums")
+	return m
+}
+
+// PullData returns one block body in response to a PullRequest. Blocks
+// received through pull do not re-enter the push phase (paper §III-A), which
+// is why pull data is a distinct type from Data.
+type PullData struct {
+	Nonce uint64
+	Block *ledger.Block
+}
+
+// Type implements Message.
+func (*PullData) Type() MsgType { return TypePullData }
+
+// EncodedSize implements Message.
+func (m *PullData) EncodedSize() int {
+	return 1 + uvarintLen(m.Nonce) + BlockEncodedSize(m.Block)
+}
+
+func (m *PullData) encode(s sink) {
+	s.uvarint(m.Nonce)
+	encodeBlock(s, m.Block)
+}
+
+func decodePullData(d *decoder) *PullData {
+	m := &PullData{Nonce: d.uvarint("nonce")}
+	m.Block = decodeBlock(d)
+	return m
+}
+
+// --- State metadata and recovery (anti-entropy) ---
+
+// StateInfo advertises the sender's ledger height. Peers gossip it
+// periodically; the recovery component uses it to detect that it is behind
+// (paper §III-A, "recovery").
+type StateInfo struct {
+	Height uint64
+}
+
+// Type implements Message.
+func (*StateInfo) Type() MsgType { return TypeStateInfo }
+
+// EncodedSize implements Message.
+func (m *StateInfo) EncodedSize() int { return encodedSize(m) }
+
+func (m *StateInfo) encode(s sink) { s.uvarint(m.Height) }
+
+func decodeStateInfo(d *decoder) *StateInfo {
+	return &StateInfo{Height: d.uvarint("height")}
+}
+
+// StateRequest asks a peer with a higher ledger for the consecutive blocks
+// [From, To).
+type StateRequest struct {
+	From uint64
+	To   uint64
+}
+
+// Type implements Message.
+func (*StateRequest) Type() MsgType { return TypeStateRequest }
+
+// EncodedSize implements Message.
+func (m *StateRequest) EncodedSize() int { return encodedSize(m) }
+
+func (m *StateRequest) encode(s sink) {
+	s.uvarint(m.From)
+	s.uvarint(m.To)
+}
+
+func decodeStateRequest(d *decoder) *StateRequest {
+	m := &StateRequest{From: d.uvarint("from")}
+	m.To = d.uvarint("to")
+	return m
+}
+
+// StateResponse returns a batch of consecutive blocks for recovery.
+type StateResponse struct {
+	Blocks []*ledger.Block
+}
+
+// Type implements Message.
+func (*StateResponse) Type() MsgType { return TypeStateResponse }
+
+// EncodedSize implements Message.
+func (m *StateResponse) EncodedSize() int {
+	n := 1 + uvarintLen(uint64(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		n += BlockEncodedSize(b)
+	}
+	return n
+}
+
+func (m *StateResponse) encode(s sink) {
+	s.uvarint(uint64(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		encodeBlock(s, b)
+	}
+}
+
+func decodeStateResponse(d *decoder) *StateResponse {
+	m := &StateResponse{}
+	n := d.uvarint("block count")
+	if d.err != nil {
+		return m
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("block count")
+		return m
+	}
+	m.Blocks = make([]*ledger.Block, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Blocks = append(m.Blocks, decodeBlock(d))
+	}
+	return m
+}
+
+// Alive is the periodic membership heartbeat. Together with StateInfo it
+// forms the idle background traffic visible in the paper's bandwidth plots.
+type Alive struct {
+	Seq uint64
+	// Meta pads the heartbeat to a realistic size (identity, endpoint,
+	// signature material in Fabric's AliveMessage).
+	Meta []byte
+}
+
+// Type implements Message.
+func (*Alive) Type() MsgType { return TypeAlive }
+
+// EncodedSize implements Message.
+func (m *Alive) EncodedSize() int { return encodedSize(m) }
+
+func (m *Alive) encode(s sink) {
+	s.uvarint(m.Seq)
+	putBytes(s, m.Meta)
+}
+
+func decodeAlive(d *decoder) *Alive {
+	m := &Alive{Seq: d.uvarint("seq")}
+	m.Meta = d.bytesField("meta")
+	return m
+}
+
+// --- Client to ordering service ---
+
+// SubmitTx carries an endorsed transaction proposal from a client (via a
+// peer) to the ordering service.
+type SubmitTx struct {
+	Tx *ledger.Transaction
+}
+
+// Type implements Message.
+func (*SubmitTx) Type() MsgType { return TypeSubmitTx }
+
+// EncodedSize implements Message.
+func (m *SubmitTx) EncodedSize() int { return encodedSize(m) }
+
+func (m *SubmitTx) encode(s sink) { encodeTx(s, m.Tx) }
+
+func decodeSubmitTx(d *decoder) *SubmitTx {
+	return &SubmitTx{Tx: decodeTx(d)}
+}
+
+// DeliverBlock carries a freshly ordered block from the ordering service to
+// an organization's leader peer.
+type DeliverBlock struct {
+	Block *ledger.Block
+}
+
+// Type implements Message.
+func (*DeliverBlock) Type() MsgType { return TypeDeliverBlock }
+
+// EncodedSize implements Message.
+func (m *DeliverBlock) EncodedSize() int { return 1 + BlockEncodedSize(m.Block) }
+
+func (m *DeliverBlock) encode(s sink) { encodeBlock(s, m.Block) }
+
+func decodeDeliverBlock(d *decoder) *DeliverBlock {
+	return &DeliverBlock{Block: decodeBlock(d)}
+}
