@@ -22,6 +22,7 @@ import (
 	"fabricgossip/internal/netmodel"
 	"fabricgossip/internal/order"
 	"fabricgossip/internal/raft"
+	"fabricgossip/internal/scenario"
 	"fabricgossip/internal/sim"
 	"fabricgossip/internal/transport"
 	"fabricgossip/internal/wire"
@@ -170,6 +171,49 @@ func BenchmarkInfectAndDieMonteCarlo(b *testing.B) {
 			b.Fatal("implausible reach")
 		}
 	}
+}
+
+// --- fault/churn scenario benchmarks (internal/scenario) ---
+
+func benchScenario(b *testing.B, name string, peers int, v harness.Variant) {
+	b.Helper()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunNamed(name, scenario.Options{
+			Peers: peers, Variant: v, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CaughtUp != rep.Survivors {
+			b.Fatalf("%d of %d survivors caught up", rep.CaughtUp, rep.Survivors)
+		}
+		events += rep.EngineEvents
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "sim_events")
+}
+
+// BenchmarkScenarioCrashRestart tracks the crash/restart-with-catchup
+// scenario at the paper's organization size.
+func BenchmarkScenarioCrashRestart(b *testing.B) {
+	benchScenario(b, "crash-restart", 100, harness.VariantEnhanced)
+}
+
+// BenchmarkScenarioChurn tracks rolling crash/restart waves.
+func BenchmarkScenarioChurn(b *testing.B) {
+	benchScenario(b, "churn", 100, harness.VariantEnhanced)
+}
+
+// BenchmarkScenarioPartitionHeal tracks the split-brain + recovery path.
+func BenchmarkScenarioPartitionHeal(b *testing.B) {
+	benchScenario(b, "partition-heal", 100, harness.VariantOriginal)
+}
+
+// BenchmarkScenarioCrashRestart1000 is the scale benchmark behind the
+// engine's hot-path work: a thousand-peer fault scenario must complete in
+// seconds of wall time.
+func BenchmarkScenarioCrashRestart1000(b *testing.B) {
+	benchScenario(b, "crash-restart", 1000, harness.VariantEnhanced)
 }
 
 // --- micro-benchmarks of the hot paths ---

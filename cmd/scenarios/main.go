@@ -1,0 +1,96 @@
+// Command scenarios runs the built-in catalog of fault/churn scenarios
+// (internal/scenario) against either gossip protocol at any organization
+// size, printing a deterministic report per run.
+//
+// Usage:
+//
+//	scenarios -list                                   # show the catalog
+//	scenarios -scenario crash-restart -peers 100      # one scenario
+//	scenarios -scenario all -peers 1000 -variant both # full sweep at scale
+//	scenarios -scenario churn -check                  # run twice, verify determinism
+//	scenarios -scenario partition-heal -trace         # include the event trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fabricgossip/internal/harness"
+	"fabricgossip/internal/scenario"
+)
+
+func main() {
+	name := flag.String("scenario", "all", "scenario name or 'all'")
+	peers := flag.Int("peers", 100, "organization size (up to thousands)")
+	variant := flag.String("variant", "enhanced", "protocol: original, enhanced or both")
+	seed := flag.Int64("seed", 1, "root random seed")
+	check := flag.Bool("check", false, "run each scenario twice and verify identical fingerprints")
+	trace := flag.Bool("trace", false, "print the run's event trace")
+	list := flag.Bool("list", false, "list scenario names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, d := range scenario.Catalog() {
+			fmt.Printf("%-16s %s\n", d.Name, d.Description)
+		}
+		return
+	}
+
+	names := []string{*name}
+	if *name == "all" {
+		names = scenario.Names()
+	}
+	variants, err := parseVariants(*variant)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, n := range names {
+		for _, v := range variants {
+			opt := scenario.Options{Peers: *peers, Variant: v, Seed: *seed}
+			start := time.Now()
+			rep, err := scenario.RunNamed(n, opt)
+			if err != nil {
+				fatal(err)
+			}
+			wall := time.Since(start).Round(time.Millisecond)
+			fmt.Println(rep)
+			fmt.Printf("  fingerprint: %s (wall %v)\n", rep.Fingerprint()[:16], wall)
+			if *check {
+				rep2, err := scenario.RunNamed(n, opt)
+				if err != nil {
+					fatal(err)
+				}
+				if rep.Fingerprint() != rep2.Fingerprint() {
+					fatal(fmt.Errorf("scenario %s (%s): repeated run diverged", n, v))
+				}
+				fmt.Println("  determinism: OK (second run identical)")
+			}
+			if *trace {
+				for _, line := range rep.Trace {
+					fmt.Println("  " + line)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func parseVariants(s string) ([]harness.Variant, error) {
+	switch s {
+	case "original":
+		return []harness.Variant{harness.VariantOriginal}, nil
+	case "enhanced":
+		return []harness.Variant{harness.VariantEnhanced}, nil
+	case "both":
+		return []harness.Variant{harness.VariantOriginal, harness.VariantEnhanced}, nil
+	}
+	return nil, fmt.Errorf("scenarios: unknown variant %q (want original, enhanced or both)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenarios:", err)
+	os.Exit(1)
+}

@@ -14,8 +14,15 @@
 //     Fabric EOV pipeline;
 //   - internal/harness — the experiment runners behind cmd/figures.
 //
+// Beyond the paper, internal/scenario scripts deterministic fault and churn
+// experiments — crashes, restarts with catch-up, partitions, leader
+// failover, slow links, staggered joins — against both protocols at up to
+// thousands of peers (cmd/scenarios runs the built-in catalog).
+//
 // Entry points: cmd/figures regenerates the paper's artifacts, cmd/ttlcalc
-// computes protocol parameters, cmd/gossipnet runs a live TCP demo, and
-// examples/ holds four runnable walkthroughs. bench_test.go benchmarks one
-// workload per figure/table.
+// computes protocol parameters, cmd/gossipnet runs a live TCP demo,
+// cmd/scenarios runs the fault-scenario catalog, and examples/ holds four
+// runnable walkthroughs. bench_test.go benchmarks one workload per
+// figure/table plus the scenario engine. See README.md for the full paper
+// mapping and usage guide.
 package fabricgossip

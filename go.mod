@@ -1,0 +1,3 @@
+module fabricgossip
+
+go 1.22

@@ -13,6 +13,7 @@
 package gossip
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -115,6 +116,7 @@ type Core struct {
 
 	onFirstReception func(b *ledger.Block, at time.Duration)
 	onCommit         func(b *ledger.Block)
+	onPeerState      func(peer wire.NodeID, alive bool, at time.Duration)
 }
 
 // New creates a gossip core. The protocol is attached but not started;
@@ -133,6 +135,13 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		blocks:      make(map[uint64]*ledger.Block),
 		peerHeights: make(map[wire.NodeID]uint64),
 		membership:  NewMembership(cfg.Self, expiration),
+		// Seed the heartbeat sequence from boot time so a restarted
+		// peer's fresh core emits sequences above anything its previous
+		// incarnation sent — otherwise other peers' anti-replay check
+		// would discard the rejoined peer's heartbeats as stale until it
+		// out-counted its pre-crash uptime (Fabric ships a boot timestamp
+		// in AliveMessage for the same reason).
+		aliveSeq: uint64(sched.Now() / time.Millisecond),
 	}
 	ep.SetHandler(c.handleMessage)
 	return c
@@ -149,6 +158,14 @@ func (c *Core) OnFirstReception(fn func(b *ledger.Block, at time.Duration)) {
 // strictly increasing order with no gaps (the peer package validates and
 // commits from here). Must be set before Start.
 func (c *Core) OnCommit(fn func(b *ledger.Block)) { c.onCommit = fn }
+
+// OnPeerStateChange installs the membership transition hook: it fires when
+// a peer's heartbeat makes it newly live and when the periodic sweep
+// (piggybacked on the alive ticker) expires it. Scenario runners use it to
+// observe failure-detection and rejoin latency. Must be set before Start.
+func (c *Core) OnPeerStateChange(fn func(peer wire.NodeID, alive bool, at time.Duration)) {
+	c.onPeerState = fn
+}
 
 // ID returns this peer's node id.
 func (c *Core) ID() wire.NodeID { return c.cfg.Self }
@@ -367,9 +384,14 @@ func (c *Core) handleMessage(from wire.NodeID, msg wire.Message) {
 			c.AddBlock(b)
 		}
 	case *wire.Alive:
+		now := c.sched.Now()
 		c.mu.Lock()
-		c.membership.Observe(from, m.Seq, c.sched.Now())
+		becameLive := c.membership.Observe(from, m.Seq, now)
+		fn := c.onPeerState
 		c.mu.Unlock()
+		if becameLive && fn != nil {
+			fn(from, true, now)
+		}
 	case *wire.DeliverBlock:
 		// Ordering service -> leader peer.
 		c.proto.OnOrdererBlock(m.Block)
@@ -391,10 +413,18 @@ func (c *Core) stateInfoTick() {
 }
 
 func (c *Core) aliveTick() {
+	now := c.sched.Now()
 	c.mu.Lock()
 	c.aliveSeq++
 	seq := c.aliveSeq
+	dead := c.membership.Expire(now)
+	fn := c.onPeerState
 	c.mu.Unlock()
+	if fn != nil {
+		for _, p := range dead {
+			fn(p, false, now)
+		}
+	}
 	msg := &wire.Alive{Seq: seq, Meta: make([]byte, c.cfg.AliveMetaSize)}
 	for _, p := range c.RandomPeers(c.cfg.AliveFanout) {
 		c.Send(p, msg)
@@ -425,6 +455,9 @@ func (c *Core) recoveryTick() {
 	if bestH <= myH || len(candidates) == 0 {
 		return
 	}
+	// candidates came out of map iteration: sort before the random pick so
+	// the same seed selects the same peer on every run.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 	best = candidates[c.rng.Intn(len(candidates))]
 	to := bestH
 	if batch > 0 && to > myH+batch {

@@ -24,6 +24,11 @@ type Membership struct {
 	expiration time.Duration
 	lastSeen   map[wire.NodeID]time.Duration
 	lastSeq    map[wire.NodeID]uint64
+	// liveNow is the transition state machine: which peers the view
+	// currently considers live, as of the last Observe/Expire. It lags the
+	// time-based Alive predicate until Expire is called, which is how
+	// dead transitions become observable events for scenario scripting.
+	liveNow map[wire.NodeID]bool
 }
 
 // NewMembership creates a view for self over the given expiration window.
@@ -33,22 +38,42 @@ func NewMembership(self wire.NodeID, expiration time.Duration) *Membership {
 		expiration: expiration,
 		lastSeen:   make(map[wire.NodeID]time.Duration),
 		lastSeq:    make(map[wire.NodeID]uint64),
+		liveNow:    make(map[wire.NodeID]bool),
 	}
 }
 
 // Observe records a heartbeat from peer with the given sequence number at
-// the given time. Stale (replayed or reordered) heartbeats with sequence
-// numbers at or below the freshest seen are ignored, so a dead peer cannot
-// be resurrected by an old message floating in the network.
-func (m *Membership) Observe(peer wire.NodeID, seq uint64, at time.Duration) {
+// the given time, reporting whether it made the peer newly live (a
+// dead-to-live transition). Stale (replayed or reordered) heartbeats with
+// sequence numbers at or below the freshest seen are ignored, so a dead
+// peer cannot be resurrected by an old message floating in the network.
+func (m *Membership) Observe(peer wire.NodeID, seq uint64, at time.Duration) bool {
 	if peer == m.self {
-		return
+		return false
 	}
 	if last, ok := m.lastSeq[peer]; ok && seq <= last {
-		return
+		return false
 	}
 	m.lastSeq[peer] = seq
 	m.lastSeen[peer] = at
+	becameLive := !m.liveNow[peer]
+	m.liveNow[peer] = true
+	return becameLive
+}
+
+// Expire sweeps the view at time now and returns the peers whose heartbeats
+// lapsed since the previous sweep (live-to-dead transitions), in ascending
+// id order. Call it periodically; Observe reports the opposite transition.
+func (m *Membership) Expire(now time.Duration) []wire.NodeID {
+	var dead []wire.NodeID
+	for p, live := range m.liveNow {
+		if live && now-m.lastSeen[p] > m.expiration {
+			m.liveNow[p] = false
+			dead = append(dead, p)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	return dead
 }
 
 // Alive reports whether peer is believed alive at time now. Self is always

@@ -70,6 +70,94 @@ func TestMembershipLeaderIsLowestLiveID(t *testing.T) {
 	}
 }
 
+func TestMembershipObserveReportsTransition(t *testing.T) {
+	m := NewMembership(0, sec(3))
+	if !m.Observe(1, 1, sec(0)) {
+		t.Fatal("first heartbeat not reported as a live transition")
+	}
+	if m.Observe(1, 2, sec(1)) {
+		t.Fatal("refresh heartbeat reported as a transition")
+	}
+	if m.Observe(1, 2, sec(2)) {
+		t.Fatal("stale heartbeat reported as a transition")
+	}
+	// Expire flips it dead; the next heartbeat is a transition again.
+	dead := m.Expire(sec(10))
+	if len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("Expire = %v, want [1]", dead)
+	}
+	if got := m.Expire(sec(11)); len(got) != 0 {
+		t.Fatalf("second Expire = %v, want none (already dead)", got)
+	}
+	if !m.Observe(1, 3, sec(12)) {
+		t.Fatal("rejoin heartbeat not reported as a transition")
+	}
+}
+
+func TestMembershipExpireReturnsSortedIDs(t *testing.T) {
+	m := NewMembership(0, sec(1))
+	for _, id := range []wire.NodeID{9, 3, 7, 1} {
+		m.Observe(id, 1, sec(0))
+	}
+	dead := m.Expire(sec(5))
+	want := []wire.NodeID{1, 3, 7, 9}
+	if len(dead) != len(want) {
+		t.Fatalf("Expire = %v", dead)
+	}
+	for i := range want {
+		if dead[i] != want[i] {
+			t.Fatalf("Expire order = %v, want %v", dead, want)
+		}
+	}
+}
+
+func TestCorePeerStateChangeHook(t *testing.T) {
+	// Crash a peer and revive it: every survivor's hook must report the
+	// dead transition (via the alive-tick sweep) and the rejoin.
+	o := buildFailoverOrg(t)
+	type transition struct {
+		peer  wire.NodeID
+		alive bool
+	}
+	seen := make(map[wire.NodeID][]transition)
+	for _, c := range o.cores {
+		self := c.ID()
+		c.OnPeerStateChange(func(peer wire.NodeID, alive bool, at time.Duration) {
+			seen[self] = append(seen[self], transition{peer, alive})
+		})
+	}
+	o.engine.RunUntil(5 * time.Second)
+	o.net.SetNodeDown(0, true)
+	o.engine.RunUntil(15 * time.Second)
+	for i := 1; i < len(o.cores); i++ {
+		self := o.cores[i].ID()
+		var sawDead bool
+		for _, tr := range seen[self] {
+			if tr.peer == 0 && !tr.alive {
+				sawDead = true
+			}
+		}
+		if !sawDead {
+			t.Fatalf("peer %d never observed the leader dying", i)
+		}
+	}
+	o.net.SetNodeDown(0, false)
+	o.engine.RunUntil(25 * time.Second)
+	for i := 1; i < len(o.cores); i++ {
+		self := o.cores[i].ID()
+		// The transition log for peer 0 must end dead -> alive.
+		var forZero []bool
+		for _, tr := range seen[self] {
+			if tr.peer == 0 {
+				forZero = append(forZero, tr.alive)
+			}
+		}
+		if len(forZero) < 3 || forZero[len(forZero)-1] != true {
+			t.Fatalf("peer %d transition log for the leader = %v, want alive/dead/alive", i, forZero)
+		}
+	}
+}
+
 func TestCoreLeaderFailover(t *testing.T) {
 	// Five peers heartbeat each other; peer 0 leads. Crash peer 0: within
 	// the expiration window every surviving peer elects peer 1.

@@ -204,15 +204,22 @@ func (p *Protocol) pullTick() {
 	}
 	p.pullTimer = p.c.Scheduler().After(p.cfg.TPull, p.pullTick)
 	peers := p.c.RandomPeers(p.cfg.Fin)
-	hellos := make(map[uint64]wire.NodeID, len(peers))
+	// Hellos go out in sampling order (a map here would randomize send
+	// order and with it the transport's delay draws, breaking run-to-run
+	// determinism).
+	type hello struct {
+		nonce uint64
+		to    wire.NodeID
+	}
+	hellos := make([]hello, 0, len(peers))
 	for _, q := range peers {
 		p.nextNonce++
 		p.pending[p.nextNonce] = q
-		hellos[p.nextNonce] = q
+		hellos = append(hellos, hello{nonce: p.nextNonce, to: q})
 	}
 	p.mu.Unlock()
-	for nonce, q := range hellos {
-		p.c.Send(q, &wire.PullHello{Nonce: nonce})
+	for _, h := range hellos {
+		p.c.Send(h.to, &wire.PullHello{Nonce: h.nonce})
 	}
 }
 

@@ -5,13 +5,10 @@ import (
 	"time"
 
 	"fabricgossip/internal/gossip"
-	"fabricgossip/internal/gossip/enhanced"
-	"fabricgossip/internal/gossip/original"
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/metrics"
 	"fabricgossip/internal/netmodel"
 	"fabricgossip/internal/sim"
-	"fabricgossip/internal/transport"
 	"fabricgossip/internal/wire"
 )
 
@@ -45,39 +42,14 @@ type DisseminationResult struct {
 // on the block interval, and measures per-peer/per-block dissemination
 // latency and per-peer bandwidth.
 func RunDissemination(p Params) (*DisseminationResult, error) {
-	if p.NumPeers < 2 {
-		return nil, fmt.Errorf("harness: need at least 2 peers, got %d", p.NumPeers)
-	}
-	engine := sim.NewEngine(p.Seed)
-	traffic := netmodel.NewTraffic(p.Bucket)
-	net := transport.NewSimNetwork(engine, netmodel.LAN(), traffic)
-
-	peers := make([]wire.NodeID, p.NumPeers)
-	for i := range peers {
-		peers[i] = wire.NodeID(i)
-	}
-
 	rec := metrics.NewLatencyRecorder()
 	// leaderSeen[num] is the dissemination start: the leader's reception
 	// of the block from the ordering service.
 	leaderSeen := make(map[uint64]time.Duration, p.NumBlocks)
 	received := make([]int, p.NumBlocks) // peers holding each block
 
-	cores := make([]*gossip.Core, p.NumPeers)
-	for i := 0; i < p.NumPeers; i++ {
-		ep := net.AddNode()
-		cfg := gossip.DefaultConfig(ep.ID(), peers)
-		var proto gossip.Protocol
-		switch p.Variant {
-		case VariantOriginal:
-			proto = original.New(p.Original)
-		case VariantEnhanced:
-			proto = enhanced.New(p.Enhanced)
-		default:
-			return nil, fmt.Errorf("harness: unknown variant %q", p.Variant)
-		}
-		core := gossip.New(cfg, ep, engine, engine.Rand("gossip"), proto)
-		self := ep.ID()
+	org, err := NewOrg(p, WithCoreHook(func(i int, core *gossip.Core) {
+		self := core.ID()
 		core.OnFirstReception(func(b *ledger.Block, at time.Duration) {
 			if self == 0 {
 				// The leader is the dissemination origin: its reception
@@ -97,18 +69,18 @@ func RunDissemination(p Params) (*DisseminationResult, error) {
 				received[b.Num]++
 			}
 		})
-		cores[i] = core
+	}))
+	if err != nil {
+		return nil, err
 	}
-	orderer := net.AddNode()
-	for _, c := range cores {
-		c.Start()
-	}
+	engine, traffic := org.Engine, org.Traffic
+	org.StartAll()
 
 	// Background floor: the paper's ≈0.4 MB/s of non-dissemination system
 	// traffic per peer, accounted once per simulated second.
 	if p.BackgroundBytesPerSec > 0 {
 		half := int(p.BackgroundBytesPerSec / 2)
-		for _, id := range peers {
+		for _, id := range org.Peers {
 			id := id
 			engine.Every(time.Second, func() {
 				traffic.Record(id, id, wire.TypeAlive, half, engine.Now())
@@ -120,15 +92,13 @@ func RunDissemination(p Params) (*DisseminationResult, error) {
 	for i, b := range blocks {
 		b := b
 		engine.At(time.Duration(i)*p.BlockInterval, func() {
-			_ = orderer.Send(0, &wire.DeliverBlock{Block: b})
+			org.DeliverBlock(b)
 		})
 	}
 
 	end := time.Duration(p.NumBlocks-1)*p.BlockInterval + p.Tail
 	engine.RunUntil(end)
-	for _, c := range cores {
-		c.Stop()
-	}
+	org.StopAll()
 
 	complete := 0
 	for _, got := range received {

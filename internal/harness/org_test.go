@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"fabricgossip/internal/gossip"
+	"fabricgossip/internal/wire"
+)
+
+func orgFixture(t *testing.T, n int) *Org {
+	t.Helper()
+	p := QuickScale(DefaultParams(VariantEnhanced, 13), n, 4)
+	org, err := NewOrg(p, WithGossipTune(func(self wire.NodeID, cfg *gossip.Config) {
+		cfg.AliveInterval = time.Second
+		cfg.AliveExpiration = 3 * time.Second
+		cfg.AliveFanout = n - 1 // broadcast: fast-converging views for the test
+		cfg.StateInfoInterval = time.Second
+		cfg.RecoveryInterval = 2 * time.Second
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	org.StartAll()
+	return org
+}
+
+func livesees(c *gossip.Core, id wire.NodeID) bool {
+	for _, p := range c.LivePeers() {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// A peer that restarts after a long uptime must be detected as live again
+// within a few heartbeat intervals: its fresh core's Alive sequences start
+// above the previous incarnation's, so survivors do not discard them as
+// replays.
+func TestRestartedPeerRejoinsMembershipPromptly(t *testing.T) {
+	org := orgFixture(t, 6)
+	e := org.Engine
+	// Long uptime: the old incarnation racks up ~60 heartbeat sequences.
+	e.RunUntil(60 * time.Second)
+	if !livesees(org.Cores[3], 5) {
+		t.Fatal("peer 5 not live before the crash")
+	}
+	org.Crash(5)
+	e.RunUntil(70 * time.Second)
+	if livesees(org.Cores[3], 5) {
+		t.Fatal("crashed peer still in the live view")
+	}
+	org.Restart(5)
+	// Within a few alive intervals — not another 60 s — the rejoin shows.
+	e.RunUntil(75 * time.Second)
+	if !livesees(org.Cores[3], 5) {
+		t.Fatal("restarted peer not re-detected within a few heartbeats")
+	}
+}
+
+// The ordering service delivers to a peer it can reach: with the elected
+// leader on the far side of a partition, delivery goes to the orderer-side
+// leader instead of silently vanishing into the cut.
+func TestDeliverBlockRespectsPartition(t *testing.T) {
+	org := orgFixture(t, 6)
+	// Crash peers 0-2; the elected leader is now peer 3.
+	for i := 0; i < 3; i++ {
+		org.Crash(i)
+	}
+	if org.Leader() != 3 {
+		t.Fatalf("leader = %d, want 3", org.Leader())
+	}
+	// Partition the orderer with {0, 1, 4, 5}; peers 2-3 are cut off.
+	org.Net.Partition(
+		[]wire.NodeID{0, 1, 4, 5, org.Orderer.ID()},
+		[]wire.NodeID{2, 3},
+	)
+	b := BuildChain(1, 2, 64, 1)[0]
+	if got := org.DeliverBlock(b); got != 4 {
+		t.Fatalf("delivered to peer %d, want 4 (lowest live peer the orderer reaches)", got)
+	}
+	org.Engine.RunFor(time.Second)
+	if org.Cores[4].Height() != 1 {
+		t.Fatal("reachable peer never received the block")
+	}
+	// Cut off entirely: the block is reported dropped.
+	org.Net.Partition([]wire.NodeID{org.Orderer.ID()}, []wire.NodeID{0, 1, 2, 3, 4, 5})
+	if got := org.DeliverBlock(b); got != -1 {
+		t.Fatalf("delivery into a total cut targeted peer %d, want -1", got)
+	}
+}
+
+func TestCrashRestartLifecycle(t *testing.T) {
+	org := orgFixture(t, 4)
+	if org.LiveCount() != 4 || org.Crashed(2) {
+		t.Fatal("fresh org in wrong state")
+	}
+	org.Crash(2)
+	org.Crash(2) // idempotent
+	if org.LiveCount() != 3 || !org.Crashed(2) {
+		t.Fatal("crash not reflected")
+	}
+	old := org.Cores[2]
+	fresh := org.Restart(2)
+	if fresh == old {
+		t.Fatal("restart did not build a fresh core")
+	}
+	if org.Restart(2) != fresh {
+		t.Fatal("restart of a live peer must be a no-op")
+	}
+	if org.LiveCount() != 4 {
+		t.Fatal("restart not reflected in live count")
+	}
+}

@@ -219,6 +219,43 @@ func (r *LatencyRecorder) All() *Distribution {
 	return NewDistribution(all)
 }
 
+// RecoveryRecorder accumulates peer catch-up latencies from fault and churn
+// scenarios: the time from a peer's restart (or staggered join) until its
+// in-order ledger height reached the organization's injected height. It is
+// the per-scenario recovery metric the scenario reports summarize.
+type RecoveryRecorder struct {
+	samples []time.Duration
+}
+
+// NewRecoveryRecorder returns an empty recorder.
+func NewRecoveryRecorder() *RecoveryRecorder { return &RecoveryRecorder{} }
+
+// Record adds one observation: a peer caught up after latency.
+func (r *RecoveryRecorder) Record(latency time.Duration) {
+	r.samples = append(r.samples, latency)
+}
+
+// Count returns the number of recorded recoveries.
+func (r *RecoveryRecorder) Count() int { return len(r.samples) }
+
+// Distribution returns the recovery-latency distribution.
+func (r *RecoveryRecorder) Distribution() *Distribution {
+	return NewDistribution(r.samples)
+}
+
+// OverheadRatio relates total transmitted bytes to the ideal minimum of a
+// dissemination workload: every one of blocks payloads of payloadBytes
+// reaching each of receivers peers exactly once. A perfect protocol scores
+// 1.0; redundant pushes, digests, heartbeats and recovery re-fetches raise
+// it. Returns 0 when the ideal volume is zero.
+func OverheadRatio(totalBytes uint64, payloadBytes, receivers, blocks int) float64 {
+	ideal := float64(payloadBytes) * float64(receivers) * float64(blocks)
+	if ideal <= 0 {
+		return 0
+	}
+	return float64(totalBytes) / ideal
+}
+
 // Summary holds headline statistics of a distribution.
 type Summary struct {
 	N                   int

@@ -207,3 +207,31 @@ func TestPropertyQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecoveryRecorder(t *testing.T) {
+	r := NewRecoveryRecorder()
+	if r.Count() != 0 || r.Distribution().N() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Record(ms(200))
+	r.Record(ms(600))
+	r.Record(ms(400))
+	if r.Count() != 3 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	d := r.Distribution()
+	if d.Min() != ms(200) || d.Max() != ms(600) || d.Quantile(0.5) != ms(400) {
+		t.Fatalf("distribution min=%v p50=%v max=%v", d.Min(), d.Quantile(0.5), d.Max())
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	// 10 blocks of 1000 bytes to 99 receivers, transmitted at 1.5x ideal.
+	ideal := uint64(1000 * 99 * 10)
+	if got := OverheadRatio(ideal*3/2, 1000, 99, 10); got < 1.49 || got > 1.51 {
+		t.Fatalf("overhead = %v, want 1.5", got)
+	}
+	if got := OverheadRatio(123, 0, 99, 10); got != 0 {
+		t.Fatalf("zero-ideal overhead = %v, want 0", got)
+	}
+}

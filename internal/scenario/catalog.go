@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Def is a named catalog entry: a scenario template instantiated for a
+// concrete organization size, so the same fault script scales from tens to
+// thousands of peers.
+type Def struct {
+	Name        string
+	Description string
+	Build       func(n int) Scenario
+}
+
+// catalog holds the built-in scenarios, keyed by name.
+var catalog = map[string]Def{}
+
+func register(d Def) {
+	catalog[d.Name] = d
+}
+
+// Catalog returns the built-in scenario definitions sorted by name.
+func Catalog() []Def {
+	out := make([]Def, 0, len(catalog))
+	for _, d := range catalog {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted names of the built-in scenarios.
+func Names() []string {
+	defs := Catalog()
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Lookup returns the catalog entry with the given name.
+func Lookup(name string) (Def, error) {
+	d, ok := catalog[name]
+	if !ok {
+		return Def{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	return d, nil
+}
+
+func init() {
+	register(Def{
+		Name: "crash-restart",
+		Description: "a tenth of the organization crashes mid-dissemination and " +
+			"restarts cold two and a half seconds later, catching up through recovery",
+		Build: func(n int) Scenario {
+			k := max(1, n/10)
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 300 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          30 * time.Second,
+				Events: []Event{
+					{At: 1500 * time.Millisecond, Action: CrashPeers{Peers: span(1, 1+k)}},
+					{At: 4 * time.Second, Action: RestartAll{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "leader-failover",
+		Description: "the leader peer crashes mid-run, the ordering service fails " +
+			"over to the next live peer, and the old leader later rejoins and catches up",
+		Build: func(n int) Scenario {
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 400 * time.Millisecond,
+				Warmup:        1500 * time.Millisecond,
+				Tail:          30 * time.Second,
+				Events: []Event{
+					{At: 2500 * time.Millisecond, Action: CrashLeader{}},
+					{At: 10 * time.Second, Action: RestartPeers{Peers: []int{0}}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "partition-heal",
+		Description: "the network splits in half during dissemination; the minority " +
+			"side misses blocks until the partition heals and recovery closes the gaps",
+		Build: func(n int) Scenario {
+			return Scenario{
+				Blocks:        8,
+				BlockInterval: 400 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          35 * time.Second,
+				Events: []Event{
+					{At: 1200 * time.Millisecond, Action: PartitionSplit{Split: n / 2}},
+					{At: 6 * time.Second, Action: HealPartition{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "churn",
+		Description: "three consecutive crash/restart waves roll through the " +
+			"organization while blocks keep flowing",
+		Build: func(n int) Scenario {
+			k := max(1, n/20)
+			waveA := span(1, 1+k)
+			waveB := span(1+k, 1+2*k)
+			waveC := span(1+2*k, 1+3*k)
+			return Scenario{
+				Blocks:        12,
+				BlockInterval: 500 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          40 * time.Second,
+				Events: []Event{
+					{At: 2 * time.Second, Action: CrashPeers{Peers: waveA}},
+					{At: 4500 * time.Millisecond, Action: RestartPeers{Peers: waveA}},
+					{At: 4500 * time.Millisecond, Action: CrashPeers{Peers: waveB}},
+					{At: 7 * time.Second, Action: RestartPeers{Peers: waveB}},
+					{At: 7 * time.Second, Action: CrashPeers{Peers: waveC}},
+					{At: 9500 * time.Millisecond, Action: RestartPeers{Peers: waveC}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "slow-links",
+		Description: "a tenth of the peers turn into stragglers (+30ms on every " +
+			"link) mid-run, then return to normal",
+		Build: func(n int) Scenario {
+			slow := span(n-max(1, n/10), n)
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 300 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          20 * time.Second,
+				Events: []Event{
+					{At: time.Second, Action: SlowPeers{Peers: slow, Extra: 30 * time.Millisecond}},
+					{At: 8 * time.Second, Action: SlowPeers{Peers: slow}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "staggered-join",
+		Description: "half the organization (a second org joining the channel) " +
+			"starts offline and joins in two staggered waves, each catching up from zero",
+		Build: func(n int) Scenario {
+			lo := n / 2
+			mid := lo + (n-lo)/2
+			return Scenario{
+				Blocks:        8,
+				BlockInterval: 500 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          40 * time.Second,
+				InitialDown:   span(lo, n),
+				Events: []Event{
+					{At: 3 * time.Second, Action: RestartPeers{Peers: span(lo, mid)}},
+					{At: 6 * time.Second, Action: RestartPeers{Peers: span(mid, n)}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "flaky-network",
+		Description: "15% uniform packet loss throughout dissemination; the " +
+			"epidemic's redundancy and recovery must still deliver everything",
+		Build: func(n int) Scenario {
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 400 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          30 * time.Second,
+				Events: []Event{
+					{At: 500 * time.Millisecond, Action: PacketLoss{Rate: 0.15}},
+					{At: 12 * time.Second, Action: PacketLoss{}},
+				},
+			}
+		},
+	})
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"fabricgossip/internal/metrics"
+)
+
+// Report is everything a scenario run measured. All fields derive
+// deterministically from (scenario, Options); Fingerprint hashes them so
+// two runs can be compared byte for byte.
+type Report struct {
+	Scenario string
+	Variant  string
+	Peers    int
+	Seed     int64
+
+	// BlocksInjected counts blocks the ordering service delivered to a
+	// live leader (blocks cut while no peer was live are dropped).
+	BlocksInjected int
+	// BlockBytes is the encoded size of one workload block.
+	BlockBytes int
+
+	// Survivors is how many peers were live at the end of the run;
+	// CaughtUp how many of them had committed every injected block in
+	// order. The catalog's scenarios all end with Survivors == CaughtUp.
+	Survivors int
+	CaughtUp  int
+	// OrderViolations counts commits that skipped or repeated a height —
+	// always zero unless the in-order delivery invariant broke.
+	OrderViolations int
+
+	// Recoveries summarizes rejoin-with-catchup latency: restart (or
+	// staggered join) to fully caught up. PendingRecoveries counts peers
+	// that were still behind when the run ended.
+	Recoveries        metrics.Summary
+	PendingRecoveries int
+
+	// Transitions counts membership live/dead observations across all
+	// peers (failure detection and rejoin events).
+	Transitions int
+
+	// TotalBytes is all bytes leaving any NIC; Overhead relates it to the
+	// ideal minimum of every block reaching every other peer exactly once.
+	TotalBytes uint64
+	Overhead   float64
+
+	// EngineEvents is the number of discrete events the engine executed.
+	EngineEvents uint64
+
+	// Trace is the deterministic event log of the run.
+	Trace []string
+}
+
+// String renders the report (without the trace) as a stable multi-line
+// block.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s variant=%s peers=%d seed=%d\n", r.Scenario, r.Variant, r.Peers, r.Seed)
+	fmt.Fprintf(&b, "  blocks injected: %d (%d B each)\n", r.BlocksInjected, r.BlockBytes)
+	fmt.Fprintf(&b, "  survivors: %d/%d caught up, %d order violations, %d pending recoveries\n",
+		r.CaughtUp, r.Survivors, r.OrderViolations, r.PendingRecoveries)
+	fmt.Fprintf(&b, "  recoveries: %s\n", r.Recoveries)
+	fmt.Fprintf(&b, "  membership transitions: %d\n", r.Transitions)
+	fmt.Fprintf(&b, "  traffic: %.2f MB, overhead %.2fx ideal\n", float64(r.TotalBytes)/1e6, r.Overhead)
+	fmt.Fprintf(&b, "  engine events: %d", r.EngineEvents)
+	return b.String()
+}
+
+// Fingerprint returns a hex digest over the report and its full trace: two
+// runs with the same scenario, options and seed must produce identical
+// fingerprints (the determinism property the test suite enforces).
+func (r *Report) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintln(h, r.String())
+	for _, line := range r.Trace {
+		fmt.Fprintln(h, line)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,290 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"fabricgossip/internal/gossip"
+	"fabricgossip/internal/harness"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/metrics"
+	"fabricgossip/internal/wire"
+)
+
+// Options parameterizes one scenario run.
+type Options struct {
+	// Peers is the organization size (default 100). The catalog scales its
+	// fault scripts to any size up to thousands of peers.
+	Peers int
+	// Variant selects the protocol under test (default VariantEnhanced).
+	Variant harness.Variant
+	// Seed drives every random stream; the same seed reproduces the run
+	// byte for byte.
+	Seed int64
+	// TxPerBlock/TxPayload shape the workload blocks (defaults 10 x 512 B:
+	// small enough that thousand-peer runs stay fast, large enough that
+	// bandwidth overhead is dominated by block bodies).
+	TxPerBlock int
+	TxPayload  int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Peers == 0 {
+		o.Peers = 100
+	}
+	if o.Variant == "" {
+		o.Variant = harness.VariantEnhanced
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.TxPerBlock == 0 {
+		o.TxPerBlock = 10
+	}
+	if o.TxPayload == 0 {
+		o.TxPayload = 512
+	}
+	return o
+}
+
+// runner is the per-run mutable state behind the fault actions and
+// measurement hooks.
+type runner struct {
+	sc  Scenario
+	opt Options
+	org *harness.Org
+	rec *metrics.RecoveryRecorder
+
+	trace    []string
+	injected int // blocks delivered to the org so far
+
+	// Per-peer measurement state, reset when a peer restarts.
+	lastCommit []int64 // last in-order committed block, -1 if none
+	restartAt  []time.Duration
+	recovering []bool
+
+	transitions     int
+	orderViolations int
+}
+
+// RunNamed instantiates the named catalog scenario for opt.Peers peers and
+// runs it.
+func RunNamed(name string, opt Options) (*Report, error) {
+	def, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	sc := def.Build(opt.Peers)
+	sc.Name = def.Name
+	sc.Description = def.Description
+	return Run(sc, opt)
+}
+
+// Run executes the scenario and returns its report. The run is fully
+// deterministic in (scenario, Options).
+func Run(sc Scenario, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if sc.Blocks <= 0 {
+		return nil, fmt.Errorf("scenario: %q injects no blocks", sc.Name)
+	}
+	for _, i := range sc.InitialDown {
+		if i <= 0 || i >= opt.Peers {
+			return nil, fmt.Errorf("scenario: initial-down peer %d out of range (leader 0 must start live)", i)
+		}
+	}
+	for _, ev := range sc.Events {
+		for _, i := range actionPeers(ev.Action) {
+			if i < 0 || i >= opt.Peers {
+				return nil, fmt.Errorf("scenario: event %q at %v names peer %d, outside [0, %d)",
+					ev.Action, ev.At, i, opt.Peers)
+			}
+		}
+		if split, ok := ev.Action.(PartitionSplit); ok && (split.Split <= 0 || split.Split >= opt.Peers) {
+			return nil, fmt.Errorf("scenario: event %q at %v splits outside (0, %d)",
+				ev.Action, ev.At, opt.Peers)
+		}
+	}
+
+	// Base protocol parameters come from the paper's defaults at this
+	// organization size; fault handling wants faster membership and
+	// recovery turnarounds than the paper's fault-free 10 s defaults.
+	params := harness.QuickScale(harness.DefaultParams(opt.Variant, opt.Seed), opt.Peers, sc.Blocks)
+	params.TxPerBlock = opt.TxPerBlock
+	params.TxPayload = opt.TxPayload
+	params.Bucket = time.Second
+
+	r := &runner{
+		sc:         sc,
+		opt:        opt,
+		rec:        metrics.NewRecoveryRecorder(),
+		lastCommit: make([]int64, opt.Peers),
+		restartAt:  make([]time.Duration, opt.Peers),
+		recovering: make([]bool, opt.Peers),
+	}
+	for i := range r.lastCommit {
+		r.lastCommit[i] = -1
+	}
+
+	org, err := harness.NewOrg(params,
+		harness.WithGossipTune(func(self wire.NodeID, cfg *gossip.Config) {
+			cfg.StateInfoInterval = time.Second
+			cfg.AliveInterval = 2 * time.Second
+			cfg.AliveExpiration = 5 * time.Second
+			cfg.RecoveryInterval = 2 * time.Second
+			cfg.RecoveryBatch = 64
+		}),
+		harness.WithCoreHook(r.instrument),
+	)
+	if err != nil {
+		return nil, err
+	}
+	r.org = org
+	engine := org.Engine
+	// The ordering service delivers over a reliable stream: scenario
+	// packet loss must not permanently swallow a block before it enters
+	// the organization.
+	org.Net.SetLossExempt(wire.TypeDeliverBlock, true)
+
+	org.StartAll()
+	for _, i := range sc.InitialDown {
+		org.Crash(i)
+	}
+	if len(sc.InitialDown) > 0 {
+		r.tracef("start with peers %s down", rangeSpec(sc.InitialDown))
+	}
+
+	// Schedule the workload.
+	blocks := harness.BuildChain(sc.Blocks, opt.TxPerBlock, opt.TxPayload, opt.Seed)
+	for i, b := range blocks {
+		b := b
+		engine.At(sc.Warmup+time.Duration(i)*sc.BlockInterval, func() {
+			leader := org.DeliverBlock(b)
+			if leader < 0 {
+				r.tracef("block %d dropped: no live peer to lead", b.Num)
+				return
+			}
+			r.injected++
+			r.tracef("deliver block %d -> peer %d", b.Num, leader)
+		})
+	}
+
+	// Schedule the fault script.
+	for _, ev := range sc.Events {
+		ev := ev
+		engine.At(ev.At, func() {
+			r.tracef("%s", ev.Action)
+			ev.Action.apply(r)
+		})
+	}
+
+	engine.RunUntil(sc.End())
+	org.StopAll()
+
+	return r.report(blocks), nil
+}
+
+// actionPeers returns the peer indices an action addresses, for up-front
+// range validation (a bad index must fail Run, not panic mid-simulation).
+func actionPeers(a Action) []int {
+	switch a := a.(type) {
+	case CrashPeers:
+		return a.Peers
+	case RestartPeers:
+		return a.Peers
+	case SlowPeers:
+		return a.Peers
+	}
+	return nil
+}
+
+// instrument installs the measurement hooks on a (possibly restarted) core.
+// It runs during NewOrg, before r.org is assigned, so the callbacks resolve
+// the engine lazily.
+func (r *runner) instrument(i int, core *gossip.Core) {
+	core.OnCommit(func(b *ledger.Block) {
+		if int64(b.Num) != r.lastCommit[i]+1 {
+			r.orderViolations++
+		}
+		r.lastCommit[i] = int64(b.Num)
+		if r.recovering[i] && b.Num+1 >= uint64(r.injected) {
+			lat := r.org.Engine.Now() - r.restartAt[i]
+			r.rec.Record(lat)
+			r.recovering[i] = false
+			r.tracef("peer %d caught up to height %d, %v after restart", i, b.Num+1, lat)
+		}
+	})
+	core.OnPeerStateChange(func(wire.NodeID, bool, time.Duration) {
+		r.transitions++
+	})
+}
+
+func (r *runner) crash(i int) {
+	if r.org.Crashed(i) {
+		return
+	}
+	r.org.Crash(i)
+	r.recovering[i] = false
+}
+
+func (r *runner) restart(i int) {
+	if !r.org.Crashed(i) {
+		return
+	}
+	// The fresh core commits from zero again; reset the per-peer ordering
+	// and recovery trackers before its hooks fire.
+	r.lastCommit[i] = -1
+	r.restartAt[i] = r.org.Engine.Now()
+	r.recovering[i] = r.injected > 0
+	r.org.Restart(i)
+}
+
+// partition cuts peers [0, split) plus the orderer from peers [split, n).
+// Range validation happened in Run.
+func (r *runner) partition(split int) {
+	sideA := make([]wire.NodeID, 0, split+1)
+	sideA = append(sideA, r.org.Peers[:split]...)
+	sideA = append(sideA, r.org.Orderer.ID())
+	sideB := append([]wire.NodeID(nil), r.org.Peers[split:]...)
+	r.org.Net.Partition(sideA, sideB)
+}
+
+func (r *runner) tracef(format string, args ...any) {
+	at := r.org.Engine.Now()
+	r.trace = append(r.trace, fmt.Sprintf("[%10v] %s", at, fmt.Sprintf(format, args...)))
+}
+
+// report assembles the final Report after the engine has drained.
+func (r *runner) report(blocks []*ledger.Block) *Report {
+	rep := &Report{
+		Scenario:       r.sc.Name,
+		Variant:        string(r.opt.Variant),
+		Peers:          r.opt.Peers,
+		Seed:           r.opt.Seed,
+		BlocksInjected: r.injected,
+		Transitions:    r.transitions,
+		EngineEvents:   r.org.Engine.Executed(),
+		TotalBytes:     r.org.Traffic.TotalBytes(),
+		Recoveries:     metrics.Summarize(r.rec.Distribution()),
+		Trace:          r.trace,
+	}
+	for i := 0; i < r.opt.Peers; i++ {
+		if r.org.Crashed(i) {
+			continue
+		}
+		rep.Survivors++
+		if r.lastCommit[i] == int64(r.injected)-1 {
+			rep.CaughtUp++
+		}
+		if r.recovering[i] {
+			rep.PendingRecoveries++
+		}
+	}
+	rep.OrderViolations = r.orderViolations
+	if len(blocks) > 0 {
+		blockBytes := wire.BlockEncodedSize(blocks[0])
+		rep.BlockBytes = blockBytes
+		rep.Overhead = metrics.OverheadRatio(rep.TotalBytes, blockBytes, r.opt.Peers-1, r.injected)
+	}
+	return rep
+}

@@ -1,0 +1,203 @@
+// Package scenario is a declarative, deterministic runner for large-scale
+// fault and churn experiments against both gossip protocols. A Scenario is
+// a timed script of fault actions — peer crashes and restarts (rejoining
+// peers catch up through the recovery component), network partitions and
+// heals, slow links, leader failover, packet loss, and staggered joins —
+// executed on the discrete-event engine, so the same seed reproduces the
+// same run byte for byte at any scale, including thousand-peer networks.
+//
+// The built-in catalog (see Catalog) covers the fault classes the paper's
+// evaluation leaves out (§V runs a single fault-free organization); the
+// runner reports per-scenario recovery latency, bandwidth overhead and the
+// ordering invariants every surviving peer must keep.
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scenario is a declarative fault experiment: a dissemination workload plus
+// a script of timed fault events. Times are absolute virtual times from the
+// start of the run.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Blocks blocks are injected at the current leader every
+	// BlockInterval, starting at Warmup (which gives membership heartbeats
+	// time to form the initial view).
+	Blocks        int
+	BlockInterval time.Duration
+	Warmup        time.Duration
+	// Tail is how long the run continues after the last injection —
+	// the window in which recovery must close every gap.
+	Tail time.Duration
+
+	// InitialDown lists peers that start crashed and join later via a
+	// Restart event (staggered-join scenarios).
+	InitialDown []int
+
+	Events []Event
+}
+
+// End returns the virtual time the run finishes: the later of the last
+// injection and the last event, plus Tail.
+func (s Scenario) End() time.Duration {
+	end := s.Warmup
+	if s.Blocks > 0 {
+		end += time.Duration(s.Blocks-1) * s.BlockInterval
+	}
+	for _, ev := range s.Events {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+	return end + s.Tail
+}
+
+// Event schedules one fault action at an absolute virtual time.
+type Event struct {
+	At     time.Duration
+	Action Action
+}
+
+// Action is one scripted fault operation. Implementations mutate the
+// running organization through the runner.
+type Action interface {
+	apply(r *runner)
+	// String describes the action for the run trace.
+	String() string
+}
+
+// CrashPeers fails the listed peers: their cores stop and the network
+// silences their endpoints.
+type CrashPeers struct{ Peers []int }
+
+func (a CrashPeers) apply(r *runner) {
+	for _, i := range a.Peers {
+		r.crash(i)
+	}
+}
+
+func (a CrashPeers) String() string { return "crash peers " + rangeSpec(a.Peers) }
+
+// CrashLeader fails the current leader (the lowest-id live peer, which is
+// where the ordering service delivers); subsequent blocks go to the next
+// live peer — the leader-failover path.
+type CrashLeader struct{}
+
+func (a CrashLeader) apply(r *runner) {
+	if leader := r.org.Leader(); leader >= 0 {
+		r.crash(leader)
+	}
+}
+
+func (a CrashLeader) String() string { return "crash leader" }
+
+// RestartPeers revives the listed peers with fresh cores and empty block
+// stores: the rejoin-with-catchup path through state info + recovery.
+type RestartPeers struct{ Peers []int }
+
+func (a RestartPeers) apply(r *runner) {
+	for _, i := range a.Peers {
+		r.restart(i)
+	}
+}
+
+func (a RestartPeers) String() string { return "restart peers " + rangeSpec(a.Peers) }
+
+// RestartAll revives every crashed peer.
+type RestartAll struct{}
+
+func (a RestartAll) apply(r *runner) {
+	for i := 0; i < len(r.org.Cores); i++ {
+		if r.org.Crashed(i) {
+			r.restart(i)
+		}
+	}
+}
+
+func (a RestartAll) String() string { return "restart all crashed peers" }
+
+// PartitionSplit cuts the network in two: peers with index < Split on one
+// side, the rest on the other. The ordering service stays with the first
+// side (it keeps feeding whichever leader it can reach there).
+type PartitionSplit struct{ Split int }
+
+func (a PartitionSplit) apply(r *runner) { r.partition(a.Split) }
+
+func (a PartitionSplit) String() string {
+	return fmt.Sprintf("partition at peer %d", a.Split)
+}
+
+// HealPartition removes the active partition.
+type HealPartition struct{}
+
+func (a HealPartition) apply(r *runner) { r.org.Net.Heal() }
+
+func (a HealPartition) String() string { return "heal partition" }
+
+// SlowPeers adds Extra one-way latency to every message entering or leaving
+// the listed peers (straggler hosts, WAN-attached org members). Extra <= 0
+// clears the override.
+type SlowPeers struct {
+	Peers []int
+	Extra time.Duration
+}
+
+func (a SlowPeers) apply(r *runner) {
+	for _, i := range a.Peers {
+		r.org.Net.SetNodeExtraDelay(r.org.Peers[i], a.Extra)
+	}
+}
+
+func (a SlowPeers) String() string {
+	if a.Extra <= 0 {
+		return "clear slow peers " + rangeSpec(a.Peers)
+	}
+	return fmt.Sprintf("slow peers %s by %v", rangeSpec(a.Peers), a.Extra)
+}
+
+// PacketLoss sets the network-wide uniform message loss probability.
+type PacketLoss struct{ Rate float64 }
+
+func (a PacketLoss) apply(r *runner) { r.org.Net.SetDropRate(a.Rate) }
+
+func (a PacketLoss) String() string {
+	return fmt.Sprintf("packet loss %.0f%%", a.Rate*100)
+}
+
+// rangeSpec compactly formats a peer index list: contiguous ascending runs
+// print as "a..b", anything else as an explicit count.
+func rangeSpec(peers []int) string {
+	switch len(peers) {
+	case 0:
+		return "(none)"
+	case 1:
+		return fmt.Sprintf("%d", peers[0])
+	}
+	contiguous := true
+	for i := 1; i < len(peers); i++ {
+		if peers[i] != peers[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		return fmt.Sprintf("%d..%d", peers[0], peers[len(peers)-1])
+	}
+	return fmt.Sprintf("(%d peers)", len(peers))
+}
+
+// span returns [lo, hi) as an index list.
+func span(lo, hi int) []int {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fabricgossip/internal/harness"
+)
+
+func TestCatalogHasAtLeastFiveScenarios(t *testing.T) {
+	defs := Catalog()
+	if len(defs) < 5 {
+		t.Fatalf("catalog holds %d scenarios, want >= 5", len(defs))
+	}
+	for _, d := range defs {
+		if d.Name == "" || d.Description == "" || d.Build == nil {
+			t.Fatalf("incomplete catalog entry %+v", d)
+		}
+		sc := d.Build(40)
+		if sc.Blocks <= 0 || sc.BlockInterval <= 0 {
+			t.Fatalf("%s: no workload", d.Name)
+		}
+		if sc.End() <= sc.Warmup {
+			t.Fatalf("%s: End() = %v not after warmup", d.Name, sc.End())
+		}
+	}
+}
+
+func TestLookupUnknownScenario(t *testing.T) {
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Fatal("lookup of unknown scenario succeeded")
+	}
+}
+
+func TestRangeSpec(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, "(none)"},
+		{[]int{4}, "4"},
+		{[]int{2, 3, 4}, "2..4"},
+		{[]int{1, 3, 9}, "(3 peers)"},
+	}
+	for _, c := range cases {
+		if got := rangeSpec(c.in); got != c.want {
+			t.Fatalf("rangeSpec(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCrashRestartRecoversEveryPeer(t *testing.T) {
+	rep, err := RunNamed("crash-restart", Options{Peers: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksInjected != 10 {
+		t.Fatalf("injected %d blocks, want 10", rep.BlocksInjected)
+	}
+	if rep.Survivors != 30 || rep.CaughtUp != 30 {
+		t.Fatalf("caught up %d of %d survivors, want all 30\ntrace:\n%s",
+			rep.CaughtUp, rep.Survivors, strings.Join(rep.Trace, "\n"))
+	}
+	if rep.OrderViolations != 0 {
+		t.Fatalf("%d order violations", rep.OrderViolations)
+	}
+	if rep.PendingRecoveries != 0 {
+		t.Fatalf("%d pending recoveries", rep.PendingRecoveries)
+	}
+	// 3 peers crashed after blocks had flowed: each must have recorded a
+	// recovery latency.
+	if rep.Recoveries.N != 3 {
+		t.Fatalf("recorded %d recoveries, want 3\ntrace:\n%s",
+			rep.Recoveries.N, strings.Join(rep.Trace, "\n"))
+	}
+	if rep.Recoveries.Max <= 0 {
+		t.Fatal("recovery latency not positive")
+	}
+	if rep.Overhead < 1.0 {
+		t.Fatalf("overhead %.2f below the ideal floor", rep.Overhead)
+	}
+}
+
+func TestLeaderFailoverRedirectsOrderingService(t *testing.T) {
+	rep, err := RunNamed("leader-failover", Options{Peers: 20, Seed: 3, Variant: harness.VariantOriginal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the leader crash, deliveries must switch to peer 1.
+	var sawFailover bool
+	for _, line := range rep.Trace {
+		if strings.Contains(line, "-> peer 1") {
+			sawFailover = true
+		}
+	}
+	if !sawFailover {
+		t.Fatalf("ordering service never failed over\ntrace:\n%s", strings.Join(rep.Trace, "\n"))
+	}
+	if rep.Survivors != 20 || rep.CaughtUp != 20 {
+		t.Fatalf("caught up %d of %d survivors\ntrace:\n%s",
+			rep.CaughtUp, rep.Survivors, strings.Join(rep.Trace, "\n"))
+	}
+	// The rejoined ex-leader recorded its catch-up.
+	if rep.Recoveries.N != 1 {
+		t.Fatalf("recorded %d recoveries, want 1", rep.Recoveries.N)
+	}
+}
+
+func TestStaggeredJoinWavesCatchUp(t *testing.T) {
+	rep, err := RunNamed("staggered-join", Options{Peers: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Survivors != 24 || rep.CaughtUp != 24 {
+		t.Fatalf("caught up %d of %d survivors\ntrace:\n%s",
+			rep.CaughtUp, rep.Survivors, strings.Join(rep.Trace, "\n"))
+	}
+	// All 12 initially-down peers joined after blocks flowed: every one
+	// must have a recovery sample.
+	if rep.Recoveries.N != 12 {
+		t.Fatalf("recorded %d recoveries, want 12", rep.Recoveries.N)
+	}
+}
+
+func TestMembershipTransitionsObserved(t *testing.T) {
+	rep, err := RunNamed("crash-restart", Options{Peers: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every survivor observes the crashed peers dying and rejoining, plus
+	// the initial wave of first heartbeats; the exact count is seeded but
+	// it must be well above the initial n*(n-1) live observations.
+	if rep.Transitions <= 20*19 {
+		t.Fatalf("transitions = %d, want > initial view formation (%d)", rep.Transitions, 20*19)
+	}
+}
+
+func TestRunRejectsOutOfRangeActionPeers(t *testing.T) {
+	sc := Scenario{
+		Name:          "bad-index",
+		Blocks:        2,
+		BlockInterval: time.Second,
+		Events: []Event{
+			{At: time.Second, Action: CrashPeers{Peers: []int{10}}},
+		},
+	}
+	if _, err := Run(sc, Options{Peers: 10}); err == nil {
+		t.Fatal("scenario naming peer 10 of 10 accepted")
+	}
+}
+
+func TestRunRejectsOutOfRangePartitionSplit(t *testing.T) {
+	for _, split := range []int{0, 10, 11} {
+		sc := Scenario{
+			Name:          "bad-split",
+			Blocks:        2,
+			BlockInterval: time.Second,
+			Events: []Event{
+				{At: time.Second, Action: PartitionSplit{Split: split}},
+			},
+		}
+		if _, err := Run(sc, Options{Peers: 10}); err == nil {
+			t.Fatalf("split %d of 10 peers accepted", split)
+		}
+	}
+}
+
+func TestRunRejectsLeaderInInitialDown(t *testing.T) {
+	sc := Scenario{
+		Name:          "bad",
+		Blocks:        1,
+		BlockInterval: time.Second,
+		InitialDown:   []int{0},
+	}
+	if _, err := Run(sc, Options{Peers: 10}); err == nil {
+		t.Fatal("scenario with leader initially down accepted")
+	}
+}
+
+func TestReportStringAndFingerprintStable(t *testing.T) {
+	rep, err := RunNamed("slow-links", Options{Peers: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "scenario slow-links") {
+		t.Fatalf("report header missing:\n%s", rep)
+	}
+	if rep.Fingerprint() != rep.Fingerprint() {
+		t.Fatal("fingerprint not stable on the same report")
+	}
+}

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -37,13 +36,19 @@ type Timer interface {
 // concurrent use: all events run sequentially on the goroutine that calls
 // Run, RunFor or RunUntil, which is what gives simulated protocols their
 // determinism.
+//
+// Cancellation is active: Stop removes the event from the queue immediately
+// (O(log n)), so long runs with heavy timer churn — thousand-peer fault
+// scenarios cancel and re-arm millions of timers — never accumulate dead
+// entries in the heap.
 type Engine struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventQueue
-	streams map[string]*Rand
-	seed    int64
-	stopped bool
+	now      time.Duration
+	seq      uint64
+	queue    eventQueue
+	streams  map[string]*Rand
+	seed     int64
+	stopped  bool
+	executed uint64
 }
 
 // NewEngine returns an engine whose random streams derive from seed.
@@ -60,9 +65,12 @@ func (e *Engine) Seed() int64 { return e.seed }
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled-but-not-yet-popped entries.
+// Pending returns the number of events waiting in the queue. Cancelled
+// events are removed eagerly and never counted.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Executed returns the total number of events run since creation.
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // After schedules fn to run at Now()+d. Negative delays are clamped to zero,
 // so the event fires after all events already scheduled for the current
@@ -74,9 +82,9 @@ func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	ev := &event{e: e, at: e.now + d, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -88,42 +96,36 @@ func (e *Engine) At(t time.Duration, fn func()) Timer {
 
 // Every schedules fn at now+interval, now+2*interval, ... until the returned
 // timer is stopped. The first firing is one full interval from now.
+//
+// The periodic timer owns a single event struct and re-queues it after each
+// firing, so steady-state ticking allocates nothing — the dominant event
+// source of a large simulation (per-peer heartbeat/state-info/recovery
+// timers) stays off the garbage collector entirely.
 func (e *Engine) Every(interval time.Duration, fn func()) Timer {
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: Every called with non-positive interval %v", interval))
 	}
-	p := &periodic{}
-	var arm func()
-	arm = func() {
-		p.mu = e.After(interval, func() {
-			if p.stopped {
-				return
-			}
-			fn()
-			if !p.stopped {
-				arm()
-			}
-		})
-	}
-	arm()
+	p := &periodic{e: e, interval: interval, fn: fn}
+	p.tickFn = p.tick // bound once: rebinding per tick would allocate
+	p.ev = &event{e: e, fn: p.tickFn}
+	p.rearm()
 	return p
 }
 
 // Step executes the single next event and reports whether one was executed.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		ev.fired = true
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.queue.popMin()
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	fn := ev.fn
+	ev.fn = nil // release the closure; also marks the event as fired
+	e.executed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
@@ -143,14 +145,9 @@ func (e *Engine) Run() int {
 func (e *Engine) RunUntil(t time.Duration) int {
 	e.stopped = false
 	n := 0
-	for !e.stopped {
-		next, ok := e.peek()
-		if !ok || next.at > t {
-			break
-		}
-		if e.Step() {
-			n++
-		}
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+		n++
 	}
 	if e.now < t {
 		e.now = t
@@ -165,39 +162,52 @@ func (e *Engine) RunFor(d time.Duration) int { return e.RunUntil(e.now + d) }
 // event completes. Scheduled events remain queued.
 func (e *Engine) Stop() { e.stopped = true }
 
-func (e *Engine) peek() (*event, bool) {
-	for len(e.queue) > 0 {
-		if e.queue[0].cancelled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return e.queue[0], true
-	}
-	return nil, false
-}
-
-// event implements Timer.
+// event implements Timer. index is the event's position in the owning
+// engine's heap, or -1 once it has fired or been cancelled.
 type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	index     int
-	cancelled bool
-	fired     bool
+	e     *Engine
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int
 }
 
 func (ev *event) Stop() bool {
-	if ev.fired || ev.cancelled {
-		return false
+	if ev.index < 0 || ev.fn == nil {
+		return false // already fired or cancelled
 	}
-	ev.cancelled = true
+	ev.e.queue.remove(ev.index)
+	ev.fn = nil
 	return true
 }
 
-// periodic implements Timer for Every.
+// periodic implements Timer for Every, reusing one event across firings.
 type periodic struct {
-	mu      Timer
-	stopped bool
+	e        *Engine
+	interval time.Duration
+	fn       func()
+	tickFn   func()
+	ev       *event
+	stopped  bool
+}
+
+func (p *periodic) rearm() {
+	ev := p.ev
+	ev.at = p.e.now + p.interval
+	ev.seq = p.e.seq
+	p.e.seq++
+	ev.fn = p.tickFn
+	p.e.queue.push(ev)
+}
+
+func (p *periodic) tick() {
+	if p.stopped {
+		return
+	}
+	p.fn()
+	if !p.stopped {
+		p.rearm()
+	}
 }
 
 func (p *periodic) Stop() bool {
@@ -205,41 +215,99 @@ func (p *periodic) Stop() bool {
 		return false
 	}
 	p.stopped = true
-	if p.mu != nil {
-		p.mu.Stop()
+	if p.ev.index >= 0 {
+		p.e.queue.remove(p.ev.index)
+		p.ev.fn = nil
 	}
 	return true
 }
 
-// eventQueue is a min-heap ordered by (time, insertion sequence).
+// eventQueue is a hand-rolled min-heap ordered by (time, insertion
+// sequence). It avoids container/heap's interface dispatch on the hottest
+// loop of every simulation and maintains each event's index so cancellation
+// can remove in place.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
+func (q *eventQueue) push(ev *event) {
 	ev.index = len(*q)
 	*q = append(*q, ev)
+	q.siftUp(ev.index)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+func (q *eventQueue) popMin() *event {
+	h := *q
+	ev := h[0]
+	n := len(h) - 1
+	h.swap(0, n)
+	h[n] = nil
+	*q = h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	ev.index = -1
 	return ev
+}
+
+// remove deletes the event at heap position i.
+func (q *eventQueue) remove(i int) {
+	h := *q
+	n := len(h) - 1
+	ev := h[i]
+	if i != n {
+		h.swap(i, n)
+	}
+	h[n] = nil
+	*q = h[:n]
+	if i != n {
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown reports whether the element moved.
+func (q eventQueue) siftDown(i int) bool {
+	n := len(q)
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+	return i > start
 }

@@ -284,6 +284,114 @@ func TestPropertyEventOrdering(t *testing.T) {
 	}
 }
 
+// Active cancellation: Stop removes the event from the queue immediately,
+// so heavy timer churn cannot bloat the heap.
+func TestStopRemovesEventFromQueueImmediately(t *testing.T) {
+	e := NewEngine(1)
+	timers := make([]Timer, 0, 100)
+	for i := 0; i < 100; i++ {
+		timers = append(timers, e.After(time.Duration(i+1)*time.Second, func() {}))
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", e.Pending())
+	}
+	for i, tm := range timers {
+		if i%2 == 0 {
+			tm.Stop()
+		}
+	}
+	if e.Pending() != 50 {
+		t.Fatalf("Pending after cancelling half = %d, want 50", e.Pending())
+	}
+	if n := e.Run(); n != 50 {
+		t.Fatalf("Run executed %d events, want 50", n)
+	}
+}
+
+// Property: random interleavings of scheduling and cancellation preserve
+// heap order and never fire a cancelled event.
+func TestPropertyRandomCancellationKeepsHeapOrdered(t *testing.T) {
+	f := func(ops []uint16) bool {
+		e := NewEngine(11)
+		var live []Timer
+		fired := []time.Duration{}
+		expect := 0
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				idx := int(op/3) % len(live)
+				if live[idx].Stop() {
+					expect--
+				}
+				live = append(live[:idx], live[idx+1:]...)
+				continue
+			}
+			d := time.Duration(op%1000) * time.Millisecond
+			live = append(live, e.After(d, func() { fired = append(fired, e.Now()) }))
+			expect++
+		}
+		e.Run()
+		if len(fired) != expect {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every must not allocate once in steady state: the periodic timer reuses a
+// single event struct across firings.
+func TestEverySteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	e.Every(time.Second, func() { ticks++ })
+	e.RunFor(10 * time.Second) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		e.RunFor(time.Second) // exactly one tick per run
+	})
+	if ticks == 0 {
+		t.Fatal("periodic never fired")
+	}
+	if allocs > 0 {
+		t.Fatalf("steady-state periodic tick allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestEveryStopBetweenFiringsRemovesQueuedEvent(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Every(time.Second, func() {})
+	e.RunUntil(1500 * time.Millisecond)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (the re-armed tick)", e.Pending())
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop reported false on a live periodic timer")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Stop = %d, want 0", e.Pending())
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+}
+
+func TestExecutedCountsEvents(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.After(time.Duration(i)*time.Second, func() {})
+	}
+	e.Run()
+	if e.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed())
+	}
+}
+
 func TestAfterNilPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

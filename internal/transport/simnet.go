@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"time"
 
 	"fabricgossip/internal/netmodel"
 	"fabricgossip/internal/sim"
@@ -22,18 +23,32 @@ type SimNetwork struct {
 	dropRate float64
 	// DownNode silences a node entirely (crash-style fault).
 	downNode map[wire.NodeID]bool
+	// partition maps each node to a partition group; messages crossing
+	// group boundaries are dropped. nil means no partition is active.
+	partition map[wire.NodeID]int
+	// linkExtra/nodeExtra add latency on top of the network model
+	// (slow-link and straggler-node faults, WAN segments).
+	linkExtra map[[2]wire.NodeID]time.Duration
+	nodeExtra map[wire.NodeID]time.Duration
+	// lossExempt message types skip the uniform drop rate: they model
+	// reliable streams (e.g. the ordering service's delivery gRPC) whose
+	// retransmissions mask transient loss. Partitions and crashed nodes
+	// still cut them.
+	lossExempt map[wire.MsgType]bool
 }
 
 // NewSimNetwork creates a simulated network. traffic may be nil to skip
 // accounting.
 func NewSimNetwork(engine *sim.Engine, model netmodel.Model, traffic *netmodel.Traffic) *SimNetwork {
 	return &SimNetwork{
-		engine:   engine,
-		model:    model,
-		traffic:  traffic,
-		rng:      engine.Rand("transport"),
-		downLink: make(map[[2]wire.NodeID]bool),
-		downNode: make(map[wire.NodeID]bool),
+		engine:    engine,
+		model:     model,
+		traffic:   traffic,
+		rng:       engine.Rand("transport"),
+		downLink:  make(map[[2]wire.NodeID]bool),
+		downNode:  make(map[wire.NodeID]bool),
+		linkExtra: make(map[[2]wire.NodeID]time.Duration),
+		nodeExtra: make(map[wire.NodeID]time.Duration),
 	}
 }
 
@@ -73,6 +88,73 @@ func (n *SimNetwork) SetNodeDown(id wire.NodeID, down bool) {
 // SetDropRate installs a uniform message loss probability in [0, 1).
 func (n *SimNetwork) SetDropRate(p float64) { n.dropRate = p }
 
+// SetLossExempt marks (or unmarks) a message type as exempt from the
+// uniform drop rate, modelling a reliable transport underneath it. Node
+// crashes, link cuts and partitions still drop exempt messages.
+func (n *SimNetwork) SetLossExempt(mt wire.MsgType, exempt bool) {
+	if n.lossExempt == nil {
+		n.lossExempt = make(map[wire.MsgType]bool)
+	}
+	n.lossExempt[mt] = exempt
+}
+
+// Partition splits the network: each listed group can only talk within
+// itself. Nodes absent from every group join group 0. A nil or single-group
+// argument heals any active partition.
+func (n *SimNetwork) Partition(groups ...[]wire.NodeID) {
+	if len(groups) <= 1 {
+		n.partition = nil
+		return
+	}
+	n.partition = make(map[wire.NodeID]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			n.partition[id] = g
+		}
+	}
+}
+
+// Heal removes any active partition. Link/node down states and latency
+// overrides are independent and stay in place.
+func (n *SimNetwork) Heal() { n.partition = nil }
+
+// SetLinkExtraDelay adds d of one-way latency to the directed link
+// from -> to, on top of the network model. d <= 0 removes the override.
+func (n *SimNetwork) SetLinkExtraDelay(from, to wire.NodeID, d time.Duration) {
+	if d <= 0 {
+		delete(n.linkExtra, [2]wire.NodeID{from, to})
+	} else {
+		n.linkExtra[[2]wire.NodeID{from, to}] = d
+	}
+}
+
+// SetNodeExtraDelay adds d of one-way latency to every message entering or
+// leaving the node (a straggler host or a WAN-attached peer). d <= 0
+// removes the override.
+func (n *SimNetwork) SetNodeExtraDelay(id wire.NodeID, d time.Duration) {
+	if d <= 0 {
+		delete(n.nodeExtra, id)
+	} else {
+		n.nodeExtra[id] = d
+	}
+}
+
+// Reachable reports whether a message from -> to would currently be
+// delivered, ignoring probabilistic loss: the destination exists, neither
+// endpoint is down, the link is up and no partition separates them.
+func (n *SimNetwork) Reachable(from, to wire.NodeID) bool {
+	if int(to) >= len(n.nodes) {
+		return false
+	}
+	if n.downNode[from] || n.downNode[to] || n.downLink[[2]wire.NodeID{from, to}] {
+		return false
+	}
+	if n.partition != nil && n.partition[from] != n.partition[to] {
+		return false
+	}
+	return true
+}
+
 func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 	if int(to) >= len(n.nodes) {
 		return fmt.Errorf("transport: unknown destination %v", to)
@@ -82,14 +164,20 @@ func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 	if n.traffic != nil {
 		n.traffic.Record(from, to, msg.Type(), size, n.engine.Now())
 	}
-	if n.downNode[from] || n.downNode[to] || n.downLink[[2]wire.NodeID{from, to}] {
-		return nil // silently lost
+	if !n.Reachable(from, to) {
+		return nil // silently lost: crashed endpoint, cut link or partition
 	}
-	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+	if n.dropRate > 0 && !n.lossExempt[msg.Type()] && n.rng.Float64() < n.dropRate {
 		return nil
 	}
 	dst := n.nodes[to]
 	delay := n.model.Delay(n.rng, size)
+	if len(n.linkExtra) > 0 {
+		delay += n.linkExtra[[2]wire.NodeID{from, to}]
+	}
+	if len(n.nodeExtra) > 0 {
+		delay += n.nodeExtra[from] + n.nodeExtra[to]
+	}
 	n.engine.After(delay, func() {
 		if h := dst.handler; h != nil && !n.downNode[dst.id] {
 			h(from, msg)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/netmodel"
 	"fabricgossip/internal/sim"
 	"fabricgossip/internal/wire"
@@ -125,6 +126,41 @@ func TestSimNetworkDropRate(t *testing.T) {
 	}
 }
 
+func TestSimNetworkLossExemptTypeAlwaysDelivered(t *testing.T) {
+	e := sim.NewEngine(42)
+	n := NewSimNetwork(e, fixedModel(0), nil)
+	a, b := n.AddNode(), n.AddNode()
+	var infos, delivers int
+	b.SetHandler(func(_ wire.NodeID, msg wire.Message) {
+		switch msg.(type) {
+		case *wire.StateInfo:
+			infos++
+		case *wire.DeliverBlock:
+			delivers++
+		}
+	})
+	n.SetDropRate(0.5)
+	n.SetLossExempt(wire.TypeDeliverBlock, true)
+	for i := 0; i < 200; i++ {
+		_ = a.Send(b.ID(), &wire.StateInfo{})
+		_ = a.Send(b.ID(), &wire.DeliverBlock{Block: &ledger.Block{Num: uint64(i)}})
+	}
+	e.Run()
+	if delivers != 200 {
+		t.Fatalf("exempt type delivered %d of 200", delivers)
+	}
+	if infos == 200 || infos == 0 {
+		t.Fatalf("non-exempt type delivered %d of 200 at drop rate 0.5", infos)
+	}
+	// Exemption does not bypass a crashed destination.
+	n.SetNodeDown(b.ID(), true)
+	_ = a.Send(b.ID(), &wire.DeliverBlock{Block: &ledger.Block{Num: 0}})
+	e.Run()
+	if delivers != 200 {
+		t.Fatal("exempt message reached a crashed node")
+	}
+}
+
 func TestSimNetworkTrafficAccounting(t *testing.T) {
 	e := sim.NewEngine(1)
 	tr := netmodel.NewTraffic(time.Second)
@@ -146,6 +182,85 @@ func TestSimNetworkTrafficAccounting(t *testing.T) {
 	e.Run()
 	if tr.CountOf(wire.TypeStateInfo) != 2 {
 		t.Fatal("dropped message not accounted at sender")
+	}
+}
+
+func TestSimNetworkPartitionAndHeal(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewSimNetwork(e, fixedModel(0), nil)
+	eps := make([]*SimEndpoint, 4)
+	got := make([]int, 4)
+	for i := range eps {
+		eps[i] = n.AddNode()
+		i := i
+		eps[i].SetHandler(func(wire.NodeID, wire.Message) { got[i]++ })
+	}
+	// Split {0,1} | {2,3}: traffic within a side flows, across is dropped.
+	n.Partition([]wire.NodeID{0, 1}, []wire.NodeID{2, 3})
+	_ = eps[0].Send(1, &wire.StateInfo{})
+	_ = eps[0].Send(2, &wire.StateInfo{})
+	_ = eps[3].Send(2, &wire.StateInfo{})
+	_ = eps[3].Send(1, &wire.StateInfo{})
+	e.Run()
+	if got[1] != 1 || got[2] != 1 {
+		t.Fatalf("intra-partition traffic lost: got = %v", got)
+	}
+	if got[0] != 0 || got[3] != 0 {
+		t.Fatalf("unexpected deliveries: got = %v", got)
+	}
+	n.Heal()
+	_ = eps[0].Send(2, &wire.StateInfo{})
+	e.Run()
+	if got[2] != 2 {
+		t.Fatal("healed partition still dropping")
+	}
+}
+
+func TestSimNetworkPartitionUnlistedNodesJoinGroupZero(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewSimNetwork(e, fixedModel(0), nil)
+	a, b, c := n.AddNode(), n.AddNode(), n.AddNode()
+	var aGot, cGot int
+	a.SetHandler(func(wire.NodeID, wire.Message) { aGot++ })
+	c.SetHandler(func(wire.NodeID, wire.Message) { cGot++ })
+	// Only node 1 is exiled; node 2 is unlisted and stays with group 0.
+	n.Partition([]wire.NodeID{0}, []wire.NodeID{1})
+	_ = c.Send(a.ID(), &wire.StateInfo{}) // unlisted -> group 0: delivered
+	_ = b.Send(c.ID(), &wire.StateInfo{}) // group 1 -> group 0: dropped
+	e.Run()
+	if aGot != 1 || cGot != 0 {
+		t.Fatalf("aGot=%d cGot=%d, want 1 and 0", aGot, cGot)
+	}
+}
+
+func TestSimNetworkLinkAndNodeExtraDelay(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewSimNetwork(e, fixedModel(time.Millisecond), nil)
+	a, b := n.AddNode(), n.AddNode()
+	var at []time.Duration
+	b.SetHandler(func(wire.NodeID, wire.Message) { at = append(at, e.Now()) })
+
+	n.SetLinkExtraDelay(a.ID(), b.ID(), 10*time.Millisecond)
+	_ = a.Send(b.ID(), &wire.StateInfo{})
+	e.Run()
+	if len(at) != 1 || at[0] != 11*time.Millisecond {
+		t.Fatalf("link-delayed delivery at %v, want 11ms", at)
+	}
+	// Node delay stacks on both endpoints and on the link override.
+	n.SetNodeExtraDelay(b.ID(), 5*time.Millisecond)
+	_ = a.Send(b.ID(), &wire.StateInfo{})
+	e.Run()
+	if at[1]-at[0] != 16*time.Millisecond {
+		t.Fatalf("node+link delay delivered after %v, want 16ms", at[1]-at[0])
+	}
+	// Clearing both restores the base model.
+	n.SetLinkExtraDelay(a.ID(), b.ID(), 0)
+	n.SetNodeExtraDelay(b.ID(), 0)
+	start := e.Now()
+	_ = a.Send(b.ID(), &wire.StateInfo{})
+	e.Run()
+	if at[2]-start != time.Millisecond {
+		t.Fatalf("cleared overrides delivered after %v, want 1ms", at[2]-start)
 	}
 }
 
