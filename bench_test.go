@@ -12,13 +12,18 @@ package fabricgossip
 //	conflicts invalidated transactions (Table II)
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"sync"
 	"testing"
 	"time"
 
 	"fabricgossip/internal/analysis"
+	"fabricgossip/internal/gossip"
 	"fabricgossip/internal/harness"
 	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/metrics"
 	"fabricgossip/internal/netmodel"
 	"fabricgossip/internal/order"
 	"fabricgossip/internal/raft"
@@ -33,6 +38,41 @@ const (
 	benchBlocks = 40
 )
 
+// baseline collects every domain metric the benchmarks report so one
+// `-bench` pass can be exported as a machine-readable artifact: set
+// BENCH_BASELINE=<path> and TestMain writes a JSON map keyed
+// "<benchmark>/<unit>" after the run. CI uploads it per commit, so the
+// perf trajectory (tail_ms, peer_MBps, sim_events, ...) accumulates.
+var baseline = struct {
+	mu      sync.Mutex
+	metrics map[string]float64
+}{metrics: map[string]float64{}}
+
+// reportMetric mirrors b.ReportMetric into the baseline collector.
+func reportMetric(b *testing.B, value float64, unit string) {
+	b.ReportMetric(value, unit)
+	baseline.mu.Lock()
+	baseline.metrics[b.Name()+"/"+unit] = value
+	baseline.mu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_BASELINE"); path != "" && code == 0 {
+		baseline.mu.Lock()
+		data, err := json.MarshalIndent(baseline.metrics, "", "  ")
+		baseline.mu.Unlock()
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench baseline:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
 func benchDissemination(b *testing.B, p harness.Params, wantBandwidth bool) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
@@ -44,10 +84,10 @@ func benchDissemination(b *testing.B, p harness.Params, wantBandwidth bool) {
 		if i == b.N-1 { // report metrics from the last run
 			if wantBandwidth {
 				gen := int(time.Duration(p.NumBlocks)*p.BlockInterval/p.Bucket) + 1
-				b.ReportMetric(res.Traffic.NodeAverage(res.RegularID, gen), "peer_MBps")
+				reportMetric(b, res.Traffic.NodeAverage(res.RegularID, gen), "peer_MBps")
 			} else {
 				all := res.Latencies.All()
-				b.ReportMetric(float64(all.Quantile(0.999))/1e6, "tail_ms")
+				reportMetric(b, float64(all.Quantile(0.999))/1e6, "tail_ms")
 			}
 		}
 	}
@@ -143,8 +183,8 @@ func BenchmarkTable2Conflicts(b *testing.B) {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.ReportMetric(float64(res.Conflicts), "conflicts_orig")
-			b.ReportMetric(float64(res2.Conflicts), "conflicts_enh")
+			reportMetric(b, float64(res.Conflicts), "conflicts_orig")
+			reportMetric(b, float64(res2.Conflicts), "conflicts_enh")
 		}
 	}
 }
@@ -190,7 +230,7 @@ func benchScenario(b *testing.B, name string, peers int, v harness.Variant) {
 		}
 		events += rep.EngineEvents
 	}
-	b.ReportMetric(float64(events)/float64(b.N), "sim_events")
+	reportMetric(b, float64(events)/float64(b.N), "sim_events")
 }
 
 // BenchmarkScenarioCrashRestart tracks the crash/restart-with-catchup
@@ -214,6 +254,96 @@ func BenchmarkScenarioPartitionHeal(b *testing.B) {
 // seconds of wall time.
 func BenchmarkScenarioCrashRestart1000(b *testing.B) {
 	benchScenario(b, "crash-restart", 1000, harness.VariantEnhanced)
+}
+
+// --- multi-organization benchmarks (harness.Network) ---
+
+func benchScenarioOrgs(b *testing.B, name string, peers, orgs int, v harness.Variant) {
+	b.Helper()
+	var events uint64
+	var tail float64
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunNamed(name, scenario.Options{
+			Peers: peers, Orgs: orgs, Variant: v, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CaughtUp != rep.Survivors {
+			b.Fatalf("%d of %d survivors caught up", rep.CaughtUp, rep.Survivors)
+		}
+		events += rep.EngineEvents
+		tail = float64(rep.Latency.P999) / 1e6
+	}
+	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	reportMetric(b, tail, "tail_ms")
+}
+
+// BenchmarkScenarioOrgPartitionHeal tracks the whole-org partition plus
+// orderer-backlog-restream path at 4 organizations.
+func BenchmarkScenarioOrgPartitionHeal(b *testing.B) {
+	benchScenarioOrgs(b, "org-partition-heal", 100, 4, harness.VariantEnhanced)
+}
+
+// BenchmarkScenarioOrgColdJoin tracks the deep whole-org catch-up path.
+func BenchmarkScenarioOrgColdJoin(b *testing.B) {
+	benchScenarioOrgs(b, "org-cold-join", 100, 4, harness.VariantEnhanced)
+}
+
+// BenchmarkScenarioOrgMixedProtocols tracks both protocols sharing one
+// channel (alternating per organization).
+func BenchmarkScenarioOrgMixedProtocols(b *testing.B) {
+	benchScenarioOrgs(b, "org-mixed-protocols", 100, 4, harness.VariantEnhanced)
+}
+
+// BenchmarkMultiOrgDissemination measures the fault-free Figure 1 shape on
+// harness.Network directly: 4 orgs x 25 peers, per-org epidemics over a
+// shared LAN, reporting the aggregate p99.9 first-reception latency.
+func BenchmarkMultiOrgDissemination(b *testing.B) {
+	const (
+		orgs        = 4
+		peersPerOrg = 25
+		blocks      = 20
+	)
+	var tail float64
+	for i := 0; i < b.N; i++ {
+		lat := make([]time.Duration, 0, orgs*peersPerOrg*blocks)
+		starts := make([]map[uint64]time.Duration, orgs)
+		for o := range starts {
+			starts[o] = make(map[uint64]time.Duration)
+		}
+		specs := make([]harness.OrgSpec, orgs)
+		for o := range specs {
+			specs[o] = harness.OrgSpec{Peers: peersPerOrg}
+		}
+		net, err := harness.NewNetwork(harness.NetworkParams{Seed: int64(i + 1), Orgs: specs},
+			harness.WithNetworkCoreHook(func(global int, core *gossip.Core) {
+				org := global / peersPerOrg
+				core.OnFirstReception(func(blk *ledger.Block, at time.Duration) {
+					if start, ok := starts[org][blk.Num]; ok {
+						lat = append(lat, at-start)
+					} else {
+						starts[org][blk.Num] = at
+					}
+				})
+			}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.StartAll()
+		for j, blk := range harness.BuildChain(blocks, 10, 512, int64(i+1)) {
+			blk := blk
+			net.Engine.At(time.Duration(j)*300*time.Millisecond, func() { net.Append(blk) })
+		}
+		net.Engine.RunUntil(time.Duration(blocks)*300*time.Millisecond + 10*time.Second)
+		net.StopAll()
+		if want := orgs * (peersPerOrg - 1) * blocks; len(lat) != want {
+			b.Fatalf("recorded %d latencies, want %d", len(lat), want)
+		}
+		d := metrics.NewDistribution(lat)
+		tail = float64(d.Quantile(0.999)) / 1e6
+	}
+	reportMetric(b, tail, "tail_ms")
 }
 
 // --- micro-benchmarks of the hot paths ---

@@ -1,9 +1,10 @@
 // Multiorg: the paper's Figure 1 deployment shape — one channel spanning
-// three organizations. The ordering service sends each new block to one
-// leader peer per organization; gossip then disseminates it within each
-// organization only (Fabric does not gossip data blocks across
-// organizations, paper §III-A). The per-organization latency report shows
-// each epidemic running independently.
+// three organizations — as a thin client of harness.Network. The ordering
+// service streams each new block to one leader peer per organization;
+// gossip then disseminates it within each organization only (Fabric does
+// not gossip data blocks across organizations, paper §III-A). The per-org
+// report shows each epidemic running independently, next to the aggregate
+// latency distribution and bandwidth-overhead ratio.
 //
 //	go run ./examples/multiorg
 package main
@@ -14,13 +15,9 @@ import (
 	"time"
 
 	"fabricgossip/internal/gossip"
-	"fabricgossip/internal/gossip/enhanced"
 	"fabricgossip/internal/harness"
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/metrics"
-	"fabricgossip/internal/netmodel"
-	"fabricgossip/internal/sim"
-	"fabricgossip/internal/transport"
 	"fabricgossip/internal/wire"
 )
 
@@ -31,68 +28,61 @@ const (
 )
 
 func main() {
-	engine := sim.NewEngine(99)
-	net := transport.NewSimNetwork(engine, netmodel.LAN(), nil)
+	lat := metrics.NewGroupedLatency()
+	starts := make([]map[uint64]time.Duration, orgs)
+	for o := range starts {
+		starts[o] = make(map[uint64]time.Duration)
+	}
 
-	cfg, err := enhanced.ConfigFor(peersPerOrg, 3, 1e-6, 2)
+	net, err := harness.NewNetwork(harness.NetworkParams{
+		Seed:    99,
+		Variant: harness.VariantEnhanced,
+		Orgs: []harness.OrgSpec{
+			{Peers: peersPerOrg}, {Peers: peersPerOrg}, {Peers: peersPerOrg},
+		},
+	}, harness.WithNetworkCoreHook(func(global int, core *gossip.Core) {
+		org := global / peersPerOrg
+		core.OnFirstReception(func(b *ledger.Block, at time.Duration) {
+			// The first reception inside an org is its leader's copy from
+			// the orderer; every other peer measures against it.
+			if start, ok := starts[org][b.Num]; ok {
+				lat.Record(org, b.Num, wire.NodeID(global), at-start)
+			} else {
+				starts[org][b.Num] = at
+			}
+		})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Each organization is an isolated gossip domain: its peers' member
-	// lists contain only that organization (ids are global and dense).
-	recorders := make([]*metrics.LatencyRecorder, orgs)
-	starts := make([]map[uint64]time.Duration, orgs)
-	leaders := make([]wire.NodeID, orgs)
-	for org := 0; org < orgs; org++ {
-		ids := make([]wire.NodeID, peersPerOrg)
-		for i := range ids {
-			ids[i] = wire.NodeID(org*peersPerOrg + i)
-		}
-		leaders[org] = ids[0]
-		recorders[org] = metrics.NewLatencyRecorder()
-		starts[org] = make(map[uint64]time.Duration)
-		rec, start, leader := recorders[org], starts[org], leaders[org]
-		for _, id := range ids {
-			ep := net.AddNode()
-			if ep.ID() != id {
-				log.Fatalf("id mismatch: %v vs %v", ep.ID(), id)
-			}
-			core := gossip.New(gossip.DefaultConfig(id, ids), ep, engine,
-				engine.Rand("gossip"), enhanced.New(cfg))
-			self := id
-			core.OnFirstReception(func(b *ledger.Block, at time.Duration) {
-				if self == leader {
-					start[b.Num] = at
-					return
-				}
-				rec.Record(b.Num, self, at-start[b.Num])
-			})
-			core.Start()
-		}
-	}
-
-	// The ordering service sends every block to one leader peer per
-	// organization (paper §II-B: "orderers send a new block to one peer
-	// in each organization").
-	orderer := net.AddNode()
-	for i, b := range harness.BuildChain(blocks, 20, 1500, 99) {
+	net.StartAll()
+	chain := harness.BuildChain(blocks, 20, 1500, 99)
+	for i, b := range chain {
 		b := b
-		engine.At(time.Duration(i)*400*time.Millisecond, func() {
-			for _, leader := range leaders {
-				_ = orderer.Send(leader, &wire.DeliverBlock{Block: b})
-			}
-		})
+		net.Engine.At(time.Duration(i)*400*time.Millisecond, func() { net.Append(b) })
 	}
-	engine.RunUntil(time.Duration(blocks)*400*time.Millisecond + 10*time.Second)
+	net.Engine.RunUntil(time.Duration(blocks)*400*time.Millisecond + 10*time.Second)
+	net.StopAll()
 
 	fmt.Printf("%d organizations x %d peers, %d blocks each:\n", orgs, peersPerOrg, blocks)
-	for org := 0; org < orgs; org++ {
-		rec := recorders[org]
+	blockBytes := wire.BlockEncodedSize(chain[0])
+	for o := 0; o < orgs; o++ {
+		rec := lat.Group(o)
 		if rec.Blocks() != blocks || rec.Peers() != peersPerOrg-1 {
-			log.Fatalf("org %d incomplete: %d blocks x %d peers", org, rec.Blocks(), rec.Peers())
+			log.Fatalf("org %d incomplete: %d blocks x %d peers", o, rec.Blocks(), rec.Peers())
 		}
-		fmt.Printf("  org %c: %v\n", 'A'+org, metrics.Summarize(rec.All()))
+		var inBytes uint64
+		for _, id := range net.Orgs[o].Peers {
+			in, _ := net.Traffic.NodeTotals(id)
+			inBytes += in
+		}
+		fmt.Printf("  org %c: %v, overhead %.2fx ideal\n", 'A'+o,
+			metrics.Summarize(rec.All()),
+			metrics.OverheadRatio(inBytes, blockBytes, peersPerOrg, blocks))
 	}
+	fmt.Printf("  aggregate: %v\n", metrics.Summarize(lat.All().All()))
+	fmt.Printf("  total traffic %.2f MB across the shared LAN\n",
+		float64(net.Traffic.TotalBytes())/1e6)
 	fmt.Println("every organization's epidemic ran independently over the shared LAN")
 }

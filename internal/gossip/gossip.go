@@ -114,6 +114,11 @@ type Core struct {
 	started     bool
 	stopped     bool
 
+	// selfIdx is Self's position in cfg.Peers (-1 if absent); sampleBuf is
+	// the reusable candidate buffer behind RandomPeers, guarded by mu.
+	selfIdx   int
+	sampleBuf []wire.NodeID
+
 	onFirstReception func(b *ledger.Block, at time.Duration)
 	onCommit         func(b *ledger.Block)
 	onPeerState      func(peer wire.NodeID, alive bool, at time.Duration)
@@ -142,6 +147,13 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		// out-counted its pre-crash uptime (Fabric ships a boot timestamp
 		// in AliveMessage for the same reason).
 		aliveSeq: uint64(sched.Now() / time.Millisecond),
+		selfIdx:  -1,
+	}
+	for i, p := range cfg.Peers {
+		if p == cfg.Self {
+			c.selfIdx = i
+			break
+		}
 	}
 	ep.SetHandler(c.handleMessage)
 	return c
@@ -267,31 +279,40 @@ func (c *Core) Send(to wire.NodeID, msg wire.Message) {
 }
 
 // RandomPeers samples k distinct peers uniformly, never including self.
-// If fewer than k other peers exist, all of them are returned.
+// If fewer than k eligible peers exist, all of them are returned. The cap
+// only subtracts self when self actually appears in cfg.Peers (an orderer
+// or observer core lists only remote peers), and the candidate buffer is
+// reused across calls — this sits on the push hot path.
 func (c *Core) RandomPeers(k int) []wire.NodeID {
-	n := len(c.cfg.Peers)
-	if k > n-1 {
-		k = n - 1
+	eligible := len(c.cfg.Peers)
+	if c.selfIdx >= 0 {
+		eligible--
+	}
+	if k > eligible {
+		k = eligible
 	}
 	if k <= 0 {
 		return nil
 	}
-	selfIdx := -1
+	out := make([]wire.NodeID, k)
+	c.mu.Lock()
+	if cap(c.sampleBuf) < eligible {
+		c.sampleBuf = make([]wire.NodeID, 0, len(c.cfg.Peers))
+	}
+	cand := c.sampleBuf[:0]
 	for i, p := range c.cfg.Peers {
-		if p == c.cfg.Self {
-			selfIdx = i
-			break
+		if i != c.selfIdx {
+			cand = append(cand, p)
 		}
 	}
-	skip := map[int]bool{}
-	if selfIdx >= 0 {
-		skip[selfIdx] = true
+	// Partial Fisher-Yates: k swaps instead of shuffling all of cand.
+	for i := 0; i < k; i++ {
+		j := i + c.rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+		out[i] = cand[i]
 	}
-	idx := c.rng.SampleWithout(n, k, skip)
-	out := make([]wire.NodeID, k)
-	for i, j := range idx {
-		out[i] = c.cfg.Peers[j]
-	}
+	c.sampleBuf = cand
+	c.mu.Unlock()
 	return out
 }
 
@@ -418,6 +439,13 @@ func (c *Core) aliveTick() {
 	c.aliveSeq++
 	seq := c.aliveSeq
 	dead := c.membership.Expire(now)
+	// Drop dead peers' advertised heights: recovery must not keep targeting
+	// a crashed peer (its requests would vanish and catch-up would stall a
+	// full RecoveryInterval per round), and a stale maximum would also pin
+	// the view if the peer later rejoins with an empty ledger.
+	for _, p := range dead {
+		delete(c.peerHeights, p)
+	}
 	fn := c.onPeerState
 	c.mu.Unlock()
 	if fn != nil {
@@ -440,6 +468,14 @@ func (c *Core) recoveryTick() {
 	var bestH uint64
 	candidates := make([]wire.NodeID, 0, 4)
 	for p, h := range c.peerHeights {
+		// Skip peers the membership view has marked dead: their heights may
+		// linger (a StateInfo can arrive after the expiration sweep pruned
+		// the entry) but a request to them can never be answered. Peers the
+		// sparse heartbeat sample never observed stay eligible — at large n
+		// most of the organization is in that state.
+		if c.membership.Dead(p) {
+			continue
+		}
 		if h > bestH {
 			bestH = h
 			candidates = candidates[:0]

@@ -102,11 +102,27 @@ func (m *Membership) Live(now time.Duration) []wire.NodeID {
 	return out
 }
 
+// Dead reports whether the view has explicitly marked peer dead: it was
+// observed live once and its heartbeats have since lapsed past the
+// expiration sweep. Peers never observed are not dead — with a sparse
+// heartbeat sample (large organizations, fixed fan-out) most live peers
+// have simply never been heard from.
+func (m *Membership) Dead(peer wire.NodeID) bool {
+	live, tracked := m.liveNow[peer]
+	return tracked && !live
+}
+
 // Leader returns the dynamic-election leader: the lowest-id live peer
 // (self counts). This is the convergence point of Fabric's leader election
-// once heartbeats have propagated.
+// once heartbeats have propagated. The empty-view guard is defensive: Live
+// currently always lists self, but Leader must not silently depend on that
+// invariant — a view that ever excluded an unregistered self (e.g. in the
+// window right after a restart) would have panicked on live[0] here.
 func (m *Membership) Leader(now time.Duration) wire.NodeID {
 	live := m.Live(now)
+	if len(live) == 0 {
+		return m.self
+	}
 	return live[0]
 }
 

@@ -1,0 +1,147 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// Regression for the recovery-liveness bug: recoveryTick used to pick the
+// highest entry of peerHeights without consulting the membership view, and
+// the map was never pruned when a peer died. With the most advanced peer
+// crashed, every recovery round targeted it and catch-up stalled forever.
+//
+// The fixture runs three cores over a simulated LAN with a protocol that
+// never pushes, so the recovery component is the only dissemination path.
+// Peer 0 is strictly the most advanced, then crashes; peer 2 must still
+// converge to peer 1's height.
+func TestRecoverySkipsDeadMostAdvancedPeer(t *testing.T) {
+	engine := sim.NewEngine(7)
+	net := transport.NewSimNetwork(engine, netmodel.LAN(), nil)
+	peers := []wire.NodeID{0, 1, 2}
+	cores := make([]*Core, len(peers))
+	for i := range cores {
+		ep := net.AddNode()
+		cfg := DefaultConfig(ep.ID(), peers)
+		cfg.StateInfoInterval = 500 * time.Millisecond
+		cfg.AliveInterval = time.Second
+		cfg.AliveExpiration = 2500 * time.Millisecond
+		cfg.RecoveryInterval = 2 * time.Second
+		cores[i] = New(cfg, ep, engine, engine.Rand("gossip"), &nullProtocol{})
+		cores[i].Start()
+	}
+	engine.RunUntil(3 * time.Second) // membership + initial state info settle
+
+	// Peer 0 holds 10 blocks, peer 1 holds 8, peer 2 none.
+	for n := 0; n < 10; n++ {
+		cores[0].AddBlock(&ledger.Block{Num: uint64(n)})
+	}
+	for n := 0; n < 8; n++ {
+		cores[1].AddBlock(&ledger.Block{Num: uint64(n)})
+	}
+	// Heights propagate on the 3.5 s state-info tick; crash the most
+	// advanced peer before peer 2's next recovery round (4 s) can fetch
+	// from it while it is still alive.
+	engine.RunUntil(3750 * time.Millisecond)
+	if h := cores[2].PeerHeights()[0]; h != 10 {
+		t.Fatalf("peer 2 sees peer 0 at height %d, want 10", h)
+	}
+
+	// The strictly most advanced peer crashes. Pre-fix, peer 2's candidate
+	// set is {0} on every round and it never fetches anything.
+	cores[0].Stop()
+	net.SetNodeDown(0, true)
+
+	engine.RunUntil(40 * time.Second)
+	if got := cores[2].Height(); got != 8 {
+		t.Fatalf("lagging peer stalled at height %d, want 8 (recovery kept "+
+			"targeting the crashed most-advanced peer)", got)
+	}
+	if _, ok := cores[2].PeerHeights()[0]; ok {
+		t.Fatal("dead peer's advertised height was never pruned")
+	}
+}
+
+// A stale StateInfo that arrives after the expiration sweep pruned the dead
+// peer's entry must not make recovery target the dead peer again: the
+// membership view still marks it dead.
+func TestRecoveryIgnoresStaleHeightOfDeadPeer(t *testing.T) {
+	engine := sim.NewEngine(3)
+	ep := &fakeEndpoint{id: 2}
+	cfg := DefaultConfig(2, []wire.NodeID{0, 1, 2})
+	cfg.AliveInterval = time.Second
+	cfg.AliveExpiration = 2 * time.Second
+	cfg.RecoveryInterval = 5 * time.Second
+	cfg.StateInfoInterval = 0
+	core := New(cfg, ep, engine, engine.Rand("g"), &nullProtocol{})
+	core.Start()
+
+	// Observe peer 0 live, then let it expire.
+	ep.deliver(0, &wire.Alive{Seq: 1})
+	engine.RunUntil(4 * time.Second)
+	if _, ok := core.PeerHeights()[0]; ok {
+		t.Fatal("expired peer's height survived the sweep")
+	}
+
+	// A reordered StateInfo from the dead peer floats in afterwards.
+	ep.deliver(0, &wire.StateInfo{Height: 50})
+	engine.RunUntil(6 * time.Second) // next recovery tick fires
+	for _, s := range ep.sends() {
+		if _, ok := s.msg.(*wire.StateRequest); ok && s.to == 0 {
+			t.Fatal("recovery targeted a peer the view marks dead")
+		}
+	}
+}
+
+// The empty-live-view window right after a restart must elect self, not
+// panic on live[0].
+func TestLeaderOnFreshViewFallsBackToSelf(t *testing.T) {
+	m := NewMembership(4, 2*time.Second)
+	if got := m.Leader(0); got != 4 {
+		t.Fatalf("fresh view leader = %v, want self (4)", got)
+	}
+	if !m.IsLeader(0) {
+		t.Fatal("fresh view does not consider self the leader")
+	}
+	// A lower-id peer's heartbeat takes the lead; its lapse returns it.
+	m.Observe(1, 1, 0)
+	if got := m.Leader(time.Second); got != 1 {
+		t.Fatalf("leader = %v, want 1", got)
+	}
+	m.Expire(10 * time.Second)
+	if got := m.Leader(10 * time.Second); got != 4 {
+		t.Fatalf("leader after expiry = %v, want self (4)", got)
+	}
+	if !m.Dead(1) {
+		t.Fatal("expired peer not marked dead")
+	}
+	if m.Dead(3) {
+		t.Fatal("never-observed peer marked dead")
+	}
+}
+
+// RandomPeers must only subtract self from the eligible count when self is
+// actually in cfg.Peers: an observer core listing three remote peers can
+// sample all three.
+func TestRandomPeersWithoutSelfInMembership(t *testing.T) {
+	e := sim.NewEngine(1)
+	ep := &fakeEndpoint{id: 9}
+	cfg := DefaultConfig(9, []wire.NodeID{0, 1, 2})
+	core := New(cfg, ep, e, e.Rand("g"), &nullProtocol{})
+	got := core.RandomPeers(3)
+	if len(got) != 3 {
+		t.Fatalf("sampled %d of 3 remote peers, want all 3 (self is not a member)", len(got))
+	}
+	seen := map[wire.NodeID]bool{}
+	for _, p := range got {
+		if p == 9 || seen[p] {
+			t.Fatalf("bad sample %v", got)
+		}
+		seen[p] = true
+	}
+}

@@ -176,7 +176,7 @@ func TestRunDisseminationDeterminism(t *testing.T) {
 
 func TestConflictExperimentEnhancedWins(t *testing.T) {
 	mk := func(v Variant) ConflictParams {
-		p := DefaultConflictParams(v, time.Second, 17)
+		p := DefaultConflictParams(v, time.Second, 22)
 		p.NumPeers = 30
 		p.Keys = 30
 		p.Rounds = 10

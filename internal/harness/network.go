@@ -1,0 +1,406 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"fabricgossip/internal/gossip"
+	"fabricgossip/internal/gossip/enhanced"
+	"fabricgossip/internal/gossip/original"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// OrgSpec describes one organization of a multi-org Network.
+type OrgSpec struct {
+	// Peers is the organization's size (at least 2).
+	Peers int
+	// Variant optionally overrides the network-wide protocol for this
+	// organization; empty inherits NetworkParams.Variant. Mixed networks
+	// (some orgs original, some enhanced) are a first-class configuration.
+	Variant Variant
+}
+
+// NetworkParams configures a multi-organization network: the paper's
+// Figure 1 deployment shape, one channel spanning several organizations.
+type NetworkParams struct {
+	Seed int64
+	// Variant is the default protocol for organizations without an
+	// override. Empty defaults to VariantEnhanced.
+	Variant Variant
+	Orgs    []OrgSpec
+	// Bucket is the traffic-accounting bucket width (default 10 s).
+	Bucket time.Duration
+	// RedeliverInterval is how often the ordering service retries streaming
+	// undelivered blocks to each organization's current leader (default
+	// 1 s). Real orderers serve a reliable deliver stream per leader; the
+	// retry models the stream resuming after partitions and failovers.
+	RedeliverInterval time.Duration
+	// RedeliverBatch caps how many backlogged blocks one retry streams to
+	// an organization (default 32), pacing deep catch-ups.
+	RedeliverBatch int
+	// Fout and TTLDirect shape each enhanced organization's configuration,
+	// computed per organization size via enhanced.ConfigFor. Zero defaults
+	// to the paper's fout=4, TTLdirect=2.
+	Fout      int
+	TTLDirect uint32
+}
+
+func (p NetworkParams) withDefaults() NetworkParams {
+	if p.Variant == "" {
+		p.Variant = VariantEnhanced
+	}
+	if p.Bucket == 0 {
+		p.Bucket = 10 * time.Second
+	}
+	if p.RedeliverInterval == 0 {
+		p.RedeliverInterval = time.Second
+	}
+	if p.RedeliverBatch == 0 {
+		p.RedeliverBatch = 32
+	}
+	if p.Fout == 0 {
+		p.Fout = 4
+	}
+	if p.TTLDirect == 0 {
+		p.TTLDirect = 2
+	}
+	return p
+}
+
+// OrgDomain is one organization inside a Network: a contiguous range of
+// global peer indices forming an isolated gossip domain (Fabric does not
+// gossip data blocks across organizations, paper §III-A).
+type OrgDomain struct {
+	Index   int
+	Variant Variant
+	// Lo and Hi bound the organization's global peer indices: [Lo, Hi).
+	Lo, Hi int
+	// Peers lists the organization's node ids (global and dense).
+	Peers []wire.NodeID
+
+	enhanced enhanced.Config
+	original original.Config
+}
+
+// Size returns the organization's peer count.
+func (d *OrgDomain) Size() int { return d.Hi - d.Lo }
+
+// Network is a simulated multi-organization blockchain network: N orgs of
+// M peers each over one shared LAN model and discrete-event engine, plus an
+// ordering service that tracks every organization's dynamic leader and
+// streams each cut block to one leader peer per organization. Gossip
+// dissemination stays within each organization; the ordering service is the
+// only cross-organization path, exactly the paper's deployment shape.
+//
+// It generalizes Org: global peer indices are dense across organizations
+// (org 0 owns [0, M0), org 1 owns [M0, M0+M1), ...), the orderer endpoint
+// is the last node, and the fault surface (Crash, Restart, partitions via
+// Net) operates on global indices.
+type Network struct {
+	Params  NetworkParams
+	Engine  *sim.Engine
+	Net     *transport.SimNetwork
+	Traffic *netmodel.Traffic
+	Orgs    []*OrgDomain
+	// Cores is indexed by global peer index.
+	Cores   []*gossip.Core
+	Orderer *transport.SimEndpoint
+
+	tune      func(self wire.NodeID, cfg *gossip.Config)
+	onCore    func(global int, c *gossip.Core)
+	onDeliver func(org, peer int, b *ledger.Block, redelivery bool)
+
+	eps     []*transport.SimEndpoint
+	crashed []bool
+	orgOf   []int // global peer index -> org index
+
+	// Ordering-service state: the cut chain plus, per organization, the
+	// next chain position to stream, the last leader streamed to, and the
+	// delivery high-water mark (for redelivery detection).
+	chain     []*ledger.Block
+	nextIdx   []int
+	lastLead  []int
+	highWater []int
+	pump      sim.Timer
+}
+
+// NetworkOption tweaks network construction.
+type NetworkOption func(*Network)
+
+// WithNetworkGossipTune adjusts each peer's shared gossip configuration
+// before its core is built, at construction and again on Restart.
+func WithNetworkGossipTune(f func(self wire.NodeID, cfg *gossip.Config)) NetworkOption {
+	return func(n *Network) { n.tune = f }
+}
+
+// WithNetworkCoreHook installs f to run for every core before it starts —
+// at construction and for each core recreated by Restart — so measurement
+// hooks survive peer churn. The first argument is the global peer index.
+func WithNetworkCoreHook(f func(global int, c *gossip.Core)) NetworkOption {
+	return func(n *Network) { n.onCore = f }
+}
+
+// WithDeliverHook installs f to observe every block the ordering service
+// streams into an organization: org and peer identify the targeted leader,
+// redelivery reports whether the block had already been streamed to this
+// organization before (leader failover or catch-up replays).
+func WithDeliverHook(f func(org, peer int, b *ledger.Block, redelivery bool)) NetworkOption {
+	return func(n *Network) { n.onDeliver = f }
+}
+
+// NewNetwork builds (but does not start) a multi-organization network over
+// the calibrated LAN model.
+func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
+	p = p.withDefaults()
+	if len(p.Orgs) == 0 {
+		return nil, fmt.Errorf("harness: network needs at least one organization")
+	}
+	n := &Network{
+		Params: p,
+		Engine: sim.NewEngine(p.Seed),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	n.Traffic = netmodel.NewTraffic(p.Bucket)
+	n.Net = transport.NewSimNetwork(n.Engine, netmodel.LAN(), n.Traffic)
+	// The ordering service delivers over a reliable stream: uniform loss
+	// must not swallow a block before it enters an organization.
+	n.Net.SetLossExempt(wire.TypeDeliverBlock, true)
+
+	lo := 0
+	for i, spec := range p.Orgs {
+		if spec.Peers < 2 {
+			return nil, fmt.Errorf("harness: org %d needs at least 2 peers, got %d", i, spec.Peers)
+		}
+		variant := spec.Variant
+		if variant == "" {
+			variant = p.Variant
+		}
+		if variant != VariantOriginal && variant != VariantEnhanced {
+			return nil, fmt.Errorf("harness: org %d: unknown variant %q", i, variant)
+		}
+		d := &OrgDomain{
+			Index:    i,
+			Variant:  variant,
+			Lo:       lo,
+			Hi:       lo + spec.Peers,
+			original: original.DefaultConfig(),
+		}
+		if variant == VariantEnhanced {
+			cfg, err := enhanced.ConfigFor(spec.Peers, p.Fout, 1e-6, p.TTLDirect)
+			if err != nil {
+				// Tiny organizations can fall below the analytic table's
+				// domain for the requested fan-out; fall back to the
+				// size-derived default.
+				cfg, err = enhanced.DefaultConfig(spec.Peers)
+				if err != nil {
+					return nil, fmt.Errorf("harness: org %d: %w", i, err)
+				}
+			}
+			d.enhanced = cfg
+		}
+		d.Peers = make([]wire.NodeID, spec.Peers)
+		for j := range d.Peers {
+			d.Peers[j] = wire.NodeID(lo + j)
+		}
+		n.Orgs = append(n.Orgs, d)
+		lo += spec.Peers
+	}
+	total := lo
+	n.Cores = make([]*gossip.Core, total)
+	n.eps = make([]*transport.SimEndpoint, total)
+	n.crashed = make([]bool, total)
+	n.orgOf = make([]int, total)
+	for _, d := range n.Orgs {
+		for g := d.Lo; g < d.Hi; g++ {
+			n.orgOf[g] = d.Index
+			n.eps[g] = n.Net.AddNode()
+			n.Cores[g] = n.buildCore(g)
+		}
+	}
+	n.Orderer = n.Net.AddNode()
+	n.nextIdx = make([]int, len(n.Orgs))
+	n.highWater = make([]int, len(n.Orgs))
+	n.lastLead = make([]int, len(n.Orgs))
+	for i := range n.lastLead {
+		n.lastLead[i] = -1
+	}
+	return n, nil
+}
+
+// buildCore constructs a fresh core (and protocol instance) for the peer at
+// the given global index and runs the core hook. The peer's member list is
+// its organization only — each organization is an isolated gossip domain.
+func (n *Network) buildCore(global int) *gossip.Core {
+	d := n.Orgs[n.orgOf[global]]
+	ep := n.eps[global]
+	cfg := gossip.DefaultConfig(ep.ID(), d.Peers)
+	if n.tune != nil {
+		n.tune(ep.ID(), &cfg)
+	}
+	var proto gossip.Protocol
+	switch d.Variant {
+	case VariantOriginal:
+		proto = original.New(d.original)
+	default:
+		proto = enhanced.New(d.enhanced)
+	}
+	core := gossip.New(cfg, ep, n.Engine, n.Engine.Rand("gossip"), proto)
+	if n.onCore != nil {
+		n.onCore(global, core)
+	}
+	return core
+}
+
+// TotalPeers returns the peer count across all organizations.
+func (n *Network) TotalPeers() int { return len(n.Cores) }
+
+// OrgOf returns the organization index owning the given global peer index.
+func (n *Network) OrgOf(global int) int { return n.orgOf[global] }
+
+// StartAll starts every peer's core and arms the ordering service's
+// redelivery timer.
+func (n *Network) StartAll() {
+	for _, c := range n.Cores {
+		c.Start()
+	}
+	if n.pump == nil {
+		n.pump = n.Engine.Every(n.Params.RedeliverInterval, n.pumpAll)
+	}
+}
+
+// StopAll stops every non-crashed peer's core and the ordering service.
+func (n *Network) StopAll() {
+	for g, c := range n.Cores {
+		if !n.crashed[g] {
+			c.Stop()
+		}
+	}
+	if n.pump != nil {
+		n.pump.Stop()
+		n.pump = nil
+	}
+}
+
+// Crash fails the peer at the given global index: its core stops and the
+// network silences its endpoint. No-op if already crashed.
+func (n *Network) Crash(global int) {
+	if n.crashed[global] {
+		return
+	}
+	n.crashed[global] = true
+	n.Cores[global].Stop()
+	n.Net.SetNodeDown(wire.NodeID(global), true)
+	// Any deliver session to this peer is gone with it.
+	if org := n.orgOf[global]; n.lastLead[org] == global {
+		n.lastLead[org] = -1
+	}
+}
+
+// Restart revives a crashed peer with a fresh core and empty block store —
+// the rejoin-with-catchup path. No-op (returning the current core) if the
+// peer is not crashed.
+func (n *Network) Restart(global int) *gossip.Core {
+	if !n.crashed[global] {
+		return n.Cores[global]
+	}
+	n.crashed[global] = false
+	n.Net.SetNodeDown(wire.NodeID(global), false)
+	core := n.buildCore(global)
+	n.Cores[global] = core
+	core.Start()
+	return core
+}
+
+// Crashed reports whether the peer at the given global index is crashed.
+func (n *Network) Crashed(global int) bool { return n.crashed[global] }
+
+// LiveCount returns the number of non-crashed peers across the network.
+func (n *Network) LiveCount() int {
+	live := 0
+	for _, down := range n.crashed {
+		if !down {
+			live++
+		}
+	}
+	return live
+}
+
+// OrgLeader returns the global index of the organization's current leader:
+// the lowest-id non-crashed peer (the convergence point of Fabric's dynamic
+// leader election). Returns -1 if the whole organization is crashed.
+func (n *Network) OrgLeader(org int) int {
+	d := n.Orgs[org]
+	for g := d.Lo; g < d.Hi; g++ {
+		if !n.crashed[g] {
+			return g
+		}
+	}
+	return -1
+}
+
+// Append hands a freshly cut block to the ordering service, which streams
+// it (and any per-org backlog) to each organization's leader immediately.
+// Blocks must be appended in increasing, gap-free order.
+func (n *Network) Append(b *ledger.Block) {
+	n.chain = append(n.chain, b)
+	n.pumpAll()
+}
+
+// ChainLength returns how many blocks the ordering service has cut.
+func (n *Network) ChainLength() int { return len(n.chain) }
+
+func (n *Network) pumpAll() {
+	for org := range n.Orgs {
+		n.pumpOrg(org)
+	}
+}
+
+// pumpOrg advances one organization's deliver stream: it streams the
+// undelivered chain suffix to the lowest-id live peer the orderer can
+// currently reach (a partition can leave the elected leader on the far
+// side, in which case the orderer serves the leader of its own side). When
+// the stream target changes — failover to another peer, or a restarted
+// leader reopening its session — the stream rewinds to the new leader's own
+// ledger height, exactly how Fabric leaders pull blocks from the ordering
+// service starting at their current height.
+func (n *Network) pumpOrg(org int) {
+	d := n.Orgs[org]
+	target := -1
+	for g := d.Lo; g < d.Hi; g++ {
+		if !n.crashed[g] && n.Net.Reachable(n.Orderer.ID(), wire.NodeID(g)) {
+			target = g
+			break
+		}
+	}
+	if target < 0 {
+		n.lastLead[org] = -1
+		return
+	}
+	if n.lastLead[org] != target {
+		n.lastLead[org] = target
+		h := n.Cores[target].Height()
+		pos := n.nextIdx[org]
+		for pos > 0 && n.chain[pos-1].Num >= h {
+			pos--
+		}
+		n.nextIdx[org] = pos
+	}
+	for sent := 0; n.nextIdx[org] < len(n.chain) && sent < n.Params.RedeliverBatch; sent++ {
+		b := n.chain[n.nextIdx[org]]
+		redelivery := n.nextIdx[org] < n.highWater[org]
+		_ = n.Orderer.Send(wire.NodeID(target), &wire.DeliverBlock{Block: b})
+		n.nextIdx[org]++
+		if n.nextIdx[org] > n.highWater[org] {
+			n.highWater[org] = n.nextIdx[org]
+		}
+		if n.onDeliver != nil {
+			n.onDeliver(org, target, b, redelivery)
+		}
+	}
+}

@@ -219,6 +219,53 @@ func (r *LatencyRecorder) All() *Distribution {
 	return NewDistribution(all)
 }
 
+// GroupedLatency partitions latency observations by an integer group key —
+// the organization index in multi-org networks — while also pooling every
+// observation into an aggregate view. Scenario reports use it to summarize
+// each organization's epidemic independently (the paper's Fig. 1 shape:
+// per-org gossip domains) next to the network-wide distribution.
+type GroupedLatency struct {
+	groups map[int]*LatencyRecorder
+	all    *LatencyRecorder
+}
+
+// NewGroupedLatency returns an empty grouped recorder.
+func NewGroupedLatency() *GroupedLatency {
+	return &GroupedLatency{
+		groups: make(map[int]*LatencyRecorder),
+		all:    NewLatencyRecorder(),
+	}
+}
+
+// Record adds one observation to the group's recorder and the aggregate.
+func (g *GroupedLatency) Record(group int, block uint64, peer wire.NodeID, latency time.Duration) {
+	g.Group(group).Record(block, peer, latency)
+	g.all.Record(block, peer, latency)
+}
+
+// Group returns the recorder for one group, creating it on first use.
+func (g *GroupedLatency) Group(group int) *LatencyRecorder {
+	r, ok := g.groups[group]
+	if !ok {
+		r = NewLatencyRecorder()
+		g.groups[group] = r
+	}
+	return r
+}
+
+// All returns the aggregate recorder pooling every group's observations.
+func (g *GroupedLatency) All() *LatencyRecorder { return g.all }
+
+// Groups returns the group keys observed so far, in ascending order.
+func (g *GroupedLatency) Groups() []int {
+	out := make([]int, 0, len(g.groups))
+	for k := range g.groups {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // RecoveryRecorder accumulates peer catch-up latencies from fault and churn
 // scenarios: the time from a peer's restart (or staggered join) until its
 // in-order ledger height reached the organization's injected height. It is

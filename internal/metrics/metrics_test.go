@@ -235,3 +235,27 @@ func TestOverheadRatio(t *testing.T) {
 		t.Fatalf("zero-ideal overhead = %v, want 0", got)
 	}
 }
+
+func TestGroupedLatency(t *testing.T) {
+	g := NewGroupedLatency()
+	if len(g.Groups()) != 0 || g.All().Count() != 0 {
+		t.Fatal("fresh grouped recorder not empty")
+	}
+	g.Record(1, 0, 10, ms(100))
+	g.Record(0, 0, 1, ms(300))
+	g.Record(1, 1, 11, ms(200))
+	if got := g.Groups(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("groups = %v, want [0 1]", got)
+	}
+	if g.Group(1).Count() != 2 || g.Group(0).Count() != 1 {
+		t.Fatalf("group counts = %d/%d", g.Group(0).Count(), g.Group(1).Count())
+	}
+	all := g.All().All()
+	if all.N() != 3 || all.Min() != ms(100) || all.Max() != ms(300) {
+		t.Fatalf("aggregate n=%d min=%v max=%v", all.N(), all.Min(), all.Max())
+	}
+	// Group accessor must not invent observations.
+	if g.Group(7).Count() != 0 {
+		t.Fatal("empty group has observations")
+	}
+}

@@ -96,6 +96,21 @@ func (t *Traffic) NodeAverage(id wire.NodeID, nBuckets int) float64 {
 	return sum / float64(len(s))
 }
 
+// NodeTotals returns the total bytes the node received and sent across the
+// whole run, for per-organization bandwidth accounting in multi-org
+// networks.
+func (t *Traffic) NodeTotals(id wire.NodeID) (in, out uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, v := range t.in[id] {
+		in += v
+	}
+	for _, v := range t.out[id] {
+		out += v
+	}
+	return in, out
+}
+
 // TotalBytes returns the total bytes transmitted across the network.
 func (t *Traffic) TotalBytes() uint64 {
 	t.mu.Lock()

@@ -4,15 +4,21 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"fabricgossip/internal/harness"
 )
 
 // Def is a named catalog entry: a scenario template instantiated for a
-// concrete organization size, so the same fault script scales from tens to
-// thousands of peers.
+// concrete topology, so the same fault script scales from tens to thousands
+// of peers and from one organization to many.
 type Def struct {
 	Name        string
 	Description string
-	Build       func(n int) Scenario
+	// MinOrgs is the smallest organization count the script needs; 0 or 1
+	// means the entry runs on any topology. RunNamed bumps the requested
+	// org count up to it automatically.
+	MinOrgs int
+	Build   func(top Topology) Scenario
 }
 
 // catalog holds the built-in scenarios, keyed by name.
@@ -56,7 +62,8 @@ func init() {
 		Name: "crash-restart",
 		Description: "a tenth of the organization crashes mid-dissemination and " +
 			"restarts cold two and a half seconds later, catching up through recovery",
-		Build: func(n int) Scenario {
+		Build: func(top Topology) Scenario {
+			n := top.Total()
 			k := max(1, n/10)
 			return Scenario{
 				Blocks:        10,
@@ -74,7 +81,7 @@ func init() {
 		Name: "leader-failover",
 		Description: "the leader peer crashes mid-run, the ordering service fails " +
 			"over to the next live peer, and the old leader later rejoins and catches up",
-		Build: func(n int) Scenario {
+		Build: func(top Topology) Scenario {
 			return Scenario{
 				Blocks:        10,
 				BlockInterval: 400 * time.Millisecond,
@@ -91,14 +98,14 @@ func init() {
 		Name: "partition-heal",
 		Description: "the network splits in half during dissemination; the minority " +
 			"side misses blocks until the partition heals and recovery closes the gaps",
-		Build: func(n int) Scenario {
+		Build: func(top Topology) Scenario {
 			return Scenario{
 				Blocks:        8,
 				BlockInterval: 400 * time.Millisecond,
 				Warmup:        time.Second,
 				Tail:          35 * time.Second,
 				Events: []Event{
-					{At: 1200 * time.Millisecond, Action: PartitionSplit{Split: n / 2}},
+					{At: 1200 * time.Millisecond, Action: PartitionSplit{Split: top.Total() / 2}},
 					{At: 6 * time.Second, Action: HealPartition{}},
 				},
 			}
@@ -108,7 +115,8 @@ func init() {
 		Name: "churn",
 		Description: "three consecutive crash/restart waves roll through the " +
 			"organization while blocks keep flowing",
-		Build: func(n int) Scenario {
+		Build: func(top Topology) Scenario {
+			n := top.Total()
 			k := max(1, n/20)
 			waveA := span(1, 1+k)
 			waveB := span(1+k, 1+2*k)
@@ -133,7 +141,8 @@ func init() {
 		Name: "slow-links",
 		Description: "a tenth of the peers turn into stragglers (+30ms on every " +
 			"link) mid-run, then return to normal",
-		Build: func(n int) Scenario {
+		Build: func(top Topology) Scenario {
+			n := top.Total()
 			slow := span(n-max(1, n/10), n)
 			return Scenario{
 				Blocks:        10,
@@ -151,7 +160,8 @@ func init() {
 		Name: "staggered-join",
 		Description: "half the organization (a second org joining the channel) " +
 			"starts offline and joins in two staggered waves, each catching up from zero",
-		Build: func(n int) Scenario {
+		Build: func(top Topology) Scenario {
+			n := top.Total()
 			lo := n / 2
 			mid := lo + (n-lo)/2
 			return Scenario{
@@ -171,7 +181,7 @@ func init() {
 		Name: "flaky-network",
 		Description: "15% uniform packet loss throughout dissemination; the " +
 			"epidemic's redundancy and recovery must still deliver everything",
-		Build: func(n int) Scenario {
+		Build: func(top Topology) Scenario {
 			return Scenario{
 				Blocks:        10,
 				BlockInterval: 400 * time.Millisecond,
@@ -180,6 +190,96 @@ func init() {
 				Events: []Event{
 					{At: 500 * time.Millisecond, Action: PacketLoss{Rate: 0.15}},
 					{At: 12 * time.Second, Action: PacketLoss{}},
+				},
+			}
+		},
+	})
+
+	// --- multi-organization entries (the paper's Fig. 1 deployment shape) ---
+
+	register(Def{
+		Name: "org-partition-heal",
+		Description: "an entire organization is cut off from the ordering service " +
+			"and every other org mid-dissemination; after the heal the orderer " +
+			"re-streams the backlog and intra-org gossip closes the gaps",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			victim := top.Orgs - 1
+			return Scenario{
+				Blocks:        8,
+				BlockInterval: 400 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          40 * time.Second,
+				Events: []Event{
+					{At: 1200 * time.Millisecond, Action: IsolateOrgs{Orgs: []int{victim}}},
+					{At: 6 * time.Second, Action: HealPartition{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "org-leader-failover",
+		Description: "one organization's leader crashes mid-run while the other " +
+			"orgs disseminate undisturbed; the deliver stream fails over within the " +
+			"org and the cold-restarted ex-leader replays it from its own height",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 400 * time.Millisecond,
+				Warmup:        1500 * time.Millisecond,
+				Tail:          35 * time.Second,
+				Events: []Event{
+					{At: 2500 * time.Millisecond, Action: CrashOrgLeader{Org: 1}},
+					{At: 10 * time.Second, Action: RestartOrg{Org: 1}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "org-cold-join",
+		Description: "a whole organization starts offline and joins mid-run; its " +
+			"peers catch up from block zero through the orderer's deliver stream " +
+			"plus intra-org recovery (deep catch-up)",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			victim := top.Orgs - 1
+			return Scenario{
+				Blocks:        12,
+				BlockInterval: 300 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          45 * time.Second,
+				InitialDown:   top.OrgSpan(victim),
+				Events: []Event{
+					{At: 4 * time.Second, Action: RestartOrg{Org: victim}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "org-mixed-protocols",
+		Description: "organizations alternate between the original and enhanced " +
+			"protocols on the same channel under transient packet loss — the " +
+			"per-org report compares both epidemics side by side",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			variants := make([]harness.Variant, top.Orgs)
+			for o := range variants {
+				if o%2 == 0 {
+					variants[o] = harness.VariantOriginal
+				} else {
+					variants[o] = harness.VariantEnhanced
+				}
+			}
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 300 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          35 * time.Second,
+				OrgVariants:   variants,
+				Events: []Event{
+					{At: time.Second, Action: PacketLoss{Rate: 0.10}},
+					{At: 8 * time.Second, Action: PacketLoss{}},
 				},
 			}
 		},

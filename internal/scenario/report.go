@@ -9,6 +9,36 @@ import (
 	"fabricgossip/internal/metrics"
 )
 
+// OrgReport is one organization's slice of a scenario run: its own gossip
+// domain's delivery, catch-up, recovery and latency figures.
+type OrgReport struct {
+	Org     int
+	Variant string
+	Peers   int
+
+	// Delivered counts distinct blocks the ordering service streamed into
+	// this organization.
+	Delivered int
+
+	// Survivors is how many of the organization's peers were live at the
+	// end; CaughtUp how many of them had committed every injected block.
+	Survivors         int
+	CaughtUp          int
+	PendingRecoveries int
+
+	// Recovery summarizes the organization's rejoin-with-catchup
+	// latencies; Latency its intra-org dissemination latencies (first
+	// reception relative to the block entering the organization).
+	Recovery metrics.Summary
+	Latency  metrics.Summary
+
+	// InBytes is the total bytes entering the organization's NICs;
+	// Overhead relates it to the ideal minimum of every delivered block
+	// reaching each member exactly once.
+	InBytes  uint64
+	Overhead float64
+}
+
 // Report is everything a scenario run measured. All fields derive
 // deterministically from (scenario, Options); Fingerprint hashes them so
 // two runs can be compared byte for byte.
@@ -16,10 +46,11 @@ type Report struct {
 	Scenario string
 	Variant  string
 	Peers    int
+	Orgs     int
 	Seed     int64
 
-	// BlocksInjected counts blocks the ordering service delivered to a
-	// live leader (blocks cut while no peer was live are dropped).
+	// BlocksInjected counts distinct blocks the ordering service delivered
+	// into at least one organization.
 	BlocksInjected int
 	// BlockBytes is the encoded size of one workload block.
 	BlockBytes int
@@ -39,6 +70,10 @@ type Report struct {
 	Recoveries        metrics.Summary
 	PendingRecoveries int
 
+	// Latency summarizes dissemination latency network-wide: each peer's
+	// first reception relative to the block entering its organization.
+	Latency metrics.Summary
+
 	// Transitions counts membership live/dead observations across all
 	// peers (failure detection and rejoin events).
 	Transitions int
@@ -51,21 +86,35 @@ type Report struct {
 	// EngineEvents is the number of discrete events the engine executed.
 	EngineEvents uint64
 
+	// OrgReports breaks the run down per organization, in org order.
+	OrgReports []OrgReport
+
 	// Trace is the deterministic event log of the run.
 	Trace []string
 }
 
 // String renders the report (without the trace) as a stable multi-line
-// block.
+// block. Multi-organization runs append one line per organization.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario %s variant=%s peers=%d seed=%d\n", r.Scenario, r.Variant, r.Peers, r.Seed)
+	fmt.Fprintf(&b, "scenario %s variant=%s peers=%d orgs=%d seed=%d\n",
+		r.Scenario, r.Variant, r.Peers, r.Orgs, r.Seed)
 	fmt.Fprintf(&b, "  blocks injected: %d (%d B each)\n", r.BlocksInjected, r.BlockBytes)
 	fmt.Fprintf(&b, "  survivors: %d/%d caught up, %d order violations, %d pending recoveries\n",
 		r.CaughtUp, r.Survivors, r.OrderViolations, r.PendingRecoveries)
 	fmt.Fprintf(&b, "  recoveries: %s\n", r.Recoveries)
+	fmt.Fprintf(&b, "  dissemination: %s\n", r.Latency)
 	fmt.Fprintf(&b, "  membership transitions: %d\n", r.Transitions)
 	fmt.Fprintf(&b, "  traffic: %.2f MB, overhead %.2fx ideal\n", float64(r.TotalBytes)/1e6, r.Overhead)
+	if r.Orgs > 1 {
+		for _, or := range r.OrgReports {
+			fmt.Fprintf(&b, "  org %d [%s]: delivered %d, %d/%d caught up, %d pending; "+
+				"recovery p99=%v, latency p99=%v, %.2f MB in, overhead %.2fx\n",
+				or.Org, or.Variant, or.Delivered, or.CaughtUp, or.Survivors,
+				or.PendingRecoveries, or.Recovery.P99, or.Latency.P99,
+				float64(or.InBytes)/1e6, or.Overhead)
+		}
+	}
 	fmt.Fprintf(&b, "  engine events: %d", r.EngineEvents)
 	return b.String()
 }

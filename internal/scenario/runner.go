@@ -13,10 +13,15 @@ import (
 
 // Options parameterizes one scenario run.
 type Options struct {
-	// Peers is the organization size (default 100). The catalog scales its
-	// fault scripts to any size up to thousands of peers.
+	// Peers is the total network size across all organizations (default
+	// 100). It must divide evenly by Orgs. The catalog scales its fault
+	// scripts to any size up to thousands of peers.
 	Peers int
+	// Orgs is the organization count (default 1). Multi-org catalog
+	// entries (Def.MinOrgs > 1) bump it to their minimum automatically.
+	Orgs int
 	// Variant selects the protocol under test (default VariantEnhanced).
+	// A scenario's OrgVariants override it per organization.
 	Variant harness.Variant
 	// Seed drives every random stream; the same seed reproduces the run
 	// byte for byte.
@@ -31,6 +36,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Peers == 0 {
 		o.Peers = 100
+	}
+	if o.Orgs == 0 {
+		o.Orgs = 1
 	}
 	if o.Variant == "" {
 		o.Variant = harness.VariantEnhanced
@@ -47,16 +55,39 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+func (o Options) topology() (Topology, error) {
+	if o.Orgs < 1 {
+		return Topology{}, fmt.Errorf("scenario: need at least 1 org, got %d", o.Orgs)
+	}
+	if o.Peers%o.Orgs != 0 {
+		return Topology{}, fmt.Errorf("scenario: %d peers do not divide evenly into %d orgs", o.Peers, o.Orgs)
+	}
+	per := o.Peers / o.Orgs
+	if per < 2 {
+		return Topology{}, fmt.Errorf("scenario: %d peers per org, need at least 2", per)
+	}
+	return Topology{Orgs: o.Orgs, PeersPerOrg: per}, nil
+}
+
 // runner is the per-run mutable state behind the fault actions and
 // measurement hooks.
 type runner struct {
 	sc  Scenario
 	opt Options
-	org *harness.Org
-	rec *metrics.RecoveryRecorder
+	top Topology
+	net *harness.Network
+
+	rec     *metrics.RecoveryRecorder
+	orgRecs []*metrics.RecoveryRecorder
+	lat     *metrics.GroupedLatency
 
 	trace    []string
-	injected int // blocks delivered to the org so far
+	injected int              // distinct blocks delivered to at least one org
+	seen     map[uint64]bool  // blocks counted in injected
+	orgSeen  []map[uint64]bool // per-org delivered blocks
+	// orgStart[o][num] is the virtual time the block first entered org o
+	// (its leader's reception); later receptions record deltas against it.
+	orgStart []map[uint64]time.Duration
 
 	// Per-peer measurement state, reset when a peer restarts.
 	lastCommit []int64 // last in-order committed block, -1 if none
@@ -67,15 +98,23 @@ type runner struct {
 	orderViolations int
 }
 
-// RunNamed instantiates the named catalog scenario for opt.Peers peers and
-// runs it.
+// RunNamed instantiates the named catalog scenario for opt's topology and
+// runs it. Entries that need more organizations than opt.Orgs provides
+// (Def.MinOrgs) get their minimum automatically.
 func RunNamed(name string, opt Options) (*Report, error) {
 	def, err := Lookup(name)
 	if err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults()
-	sc := def.Build(opt.Peers)
+	if opt.Orgs < def.MinOrgs {
+		opt.Orgs = def.MinOrgs
+	}
+	top, err := opt.topology()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	sc := def.Build(top)
 	sc.Name = def.Name
 	sc.Description = def.Description
 	return Run(sc, opt)
@@ -85,88 +124,110 @@ func RunNamed(name string, opt Options) (*Report, error) {
 // deterministic in (scenario, Options).
 func Run(sc Scenario, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
+	top, err := opt.topology()
+	if err != nil {
+		return nil, err
+	}
 	if sc.Blocks <= 0 {
 		return nil, fmt.Errorf("scenario: %q injects no blocks", sc.Name)
 	}
+	if len(sc.InitialDown) >= top.Total() {
+		return nil, fmt.Errorf("scenario: all %d peers initially down", top.Total())
+	}
 	for _, i := range sc.InitialDown {
-		if i <= 0 || i >= opt.Peers {
-			return nil, fmt.Errorf("scenario: initial-down peer %d out of range (leader 0 must start live)", i)
+		if i < 0 || i >= top.Total() {
+			return nil, fmt.Errorf("scenario: initial-down peer %d out of range [0, %d)", i, top.Total())
 		}
 	}
 	for _, ev := range sc.Events {
 		for _, i := range actionPeers(ev.Action) {
-			if i < 0 || i >= opt.Peers {
+			if i < 0 || i >= top.Total() {
 				return nil, fmt.Errorf("scenario: event %q at %v names peer %d, outside [0, %d)",
-					ev.Action, ev.At, i, opt.Peers)
+					ev.Action, ev.At, i, top.Total())
 			}
 		}
-		if split, ok := ev.Action.(PartitionSplit); ok && (split.Split <= 0 || split.Split >= opt.Peers) {
+		for _, o := range actionOrgs(ev.Action) {
+			if o < 0 || o >= top.Orgs {
+				return nil, fmt.Errorf("scenario: event %q at %v names org %d, outside [0, %d)",
+					ev.Action, ev.At, o, top.Orgs)
+			}
+		}
+		if split, ok := ev.Action.(PartitionSplit); ok && (split.Split <= 0 || split.Split >= top.Total()) {
 			return nil, fmt.Errorf("scenario: event %q at %v splits outside (0, %d)",
-				ev.Action, ev.At, opt.Peers)
+				ev.Action, ev.At, top.Total())
 		}
 	}
-
-	// Base protocol parameters come from the paper's defaults at this
-	// organization size; fault handling wants faster membership and
-	// recovery turnarounds than the paper's fault-free 10 s defaults.
-	params := harness.QuickScale(harness.DefaultParams(opt.Variant, opt.Seed), opt.Peers, sc.Blocks)
-	params.TxPerBlock = opt.TxPerBlock
-	params.TxPayload = opt.TxPayload
-	params.Bucket = time.Second
 
 	r := &runner{
 		sc:         sc,
 		opt:        opt,
+		top:        top,
 		rec:        metrics.NewRecoveryRecorder(),
-		lastCommit: make([]int64, opt.Peers),
-		restartAt:  make([]time.Duration, opt.Peers),
-		recovering: make([]bool, opt.Peers),
+		orgRecs:    make([]*metrics.RecoveryRecorder, top.Orgs),
+		lat:        metrics.NewGroupedLatency(),
+		seen:       make(map[uint64]bool),
+		orgSeen:    make([]map[uint64]bool, top.Orgs),
+		orgStart:   make([]map[uint64]time.Duration, top.Orgs),
+		lastCommit: make([]int64, top.Total()),
+		restartAt:  make([]time.Duration, top.Total()),
+		recovering: make([]bool, top.Total()),
+	}
+	for o := 0; o < top.Orgs; o++ {
+		r.orgRecs[o] = metrics.NewRecoveryRecorder()
+		r.orgSeen[o] = make(map[uint64]bool)
+		r.orgStart[o] = make(map[uint64]time.Duration)
 	}
 	for i := range r.lastCommit {
 		r.lastCommit[i] = -1
 	}
 
-	org, err := harness.NewOrg(params,
-		harness.WithGossipTune(func(self wire.NodeID, cfg *gossip.Config) {
+	// One spec per organization; a scenario's OrgVariants pin protocols
+	// per org, everything else inherits the run's variant.
+	specs := make([]harness.OrgSpec, top.Orgs)
+	for o := range specs {
+		specs[o] = harness.OrgSpec{Peers: top.PeersPerOrg}
+		if o < len(sc.OrgVariants) && sc.OrgVariants[o] != "" {
+			specs[o].Variant = sc.OrgVariants[o]
+		}
+	}
+	net, err := harness.NewNetwork(harness.NetworkParams{
+		Seed:    opt.Seed,
+		Variant: opt.Variant,
+		Orgs:    specs,
+		Bucket:  time.Second,
+	},
+		// Fault handling wants faster membership and recovery turnarounds
+		// than the paper's fault-free 10 s defaults.
+		harness.WithNetworkGossipTune(func(self wire.NodeID, cfg *gossip.Config) {
 			cfg.StateInfoInterval = time.Second
 			cfg.AliveInterval = 2 * time.Second
 			cfg.AliveExpiration = 5 * time.Second
 			cfg.RecoveryInterval = 2 * time.Second
 			cfg.RecoveryBatch = 64
 		}),
-		harness.WithCoreHook(r.instrument),
+		harness.WithNetworkCoreHook(r.instrument),
+		harness.WithDeliverHook(r.onDeliver),
 	)
 	if err != nil {
 		return nil, err
 	}
-	r.org = org
-	engine := org.Engine
-	// The ordering service delivers over a reliable stream: scenario
-	// packet loss must not permanently swallow a block before it enters
-	// the organization.
-	org.Net.SetLossExempt(wire.TypeDeliverBlock, true)
+	r.net = net
+	engine := net.Engine
 
-	org.StartAll()
+	net.StartAll()
 	for _, i := range sc.InitialDown {
-		org.Crash(i)
+		net.Crash(i)
 	}
 	if len(sc.InitialDown) > 0 {
 		r.tracef("start with peers %s down", rangeSpec(sc.InitialDown))
 	}
 
-	// Schedule the workload.
+	// Schedule the workload: the ordering service streams each cut block
+	// to every organization's leader (and retries undelivered backlogs).
 	blocks := harness.BuildChain(sc.Blocks, opt.TxPerBlock, opt.TxPayload, opt.Seed)
 	for i, b := range blocks {
 		b := b
-		engine.At(sc.Warmup+time.Duration(i)*sc.BlockInterval, func() {
-			leader := org.DeliverBlock(b)
-			if leader < 0 {
-				r.tracef("block %d dropped: no live peer to lead", b.Num)
-				return
-			}
-			r.injected++
-			r.tracef("deliver block %d -> peer %d", b.Num, leader)
-		})
+		engine.At(sc.Warmup+time.Duration(i)*sc.BlockInterval, func() { net.Append(b) })
 	}
 
 	// Schedule the fault script.
@@ -179,13 +240,14 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	}
 
 	engine.RunUntil(sc.End())
-	org.StopAll()
+	net.StopAll()
 
 	return r.report(blocks), nil
 }
 
-// actionPeers returns the peer indices an action addresses, for up-front
-// range validation (a bad index must fail Run, not panic mid-simulation).
+// actionPeers returns the global peer indices an action addresses, for
+// up-front range validation (a bad index must fail Run, not panic
+// mid-simulation).
 func actionPeers(a Action) []int {
 	switch a := a.(type) {
 	case CrashPeers:
@@ -198,20 +260,75 @@ func actionPeers(a Action) []int {
 	return nil
 }
 
+// actionOrgs returns the organization indices an action addresses.
+func actionOrgs(a Action) []int {
+	switch a := a.(type) {
+	case CrashOrg:
+		return []int{a.Org}
+	case RestartOrg:
+		return []int{a.Org}
+	case CrashOrgLeader:
+		return []int{a.Org}
+	case IsolateOrgs:
+		return a.Orgs
+	}
+	return nil
+}
+
+// onDeliver traces ordering-service deliveries and maintains the injected
+// counters. Redeliveries (leader failover replaying the stream) are traced
+// separately and never recounted.
+func (r *runner) onDeliver(org, peer int, b *ledger.Block, redelivery bool) {
+	if !r.orgSeen[org][b.Num] {
+		r.orgSeen[org][b.Num] = true
+		if !r.seen[b.Num] {
+			r.seen[b.Num] = true
+			r.injected++
+		}
+		if r.top.Orgs == 1 {
+			r.tracef("deliver block %d -> peer %d", b.Num, peer)
+		} else {
+			r.tracef("deliver block %d -> org %d peer %d", b.Num, org, peer)
+		}
+		return
+	}
+	if redelivery {
+		if r.top.Orgs == 1 {
+			r.tracef("redeliver block %d -> peer %d", b.Num, peer)
+		} else {
+			r.tracef("redeliver block %d -> org %d peer %d", b.Num, org, peer)
+		}
+	}
+}
+
 // instrument installs the measurement hooks on a (possibly restarted) core.
-// It runs during NewOrg, before r.org is assigned, so the callbacks resolve
-// the engine lazily.
+// It runs during NewNetwork, before r.net is assigned, so the callbacks
+// resolve the engine lazily.
 func (r *runner) instrument(i int, core *gossip.Core) {
+	org := r.top.OrgOf(i)
 	core.OnCommit(func(b *ledger.Block) {
 		if int64(b.Num) != r.lastCommit[i]+1 {
 			r.orderViolations++
 		}
 		r.lastCommit[i] = int64(b.Num)
 		if r.recovering[i] && b.Num+1 >= uint64(r.injected) {
-			lat := r.org.Engine.Now() - r.restartAt[i]
+			lat := r.net.Engine.Now() - r.restartAt[i]
 			r.rec.Record(lat)
+			r.orgRecs[org].Record(lat)
 			r.recovering[i] = false
 			r.tracef("peer %d caught up to height %d, %v after restart", i, b.Num+1, lat)
+		}
+	})
+	core.OnFirstReception(func(b *ledger.Block, at time.Duration) {
+		start, ok := r.orgStart[org][b.Num]
+		if !ok {
+			r.orgStart[org][b.Num] = at
+			return
+		}
+		// Catch-up receptions after a restart measure recovery, not the
+		// epidemic; keep them out of the dissemination distribution.
+		if !r.recovering[i] && at >= start {
+			r.lat.Record(org, b.Num, wire.NodeID(i), at-start)
 		}
 	})
 	core.OnPeerStateChange(func(wire.NodeID, bool, time.Duration) {
@@ -220,37 +337,67 @@ func (r *runner) instrument(i int, core *gossip.Core) {
 }
 
 func (r *runner) crash(i int) {
-	if r.org.Crashed(i) {
+	if r.net.Crashed(i) {
 		return
 	}
-	r.org.Crash(i)
+	r.net.Crash(i)
 	r.recovering[i] = false
 }
 
 func (r *runner) restart(i int) {
-	if !r.org.Crashed(i) {
+	if !r.net.Crashed(i) {
 		return
 	}
 	// The fresh core commits from zero again; reset the per-peer ordering
 	// and recovery trackers before its hooks fire.
 	r.lastCommit[i] = -1
-	r.restartAt[i] = r.org.Engine.Now()
+	r.restartAt[i] = r.net.Engine.Now()
 	r.recovering[i] = r.injected > 0
-	r.org.Restart(i)
+	r.net.Restart(i)
 }
 
 // partition cuts peers [0, split) plus the orderer from peers [split, n).
 // Range validation happened in Run.
 func (r *runner) partition(split int) {
 	sideA := make([]wire.NodeID, 0, split+1)
-	sideA = append(sideA, r.org.Peers[:split]...)
-	sideA = append(sideA, r.org.Orderer.ID())
-	sideB := append([]wire.NodeID(nil), r.org.Peers[split:]...)
-	r.org.Net.Partition(sideA, sideB)
+	for i := 0; i < split; i++ {
+		sideA = append(sideA, wire.NodeID(i))
+	}
+	sideA = append(sideA, r.net.Orderer.ID())
+	sideB := make([]wire.NodeID, 0, r.top.Total()-split)
+	for i := split; i < r.top.Total(); i++ {
+		sideB = append(sideB, wire.NodeID(i))
+	}
+	r.net.Net.Partition(sideA, sideB)
+}
+
+// isolateOrgs partitions each listed organization into its own group; the
+// remaining organizations and the orderer form the main group.
+func (r *runner) isolateOrgs(orgs []int) {
+	cut := make(map[int]bool, len(orgs))
+	for _, o := range orgs {
+		cut[o] = true
+	}
+	main := make([]wire.NodeID, 0, r.top.Total()+1)
+	groups := make([][]wire.NodeID, 1, len(orgs)+1)
+	for o := 0; o < r.top.Orgs; o++ {
+		ids := make([]wire.NodeID, 0, r.top.PeersPerOrg)
+		for _, i := range r.top.OrgSpan(o) {
+			ids = append(ids, wire.NodeID(i))
+		}
+		if cut[o] {
+			groups = append(groups, ids)
+		} else {
+			main = append(main, ids...)
+		}
+	}
+	main = append(main, r.net.Orderer.ID())
+	groups[0] = main
+	r.net.Net.Partition(groups...)
 }
 
 func (r *runner) tracef(format string, args ...any) {
-	at := r.org.Engine.Now()
+	at := r.net.Engine.Now()
 	r.trace = append(r.trace, fmt.Sprintf("[%10v] %s", at, fmt.Sprintf(format, args...)))
 }
 
@@ -259,32 +406,62 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 	rep := &Report{
 		Scenario:       r.sc.Name,
 		Variant:        string(r.opt.Variant),
-		Peers:          r.opt.Peers,
+		Peers:          r.top.Total(),
+		Orgs:           r.top.Orgs,
 		Seed:           r.opt.Seed,
 		BlocksInjected: r.injected,
 		Transitions:    r.transitions,
-		EngineEvents:   r.org.Engine.Executed(),
-		TotalBytes:     r.org.Traffic.TotalBytes(),
+		EngineEvents:   r.net.Engine.Executed(),
+		TotalBytes:     r.net.Traffic.TotalBytes(),
 		Recoveries:     metrics.Summarize(r.rec.Distribution()),
+		Latency:        metrics.Summarize(r.lat.All().All()),
 		Trace:          r.trace,
 	}
-	for i := 0; i < r.opt.Peers; i++ {
-		if r.org.Crashed(i) {
-			continue
+	var blockBytes int
+	if len(blocks) > 0 {
+		blockBytes = wire.BlockEncodedSize(blocks[0])
+		rep.BlockBytes = blockBytes
+	}
+	for o := 0; o < r.top.Orgs; o++ {
+		or := OrgReport{
+			Org:       o,
+			Variant:   string(r.net.Orgs[o].Variant),
+			Peers:     r.top.PeersPerOrg,
+			Delivered: len(r.orgSeen[o]),
+			Recovery:  metrics.Summarize(r.orgRecs[o].Distribution()),
+			Latency:   metrics.Summarize(r.lat.Group(o).All()),
 		}
-		rep.Survivors++
-		if r.lastCommit[i] == int64(r.injected)-1 {
-			rep.CaughtUp++
+		var inBytes uint64
+		for _, i := range r.top.OrgSpan(o) {
+			in, _ := r.net.Traffic.NodeTotals(wire.NodeID(i))
+			inBytes += in
+			if r.net.Crashed(i) {
+				continue
+			}
+			or.Survivors++
+			if r.lastCommit[i] == int64(r.injected)-1 {
+				or.CaughtUp++
+			}
+			if r.recovering[i] {
+				or.PendingRecoveries++
+			}
 		}
-		if r.recovering[i] {
-			rep.PendingRecoveries++
-		}
+		or.InBytes = inBytes
+		// Per-org overhead relates bytes entering the organization's NICs
+		// to the ideal minimum of every delivered block reaching each
+		// member exactly once (the leader's copy arrives from the orderer).
+		or.Overhead = metrics.OverheadRatio(inBytes, blockBytes, r.top.PeersPerOrg, or.Delivered)
+		rep.Survivors += or.Survivors
+		rep.CaughtUp += or.CaughtUp
+		rep.PendingRecoveries += or.PendingRecoveries
+		rep.OrgReports = append(rep.OrgReports, or)
 	}
 	rep.OrderViolations = r.orderViolations
-	if len(blocks) > 0 {
-		blockBytes := wire.BlockEncodedSize(blocks[0])
-		rep.BlockBytes = blockBytes
-		rep.Overhead = metrics.OverheadRatio(rep.TotalBytes, blockBytes, r.opt.Peers-1, r.injected)
+	if blockBytes > 0 {
+		// Same definition of "ideal" as the per-org lines: every peer —
+		// leaders included, their copy arrives from the orderer and is in
+		// TotalBytes — receives each injected block exactly once.
+		rep.Overhead = metrics.OverheadRatio(rep.TotalBytes, blockBytes, r.top.Total(), r.injected)
 	}
 	return rep
 }

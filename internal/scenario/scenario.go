@@ -6,6 +6,15 @@
 // executed on the discrete-event engine, so the same seed reproduces the
 // same run byte for byte at any scale, including thousand-peer networks.
 //
+// Scenarios run on a multi-organization harness.Network (the paper's
+// Figure 1 shape): a Topology of N organizations times M peers, each
+// organization an isolated gossip domain with its own protocol choice and
+// dynamic leader, fed by one ordering service. Actions address peers by
+// global index or whole organizations (CrashOrg, RestartOrg,
+// CrashOrgLeader, IsolateOrgs), and reports carry per-organization
+// summaries next to the aggregate. The single-organization catalog entries
+// are the Orgs=1 special case.
+//
 // The built-in catalog (see Catalog) covers the fault classes the paper's
 // evaluation leaves out (§V runs a single fault-free organization); the
 // runner reports per-scenario recovery latency, bandwidth overhead and the
@@ -15,6 +24,9 @@ package scenario
 import (
 	"fmt"
 	"time"
+
+	"fabricgossip/internal/harness"
+	"fabricgossip/internal/wire"
 )
 
 // Scenario is a declarative fault experiment: a dissemination workload plus
@@ -34,9 +46,18 @@ type Scenario struct {
 	// the window in which recovery must close every gap.
 	Tail time.Duration
 
-	// InitialDown lists peers that start crashed and join later via a
-	// Restart event (staggered-join scenarios).
+	// InitialDown lists peers (global indices) that start crashed and join
+	// later via a Restart event — staggered-join and whole-org cold-join
+	// scenarios. The ordering service streams the backlog to whichever
+	// leader eventually appears, so even an organization's lowest-id peer
+	// may start down.
 	InitialDown []int
+
+	// OrgVariants optionally pins a protocol per organization (index =
+	// org), overriding the run's variant — mixed original/enhanced
+	// networks. Entries beyond the topology's org count are ignored;
+	// missing entries inherit the run's variant.
+	OrgVariants []harness.Variant
 
 	Events []Event
 }
@@ -82,18 +103,71 @@ func (a CrashPeers) apply(r *runner) {
 
 func (a CrashPeers) String() string { return "crash peers " + rangeSpec(a.Peers) }
 
-// CrashLeader fails the current leader (the lowest-id live peer, which is
-// where the ordering service delivers); subsequent blocks go to the next
-// live peer — the leader-failover path.
+// CrashLeader fails organization 0's current leader (the lowest-id live
+// peer, which is where the ordering service delivers); subsequent blocks go
+// to the next live peer — the leader-failover path. For other organizations
+// use CrashOrgLeader.
 type CrashLeader struct{}
 
 func (a CrashLeader) apply(r *runner) {
-	if leader := r.org.Leader(); leader >= 0 {
+	if leader := r.net.OrgLeader(0); leader >= 0 {
 		r.crash(leader)
 	}
 }
 
 func (a CrashLeader) String() string { return "crash leader" }
+
+// CrashOrg fails every live peer of one organization at once — a site-wide
+// outage of a single member of the consortium.
+type CrashOrg struct{ Org int }
+
+func (a CrashOrg) apply(r *runner) {
+	for _, i := range r.top.OrgSpan(a.Org) {
+		r.crash(i)
+	}
+}
+
+func (a CrashOrg) String() string { return fmt.Sprintf("crash org %d", a.Org) }
+
+// RestartOrg revives every crashed peer of one organization with fresh
+// cores and empty block stores: the whole-org cold-join path, caught up by
+// the ordering service's deliver stream plus intra-org recovery.
+type RestartOrg struct{ Org int }
+
+func (a RestartOrg) apply(r *runner) {
+	for _, i := range r.top.OrgSpan(a.Org) {
+		if r.net.Crashed(i) {
+			r.restart(i)
+		}
+	}
+}
+
+func (a RestartOrg) String() string { return fmt.Sprintf("restart org %d", a.Org) }
+
+// CrashOrgLeader fails the named organization's current leader; the
+// ordering service fails its deliver stream over to the organization's next
+// live peer while other organizations disseminate undisturbed.
+type CrashOrgLeader struct{ Org int }
+
+func (a CrashOrgLeader) apply(r *runner) {
+	if leader := r.net.OrgLeader(a.Org); leader >= 0 {
+		r.crash(leader)
+	}
+}
+
+func (a CrashOrgLeader) String() string { return fmt.Sprintf("crash leader of org %d", a.Org) }
+
+// IsolateOrgs partitions the network so each listed organization can only
+// talk within itself; everyone else (remaining organizations plus the
+// ordering service) stays connected. Heal with HealPartition. The ordering
+// service re-streams the missed backlog once the partition heals.
+type IsolateOrgs struct{ Orgs []int }
+
+func (a IsolateOrgs) apply(r *runner) { r.isolateOrgs(a.Orgs) }
+
+func (a IsolateOrgs) String() string {
+	return fmt.Sprintf("isolate orgs %v", a.Orgs)
+}
 
 // RestartPeers revives the listed peers with fresh cores and empty block
 // stores: the rejoin-with-catchup path through state info + recovery.
@@ -111,8 +185,8 @@ func (a RestartPeers) String() string { return "restart peers " + rangeSpec(a.Pe
 type RestartAll struct{}
 
 func (a RestartAll) apply(r *runner) {
-	for i := 0; i < len(r.org.Cores); i++ {
-		if r.org.Crashed(i) {
+	for i := 0; i < r.net.TotalPeers(); i++ {
+		if r.net.Crashed(i) {
 			r.restart(i)
 		}
 	}
@@ -134,7 +208,7 @@ func (a PartitionSplit) String() string {
 // HealPartition removes the active partition.
 type HealPartition struct{}
 
-func (a HealPartition) apply(r *runner) { r.org.Net.Heal() }
+func (a HealPartition) apply(r *runner) { r.net.Net.Heal() }
 
 func (a HealPartition) String() string { return "heal partition" }
 
@@ -148,7 +222,7 @@ type SlowPeers struct {
 
 func (a SlowPeers) apply(r *runner) {
 	for _, i := range a.Peers {
-		r.org.Net.SetNodeExtraDelay(r.org.Peers[i], a.Extra)
+		r.net.Net.SetNodeExtraDelay(wire.NodeID(i), a.Extra)
 	}
 }
 
@@ -162,7 +236,7 @@ func (a SlowPeers) String() string {
 // PacketLoss sets the network-wide uniform message loss probability.
 type PacketLoss struct{ Rate float64 }
 
-func (a PacketLoss) apply(r *runner) { r.org.Net.SetDropRate(a.Rate) }
+func (a PacketLoss) apply(r *runner) { r.net.Net.SetDropRate(a.Rate) }
 
 func (a PacketLoss) String() string {
 	return fmt.Sprintf("packet loss %.0f%%", a.Rate*100)

@@ -17,7 +17,8 @@ func TestCatalogHasAtLeastFiveScenarios(t *testing.T) {
 		if d.Name == "" || d.Description == "" || d.Build == nil {
 			t.Fatalf("incomplete catalog entry %+v", d)
 		}
-		sc := d.Build(40)
+		orgs := max(1, d.MinOrgs)
+		sc := d.Build(Topology{Orgs: orgs, PeersPerOrg: 40 / orgs})
 		if sc.Blocks <= 0 || sc.BlockInterval <= 0 {
 			t.Fatalf("%s: no workload", d.Name)
 		}
@@ -166,15 +167,154 @@ func TestRunRejectsOutOfRangePartitionSplit(t *testing.T) {
 	}
 }
 
-func TestRunRejectsLeaderInInitialDown(t *testing.T) {
+func TestRunRejectsAllPeersInitiallyDown(t *testing.T) {
 	sc := Scenario{
 		Name:          "bad",
 		Blocks:        1,
 		BlockInterval: time.Second,
-		InitialDown:   []int{0},
+		InitialDown:   span(0, 10),
 	}
 	if _, err := Run(sc, Options{Peers: 10}); err == nil {
-		t.Fatal("scenario with leader initially down accepted")
+		t.Fatal("scenario with every peer initially down accepted")
+	}
+}
+
+// Peer 0 starting down is legal now that the ordering service streams the
+// backlog to whichever leader eventually appears: the org's lowest-id peer
+// cold-joins and replays the chain from its own height.
+func TestRunAllowsLeaderInInitialDown(t *testing.T) {
+	sc := Scenario{
+		Name:          "cold-leader",
+		Blocks:        4,
+		BlockInterval: 300 * time.Millisecond,
+		Warmup:        time.Second,
+		Tail:          30 * time.Second,
+		InitialDown:   []int{0},
+		Events: []Event{
+			{At: 4 * time.Second, Action: RestartPeers{Peers: []int{0}}},
+		},
+	}
+	rep, err := Run(sc, Options{Peers: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Survivors != 10 || rep.CaughtUp != 10 {
+		t.Fatalf("caught up %d of %d survivors\ntrace:\n%s",
+			rep.CaughtUp, rep.Survivors, strings.Join(rep.Trace, "\n"))
+	}
+}
+
+func TestRunRejectsIndivisibleOrgLayout(t *testing.T) {
+	sc := Scenario{Name: "bad-split", Blocks: 1, BlockInterval: time.Second}
+	if _, err := Run(sc, Options{Peers: 10, Orgs: 3}); err == nil {
+		t.Fatal("10 peers across 3 orgs accepted")
+	}
+}
+
+func TestRunRejectsOutOfRangeOrgActions(t *testing.T) {
+	sc := Scenario{
+		Name:          "bad-org",
+		Blocks:        1,
+		BlockInterval: time.Second,
+		Events: []Event{
+			{At: time.Second, Action: CrashOrg{Org: 2}},
+		},
+	}
+	if _, err := Run(sc, Options{Peers: 10, Orgs: 2}); err == nil {
+		t.Fatal("event naming org 2 of 2 accepted")
+	}
+}
+
+// Scenario-level regression for the recovery-liveness fix: the most
+// advanced peer (the leader, first to hold every block) crashes while a
+// cold-joined peer is mid-catch-up. The laggard's advertised-height view
+// still contains the dead leader at the maximum height; recovery must stop
+// targeting it once the membership view expires it, and the laggard must
+// converge within the tail.
+func TestRecoveryConvergesWhenMostAdvancedPeerCrashes(t *testing.T) {
+	sc := Scenario{
+		Name:          "crash-most-advanced",
+		Blocks:        6,
+		BlockInterval: 300 * time.Millisecond,
+		Warmup:        time.Second,
+		Tail:          40 * time.Second,
+		InitialDown:   []int{3},
+		Events: []Event{
+			// The laggard rejoins after injection finished, learns every
+			// peer's height, and before its first recovery round fires the
+			// leader — one of its max-height candidates — crashes.
+			{At: 4 * time.Second, Action: RestartPeers{Peers: []int{3}}},
+			{At: 4500 * time.Millisecond, Action: CrashLeader{}},
+		},
+	}
+	for _, variant := range []harness.Variant{harness.VariantOriginal, harness.VariantEnhanced} {
+		rep, err := Run(sc, Options{Peers: 4, Seed: 9, Variant: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Survivors != 3 || rep.CaughtUp != 3 {
+			t.Fatalf("%s: caught up %d of %d survivors\ntrace:\n%s",
+				variant, rep.CaughtUp, rep.Survivors, strings.Join(rep.Trace, "\n"))
+		}
+		if rep.PendingRecoveries != 0 {
+			t.Fatalf("%s: laggard never converged\ntrace:\n%s",
+				variant, strings.Join(rep.Trace, "\n"))
+		}
+		if rep.Recoveries.N != 1 {
+			t.Fatalf("%s: recorded %d recoveries, want 1", variant, rep.Recoveries.N)
+		}
+	}
+}
+
+func TestMultiOrgCatalogEntriesConverge(t *testing.T) {
+	for _, name := range []string{"org-partition-heal", "org-leader-failover", "org-cold-join", "org-mixed-protocols"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunNamed(name, Options{Peers: 30, Orgs: 3, Seed: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Orgs != 3 || len(rep.OrgReports) != 3 {
+				t.Fatalf("org breakdown missing: %+v", rep.OrgReports)
+			}
+			if rep.Survivors != 30 || rep.CaughtUp != 30 {
+				t.Fatalf("caught up %d of %d survivors\ntrace:\n%s",
+					rep.CaughtUp, rep.Survivors, strings.Join(rep.Trace, "\n"))
+			}
+			for _, or := range rep.OrgReports {
+				if or.Delivered != rep.BlocksInjected {
+					t.Fatalf("org %d delivered %d of %d blocks", or.Org, or.Delivered, rep.BlocksInjected)
+				}
+			}
+		})
+	}
+}
+
+// RunNamed must bump the organization count to a multi-org entry's minimum
+// when the caller asks for fewer.
+func TestRunNamedBumpsToMinOrgs(t *testing.T) {
+	rep, err := RunNamed("org-cold-join", Options{Peers: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Orgs != 2 {
+		t.Fatalf("orgs = %d, want the entry's minimum of 2", rep.Orgs)
+	}
+	if rep.Survivors != 20 || rep.CaughtUp != 20 {
+		t.Fatalf("caught up %d of %d survivors", rep.CaughtUp, rep.Survivors)
+	}
+}
+
+func TestMixedProtocolOrgsReportTheirVariants(t *testing.T) {
+	rep, err := RunNamed("org-mixed-protocols", Options{Peers: 20, Orgs: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OrgReports[0].Variant != string(harness.VariantOriginal) ||
+		rep.OrgReports[1].Variant != string(harness.VariantEnhanced) {
+		t.Fatalf("org variants = %s/%s, want original/enhanced",
+			rep.OrgReports[0].Variant, rep.OrgReports[1].Variant)
 	}
 }
 

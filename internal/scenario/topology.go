@@ -1,0 +1,35 @@
+package scenario
+
+import "fmt"
+
+// Topology describes the organization layout a scenario runs on: Orgs
+// organizations of PeersPerOrg peers each, with global dense peer indices
+// (org o owns [o*PeersPerOrg, (o+1)*PeersPerOrg)). The single-org layout of
+// the original catalog is Topology{Orgs: 1, PeersPerOrg: n}.
+type Topology struct {
+	Orgs        int
+	PeersPerOrg int
+}
+
+// Total returns the network-wide peer count.
+func (t Topology) Total() int { return t.Orgs * t.PeersPerOrg }
+
+// OrgOf returns the organization index owning a global peer index.
+func (t Topology) OrgOf(global int) int { return global / t.PeersPerOrg }
+
+// OrgLo returns the first global peer index of an organization.
+func (t Topology) OrgLo(org int) int { return org * t.PeersPerOrg }
+
+// OrgHi returns one past the last global peer index of an organization.
+func (t Topology) OrgHi(org int) int { return (org + 1) * t.PeersPerOrg }
+
+// OrgSpan returns the organization's global peer indices.
+func (t Topology) OrgSpan(org int) []int { return span(t.OrgLo(org), t.OrgHi(org)) }
+
+// String renders the layout, e.g. "4 orgs x 250 peers".
+func (t Topology) String() string {
+	if t.Orgs == 1 {
+		return fmt.Sprintf("%d peers", t.PeersPerOrg)
+	}
+	return fmt.Sprintf("%d orgs x %d peers", t.Orgs, t.PeersPerOrg)
+}
