@@ -7,9 +7,15 @@ package fabricgossip
 //
 // Benchmarks report domain metrics via b.ReportMetric:
 //
-//	tail_ms   p99.9 dissemination latency (latency figures)
-//	peer_MBps regular-peer bandwidth (bandwidth figures)
-//	conflicts invalidated transactions (Table II)
+//	tail_ms      p99.9 dissemination latency (latency figures)
+//	peer_MBps    regular-peer bandwidth (bandwidth figures)
+//	conflicts    invalidated transactions (Table II)
+//	sim_events   discrete events per scenario run (deterministic)
+//	events_per_s engine throughput (wall-clock; trajectory only, not gated)
+//	allocs_op    heap allocations per delivered message (hot-path contract)
+//
+// cmd/benchdiff compares two exported BENCH_*.json artifacts and gates CI
+// on the deterministic units.
 
 import (
 	"encoding/json"
@@ -231,6 +237,9 @@ func benchScenario(b *testing.B, name string, peers int, v harness.Variant) {
 		events += rep.EngineEvents
 	}
 	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		reportMetric(b, float64(events)/secs, "events_per_s")
+	}
 }
 
 // BenchmarkScenarioCrashRestart tracks the crash/restart-with-catchup
@@ -277,6 +286,9 @@ func benchScenarioOrgs(b *testing.B, name string, peers, orgs int, v harness.Var
 	}
 	reportMetric(b, float64(events)/float64(b.N), "sim_events")
 	reportMetric(b, tail, "tail_ms")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		reportMetric(b, float64(events)/secs, "events_per_s")
+	}
 }
 
 // BenchmarkScenarioOrgPartitionHeal tracks the whole-org partition plus
@@ -347,6 +359,40 @@ func BenchmarkMultiOrgDissemination(b *testing.B) {
 }
 
 // --- micro-benchmarks of the hot paths ---
+
+// BenchmarkHotPathDeliveryAllocs locks the allocation-free per-message
+// contract end to end: Send -> Traffic.Record -> pooled AfterMsg -> engine
+// dispatch -> handler. The allocs_op metric enters the baseline artifact,
+// so cmd/benchdiff fails CI if any future change reintroduces a per-message
+// allocation. The model is jitter-light and the traffic bucket spans the
+// probe so only the steady-state path runs.
+func BenchmarkHotPathDeliveryAllocs(b *testing.B) {
+	engine := sim.NewEngine(1)
+	model := netmodel.Model{PropMin: time.Microsecond, PropMax: 2 * time.Microsecond}
+	traffic := netmodel.NewSimTraffic(time.Hour)
+	net := transport.NewSimNetwork(engine, model, traffic)
+	src := net.AddNode()
+	dst := net.AddNode()
+	delivered := 0
+	dst.SetHandler(func(wire.NodeID, wire.Message) { delivered++ })
+	msg := &wire.StateInfo{Height: 1}
+	cycle := func() {
+		_ = src.Send(dst.ID(), msg)
+		engine.RunFor(10 * time.Microsecond)
+	}
+	for i := 0; i < 500; i++ {
+		cycle() // warm the event pool, queue capacity and traffic slots
+	}
+	reportMetric(b, testing.AllocsPerRun(2000, cycle), "allocs_op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
 
 // BenchmarkWireMarshalBlock measures encoding one paper-sized block
 // (50 tx x ~3.2 KB).

@@ -1,0 +1,158 @@
+// Command benchdiff compares two BENCH_*.json artifacts (the flat
+// "<benchmark>/<unit>" -> value maps the root benchmark suite exports via
+// BENCH_BASELINE) and exits non-zero when a gated metric regressed beyond
+// the threshold.
+//
+//	benchdiff [-threshold 0.10] OLD.json NEW.json
+//
+// Gated units — deterministic outputs of the seeded simulation, identical
+// on any machine:
+//
+//	tail_ms     dissemination tail latency (increase = regression)
+//	peer_MBps   per-peer bandwidth overhead (increase = regression)
+//	allocs_op   hot-path heap allocations per message (increase = regression)
+//	sim_events  discrete events per run (drift in EITHER direction fails:
+//	            these are behavioral fingerprints, not costs — fewer events
+//	            can mean messages silently vanished)
+//	conflicts_* invalidated transactions, Table II (either direction fails)
+//
+// Wall-clock-dependent units (events_per_s and anything else) vary with the
+// host, so they are printed for the trajectory but never gated. A gated
+// metric present in OLD but missing from NEW fails the gate too: renaming a
+// benchmark must come with a deliberate baseline update, not a silent hole
+// in coverage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// gatedUnits maps a metric unit to its gating mode. Every entry is
+// deterministic under the simulation's seeding. Cost metrics fail only on
+// increases; behavioral fingerprints (event and conflict counts) fail on
+// drift in either direction.
+var gatedUnits = map[string]gateMode{
+	"tail_ms":        gateIncrease,
+	"peer_MBps":      gateIncrease,
+	"allocs_op":      gateIncrease,
+	"sim_events":     gateEither,
+	"conflicts_orig": gateEither,
+	"conflicts_enh":  gateEither,
+}
+
+type gateMode int
+
+const (
+	gateNone     gateMode = iota // wall-clock or unknown: report only
+	gateIncrease                 // cost metric: only growth regresses
+	gateEither                   // behavioral fingerprint: any drift regresses
+)
+
+func gateOf(key string) gateMode {
+	i := strings.LastIndexByte(key, '/')
+	if i < 0 {
+		return gateNone
+	}
+	return gatedUnits[key[i+1:]]
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10,
+		"relative increase in a gated metric that counts as a regression")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldM, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newM, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(oldM)+len(newM))
+	seen := make(map[string]bool)
+	for k := range oldM {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range newM {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	for _, k := range keys {
+		ov, haveOld := oldM[k]
+		nv, haveNew := newM[k]
+		mode := gateOf(k)
+		switch {
+		case !haveNew:
+			if mode != gateNone {
+				fmt.Printf("MISSING  %-55s old=%.4g (gated metric dropped from the new run)\n", k, ov)
+				regressions++
+			} else {
+				fmt.Printf("dropped  %-55s old=%.4g\n", k, ov)
+			}
+		case !haveOld:
+			fmt.Printf("new      %-55s new=%.4g\n", k, nv)
+		default:
+			delta := nv - ov
+			var rel float64
+			switch {
+			case ov != 0:
+				rel = delta / ov
+			case nv != 0:
+				// From zero to nonzero: infinite relative growth. For gated
+				// metrics (e.g. allocs_op leaving 0) that is always a
+				// regression.
+				rel = 1
+			}
+			bad := (mode == gateIncrease && rel > *threshold) ||
+				(mode == gateEither && (rel > *threshold || rel < -*threshold))
+			mark := "ok      "
+			if bad {
+				mark = "REGRESS "
+				regressions++
+			} else if mode == gateNone {
+				mark = "info    "
+			}
+			fmt.Printf("%s %-55s old=%-12.4g new=%-12.4g %+.1f%%\n", mark, k, ov, nv, 100*rel)
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gated metric(s) regressed beyond %.0f%%\n",
+			regressions, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no gated regressions (threshold %.0f%%)\n", 100**threshold)
+}

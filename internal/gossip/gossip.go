@@ -114,10 +114,23 @@ type Core struct {
 	started     bool
 	stopped     bool
 
-	// selfIdx is Self's position in cfg.Peers (-1 if absent); sampleBuf is
-	// the reusable candidate buffer behind RandomPeers, guarded by mu.
-	selfIdx   int
-	sampleBuf []wire.NodeID
+	// others is cfg.Peers minus self, precomputed once: RandomPeers samples
+	// in place with k swaps that are undone after the draw, so every call
+	// sees the same canonical order (the determinism contract) without
+	// rebuilding an O(n) candidate slice per tick. swapIdx records the swap
+	// targets to undo; both are guarded by mu.
+	others  []wire.NodeID
+	swapIdx []int
+
+	// aliveMeta is the zero-filled heartbeat padding, allocated once: Alive
+	// messages are read-only on both runtimes (the sim path shares the
+	// message value, the TCP path marshals it), so every tick reuses it.
+	aliveMeta []byte
+
+	// maxAdvertised is an upper bound on every height in peerHeights,
+	// raised on StateInfo receipt and tightened during recovery scans. It
+	// lets the caught-up fast path of recoveryTick skip the O(n) scan.
+	maxAdvertised uint64
 
 	onFirstReception func(b *ledger.Block, at time.Duration)
 	onCommit         func(b *ledger.Block)
@@ -146,15 +159,18 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		// would discard the rejoined peer's heartbeats as stale until it
 		// out-counted its pre-crash uptime (Fabric ships a boot timestamp
 		// in AliveMessage for the same reason).
-		aliveSeq: uint64(sched.Now() / time.Millisecond),
-		selfIdx:  -1,
+		aliveSeq:  uint64(sched.Now() / time.Millisecond),
+		aliveMeta: make([]byte, cfg.AliveMetaSize),
 	}
-	for i, p := range cfg.Peers {
-		if p == cfg.Self {
-			c.selfIdx = i
-			break
+	// An orderer or observer core lists only remote peers, so self may be
+	// absent from cfg.Peers; others then equals cfg.Peers.
+	c.others = make([]wire.NodeID, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			c.others = append(c.others, p)
 		}
 	}
+	c.swapIdx = make([]int, 0, len(c.others))
 	ep.SetHandler(c.handleMessage)
 	return c
 }
@@ -232,19 +248,25 @@ func everyTimer(sched sim.Scheduler, interval time.Duration, fn func()) sim.Time
 	if e, ok := sched.(*sim.Engine); ok {
 		return e.Every(interval, fn)
 	}
-	p := &rearming{sched: sched, interval: interval, fn: fn}
+	p := &rearming{sched: sched, interval: interval, fn: fn, deadline: sched.Now()}
 	p.arm()
 	return p
 }
 
+// rearming is a fixed-rate periodic timer for schedulers without a native
+// Every. Each tick re-arms relative to the previous deadline — not the
+// instant the callback returned — matching sim.Engine.Every's contract: on
+// RealScheduler the callback's own run time must not accumulate as drift
+// across ticks.
 type rearming struct {
 	sched    sim.Scheduler
 	interval time.Duration
 	fn       func()
 
-	mu      sync.Mutex
-	cur     sim.Timer
-	stopped bool
+	mu       sync.Mutex
+	cur      sim.Timer
+	deadline time.Duration
+	stopped  bool
 }
 
 func (p *rearming) arm() {
@@ -253,7 +275,16 @@ func (p *rearming) arm() {
 	if p.stopped {
 		return
 	}
-	p.cur = p.sched.After(p.interval, func() {
+	p.deadline += p.interval
+	// A callback that overran part of the interval yields a shortened
+	// delay, keeping ticks on the original grid. But if the schedule fell
+	// more than one whole interval behind (process stall, suspend), snap
+	// to now instead of firing a catch-up burst of every missed tick.
+	now := p.sched.Now()
+	if p.deadline+p.interval < now {
+		p.deadline = now
+	}
+	p.cur = p.sched.After(p.deadline-now, func() {
 		p.fn()
 		p.arm()
 	})
@@ -279,39 +310,36 @@ func (c *Core) Send(to wire.NodeID, msg wire.Message) {
 }
 
 // RandomPeers samples k distinct peers uniformly, never including self.
-// If fewer than k eligible peers exist, all of them are returned. The cap
-// only subtracts self when self actually appears in cfg.Peers (an orderer
-// or observer core lists only remote peers), and the candidate buffer is
-// reused across calls — this sits on the push hot path.
+// If fewer than k eligible peers exist, all of them are returned.
+//
+// This sits on the push hot path, so the candidate slice (peers minus self)
+// is precomputed once at construction: a draw is k partial-Fisher-Yates
+// swaps followed by k undo-swaps in reverse, restoring the canonical order
+// so the next call — and therefore the whole run — consumes random values
+// identically to a per-call rebuild. That replaces the old O(n) rebuild per
+// tick with O(k) work.
 func (c *Core) RandomPeers(k int) []wire.NodeID {
-	eligible := len(c.cfg.Peers)
-	if c.selfIdx >= 0 {
-		eligible--
-	}
-	if k > eligible {
-		k = eligible
+	if k > len(c.others) {
+		k = len(c.others)
 	}
 	if k <= 0 {
 		return nil
 	}
 	out := make([]wire.NodeID, k)
 	c.mu.Lock()
-	if cap(c.sampleBuf) < eligible {
-		c.sampleBuf = make([]wire.NodeID, 0, len(c.cfg.Peers))
-	}
-	cand := c.sampleBuf[:0]
-	for i, p := range c.cfg.Peers {
-		if i != c.selfIdx {
-			cand = append(cand, p)
-		}
-	}
-	// Partial Fisher-Yates: k swaps instead of shuffling all of cand.
+	cand := c.others
+	sw := c.swapIdx[:k]
 	for i := 0; i < k; i++ {
 		j := i + c.rng.Intn(len(cand)-i)
 		cand[i], cand[j] = cand[j], cand[i]
 		out[i] = cand[i]
+		sw[i] = j
 	}
-	c.sampleBuf = cand
+	// Undo in reverse so cand returns to its canonical order.
+	for i := k - 1; i >= 0; i-- {
+		j := sw[i]
+		cand[i], cand[j] = cand[j], cand[i]
+	}
 	c.mu.Unlock()
 	return out
 }
@@ -396,6 +424,9 @@ func (c *Core) handleMessage(from wire.NodeID, msg wire.Message) {
 		c.mu.Lock()
 		if m.Height > c.peerHeights[from] {
 			c.peerHeights[from] = m.Height
+			if m.Height > c.maxAdvertised {
+				c.maxAdvertised = m.Height
+			}
 		}
 		c.mu.Unlock()
 	case *wire.StateRequest:
@@ -453,7 +484,10 @@ func (c *Core) aliveTick() {
 			fn(p, false, now)
 		}
 	}
-	msg := &wire.Alive{Seq: seq, Meta: make([]byte, c.cfg.AliveMetaSize)}
+	// The heartbeat padding is the shared per-core zero buffer: Alive
+	// messages are read-only on every delivery path, so no tick needs a
+	// fresh allocation.
+	msg := &wire.Alive{Seq: seq, Meta: c.aliveMeta}
 	for _, p := range c.RandomPeers(c.cfg.AliveFanout) {
 		c.Send(p, msg)
 	}
@@ -462,12 +496,28 @@ func (c *Core) aliveTick() {
 // recoveryTick implements the paper's recovery component: if a peer's
 // ledger is behind the highest advertised height, it requests the
 // consecutive missing blocks from one of the most advanced peers.
+//
+// The caught-up steady state — the overwhelming majority of ticks — exits
+// on the incrementally tracked maxAdvertised bound without scanning the
+// peerHeights map at all; the O(n) candidate scan runs only while actually
+// behind. maxAdvertised is an over-approximation (pruning a dead peer's
+// height does not lower it until the next scan tightens it), which can cost
+// a redundant scan but never changes which request is sent: the scan
+// recomputes the true maximum and candidate set exactly as before.
 func (c *Core) recoveryTick() {
 	c.mu.Lock()
+	if c.maxAdvertised <= c.height {
+		c.mu.Unlock()
+		return
+	}
 	var best wire.NodeID
 	var bestH uint64
+	var maxSeen uint64
 	candidates := make([]wire.NodeID, 0, 4)
 	for p, h := range c.peerHeights {
+		if h > maxSeen {
+			maxSeen = h
+		}
 		// Skip peers the membership view has marked dead: their heights may
 		// linger (a StateInfo can arrive after the expiration sweep pruned
 		// the entry) but a request to them can never be answered. Peers the
@@ -484,17 +534,22 @@ func (c *Core) recoveryTick() {
 			candidates = append(candidates, p)
 		}
 	}
+	c.maxAdvertised = maxSeen
 	myH := c.height
 	batch := uint64(c.cfg.RecoveryBatch)
-	c.mu.Unlock()
-
 	if bestH <= myH || len(candidates) == 0 {
+		c.mu.Unlock()
 		return
 	}
 	// candidates came out of map iteration: sort before the random pick so
-	// the same seed selects the same peer on every run.
+	// the same seed selects the same peer on every run. The draw stays
+	// under mu: RandomPeers uses the same non-thread-safe rng under mu,
+	// and on the TCP runtime the periodic ticks fire on separate
+	// goroutines.
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 	best = candidates[c.rng.Intn(len(candidates))]
+	c.mu.Unlock()
+
 	to := bestH
 	if batch > 0 && to > myH+batch {
 		to = myH + batch

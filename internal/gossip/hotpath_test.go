@@ -1,0 +1,306 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// sinkEndpoint records outbound messages and drops them.
+type sinkEndpoint struct {
+	id   wire.NodeID
+	to   []wire.NodeID
+	sent []wire.Message
+}
+
+func (s *sinkEndpoint) ID() wire.NodeID { return s.id }
+func (s *sinkEndpoint) Send(to wire.NodeID, m wire.Message) error {
+	s.to = append(s.to, to)
+	s.sent = append(s.sent, m)
+	return nil
+}
+func (s *sinkEndpoint) SetHandler(transport.Handler) {}
+
+func newTestCore(t *testing.T, self wire.NodeID, n int, tune func(*Config)) (*Core, *sinkEndpoint, *sim.Engine) {
+	t.Helper()
+	peers := make([]wire.NodeID, n)
+	for i := range peers {
+		peers[i] = wire.NodeID(i)
+	}
+	cfg := DefaultConfig(self, peers)
+	if tune != nil {
+		tune(&cfg)
+	}
+	ep := &sinkEndpoint{id: self}
+	engine := sim.NewEngine(1)
+	return New(cfg, ep, engine, engine.Rand("gossip"), noopProtocol{}), ep, engine
+}
+
+type noopProtocol struct{}
+
+func (noopProtocol) Name() string                          { return "noop" }
+func (noopProtocol) Start(*Core)                           {}
+func (noopProtocol) Stop()                                 {}
+func (noopProtocol) OnOrdererBlock(*ledger.Block)          {}
+func (noopProtocol) Handle(wire.NodeID, wire.Message) bool { return false }
+func (noopProtocol) OnBlockStored(*ledger.Block)           {}
+
+// RandomPeers samples in place with undo-swaps; after every call the
+// candidate slice must be back in canonical order (peers minus self, in
+// cfg.Peers order), or the next call's draw — and the whole run's
+// determinism — would depend on call history.
+func TestRandomPeersRestoresCanonicalOrder(t *testing.T) {
+	c, _, _ := newTestCore(t, 3, 10, nil)
+	canonical := append([]wire.NodeID(nil), c.others...)
+	for call := 0; call < 50; call++ {
+		k := 1 + call%len(canonical)
+		got := c.RandomPeers(k)
+		if len(got) != k {
+			t.Fatalf("call %d: got %d peers, want %d", call, len(got), k)
+		}
+		seen := map[wire.NodeID]bool{}
+		for _, p := range got {
+			if p == c.cfg.Self {
+				t.Fatalf("call %d: sampled self", call)
+			}
+			if seen[p] {
+				t.Fatalf("call %d: duplicate peer %v", call, p)
+			}
+			seen[p] = true
+		}
+		for i, p := range c.others {
+			if p != canonical[i] {
+				t.Fatalf("call %d: candidate order not restored at %d: %v vs %v",
+					call, i, c.others, canonical)
+			}
+		}
+	}
+}
+
+// The undo-swap sampler must consume the random stream and produce results
+// exactly like the per-call rebuild it replaced, or every checked-in
+// fingerprint would move.
+func TestRandomPeersMatchesPerCallRebuildReference(t *testing.T) {
+	const n = 17
+	c, _, _ := newTestCore(t, 5, n, nil)
+
+	// Reference: the pre-optimization algorithm on an identical stream.
+	ref := sim.NewEngine(1).Rand("gossip")
+	refDraw := func(k int) []wire.NodeID {
+		var cand []wire.NodeID
+		for i := 0; i < n; i++ {
+			if wire.NodeID(i) != 5 {
+				cand = append(cand, wire.NodeID(i))
+			}
+		}
+		if k > len(cand) {
+			k = len(cand)
+		}
+		if k <= 0 {
+			return nil
+		}
+		out := make([]wire.NodeID, k)
+		for i := 0; i < k; i++ {
+			j := i + ref.Intn(len(cand)-i)
+			cand[i], cand[j] = cand[j], cand[i]
+			out[i] = cand[i]
+		}
+		return out
+	}
+
+	for call := 0; call < 200; call++ {
+		k := call % (n + 2) // exercise k == 0 and k > eligible too
+		got := c.RandomPeers(k)
+		want := refDraw(k)
+		if len(got) != len(want) {
+			t.Fatalf("call %d (k=%d): got %v, want %v", call, k, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("call %d (k=%d): got %v, want %v", call, k, got, want)
+			}
+		}
+	}
+}
+
+// Recovery must still fire when the peer that advertised the maximum height
+// has died and been pruned: the stale maxAdvertised upper bound triggers a
+// scan, the scan tightens it and targets the best live peer.
+func TestRecoveryAfterMaxAdvertiserPruned(t *testing.T) {
+	c, ep, engine := newTestCore(t, 0, 4, nil)
+
+	// Peer 1 advertises height 5 and is observed live, then expires and is
+	// pruned exactly as aliveTick does.
+	c.handleMessage(1, &wire.StateInfo{Height: 5})
+	c.handleMessage(1, &wire.Alive{Seq: 1})
+	engine.RunUntil(c.cfg.AliveExpiration + 3*c.cfg.AliveInterval + time.Second)
+	c.aliveTick()
+	if !c.membership.Dead(1) {
+		t.Fatal("peer 1 should have expired")
+	}
+
+	// Peer 2 is live at a lower height; recovery must target it.
+	c.handleMessage(2, &wire.StateInfo{Height: 3})
+	c.handleMessage(2, &wire.Alive{Seq: 1})
+	ep.to, ep.sent = nil, nil
+	c.recoveryTick()
+
+	var req *wire.StateRequest
+	var reqTo wire.NodeID
+	for i, m := range ep.sent {
+		if r, ok := m.(*wire.StateRequest); ok {
+			req, reqTo = r, ep.to[i]
+		}
+	}
+	if req == nil {
+		t.Fatal("recoveryTick sent no StateRequest despite a live peer being ahead")
+	}
+	if reqTo != 2 {
+		t.Fatalf("recovery targeted %v, want live peer 2", reqTo)
+	}
+	if req.From != 0 || req.To != 3 {
+		t.Fatalf("requested [%d, %d), want [0, 3)", req.From, req.To)
+	}
+
+	// The scan tightened the bound to the surviving entries' maximum.
+	c.mu.Lock()
+	bound := c.maxAdvertised
+	c.mu.Unlock()
+	if bound != 3 {
+		t.Fatalf("maxAdvertised = %d after scan, want 3", bound)
+	}
+}
+
+// Caught-up peers — the steady state — must skip recovery without sending
+// anything (and without consuming random values: determinism).
+func TestRecoveryTickNoopWhenCaughtUp(t *testing.T) {
+	c, ep, _ := newTestCore(t, 0, 4, nil)
+	c.recoveryTick()
+	if len(ep.sent) != 0 {
+		t.Fatalf("fresh core sent %d messages from recoveryTick, want 0", len(ep.sent))
+	}
+}
+
+// Every aliveTick must reuse the one zero-filled metadata buffer instead of
+// allocating AliveMetaSize bytes per heartbeat round.
+func TestAliveTickReusesMetaBuffer(t *testing.T) {
+	c, ep, _ := newTestCore(t, 0, 4, func(cfg *Config) { cfg.AliveMetaSize = 64 })
+	c.aliveTick()
+	c.aliveTick()
+	var metas [][]byte
+	for _, m := range ep.sent {
+		if a, ok := m.(*wire.Alive); ok {
+			metas = append(metas, a.Meta)
+		}
+	}
+	if len(metas) < 2 {
+		t.Fatalf("captured %d Alive messages, want >= 2", len(metas))
+	}
+	for i, meta := range metas {
+		if len(meta) != 64 {
+			t.Fatalf("heartbeat %d meta is %d bytes, want 64", i, len(meta))
+		}
+		if &meta[0] != &metas[0][0] {
+			t.Fatalf("heartbeat %d holds a fresh meta buffer; want the shared one", i)
+		}
+	}
+}
+
+// fakeSched captures After calls so a test can fire them by hand with full
+// control of the clock.
+type fakeSched struct {
+	now    time.Duration
+	delays []time.Duration
+	cbs    []func()
+}
+
+func (f *fakeSched) Now() time.Duration { return f.now }
+func (f *fakeSched) After(d time.Duration, fn func()) sim.Timer {
+	f.delays = append(f.delays, d)
+	f.cbs = append(f.cbs, fn)
+	return fakeTimer{}
+}
+
+type fakeTimer struct{}
+
+func (fakeTimer) Stop() bool { return true }
+
+// The rearming fallback timer must re-arm relative to the previous
+// deadline, like sim.Engine.Every: a callback that takes 30ms must shorten
+// the next delay by 30ms instead of pushing every subsequent tick later.
+func TestRearmingTimerDoesNotAccumulateCallbackDrift(t *testing.T) {
+	f := &fakeSched{}
+	const interval = time.Second
+	everyTimer(f, interval, func() {
+		f.now += 30 * time.Millisecond // the callback itself takes 30ms
+	})
+	if len(f.delays) != 1 || f.delays[0] != interval {
+		t.Fatalf("first arm delay %v, want %v", f.delays, interval)
+	}
+
+	// Fire tick 1: it runs at its deadline, the callback consumes 30ms.
+	f.now = interval
+	f.cbs[0]()
+	if len(f.delays) != 2 {
+		t.Fatalf("tick did not re-arm: %d After calls", len(f.delays))
+	}
+	if want := interval - 30*time.Millisecond; f.delays[1] != want {
+		t.Fatalf("re-arm delay %v, want %v (compensating 30ms of callback time)", f.delays[1], want)
+	}
+
+	// Fire tick 2 slightly late on top of callback time: still anchored to
+	// the 2*interval grid point.
+	f.now = 2*interval + 5*time.Millisecond
+	f.cbs[1]()
+	if want := interval - 35*time.Millisecond; f.delays[2] != want {
+		t.Fatalf("re-arm delay %v, want %v (grid-anchored)", f.delays[2], want)
+	}
+}
+
+// A schedule that fell multiple intervals behind (process stall, suspend on
+// the real-time runtime) must snap to the present and fire one catch-up
+// tick, not a burst of every missed one.
+func TestRearmingTimerSnapsAfterLongStall(t *testing.T) {
+	f := &fakeSched{}
+	const interval = time.Second
+	everyTimer(f, interval, func() {})
+
+	// The process resumes 10 intervals late.
+	f.now = 10 * interval
+	f.cbs[0]()
+	if len(f.delays) != 2 {
+		t.Fatalf("tick did not re-arm: %d After calls", len(f.delays))
+	}
+	if f.delays[1] != 0 {
+		t.Fatalf("post-stall re-arm delay %v, want 0 (snap to now)", f.delays[1])
+	}
+	// The next tick runs on time; cadence is back to one interval with no
+	// further catch-up backlog.
+	f.cbs[1]()
+	if f.delays[2] != interval {
+		t.Fatalf("delay after snap %v, want %v", f.delays[2], interval)
+	}
+}
+
+// BenchmarkRandomPeers measures the sampler at organization scale: k swaps
+// plus k undo-swaps, independent of n except for the rng's range.
+func BenchmarkRandomPeers(b *testing.B) {
+	peers := make([]wire.NodeID, 1000)
+	for i := range peers {
+		peers[i] = wire.NodeID(i)
+	}
+	cfg := DefaultConfig(0, peers)
+	engine := sim.NewEngine(1)
+	c := New(cfg, &sinkEndpoint{}, engine, engine.Rand("gossip"), noopProtocol{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.RandomPeers(4); len(got) != 4 {
+			b.Fatal("short sample")
+		}
+	}
+}

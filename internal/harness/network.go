@@ -166,7 +166,7 @@ func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
 	for _, opt := range opts {
 		opt(n)
 	}
-	n.Traffic = netmodel.NewTraffic(p.Bucket)
+	n.Traffic = netmodel.NewSimTraffic(p.Bucket)
 	n.Net = transport.NewSimNetwork(n.Engine, netmodel.LAN(), n.Traffic)
 	// The ordering service delivers over a reliable stream: uniform loss
 	// must not swallow a block before it enters an organization.

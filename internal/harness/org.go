@@ -71,7 +71,7 @@ func NewOrg(p Params, opts ...OrgOption) (*Org, error) {
 	for _, opt := range opts {
 		opt(o)
 	}
-	o.Traffic = netmodel.NewTraffic(p.Bucket)
+	o.Traffic = netmodel.NewSimTraffic(p.Bucket)
 	o.Net = transport.NewSimNetwork(o.Engine, netmodel.LAN(), o.Traffic)
 	o.Peers = make([]wire.NodeID, p.NumPeers)
 	for i := range o.Peers {

@@ -99,7 +99,7 @@ func RunConflictExperiment(p ConflictParams) (*ConflictResult, error) {
 		return nil, fmt.Errorf("harness: need at least 2 peers")
 	}
 	engine := sim.NewEngine(p.Seed)
-	net := transport.NewSimNetwork(engine, netmodel.LAN(), netmodel.NewTraffic(10*time.Second))
+	net := transport.NewSimNetwork(engine, netmodel.LAN(), netmodel.NewSimTraffic(10*time.Second))
 
 	// Identities: an MSP certifies the orderer and the endorsing peer.
 	idRng := rand.New(rand.NewSource(p.Seed + 1))

@@ -12,29 +12,68 @@ import (
 // used to verify analytic claims such as "each block is transmitted in full
 // 282 times under infect-and-die".
 //
-// It is safe for concurrent use so the TCP transport can share it; the
-// simulated transport calls it from the single engine goroutine.
+// Record sits on the per-message hot path of every simulation, so the
+// accounting is dense and allocation-free at steady state: node series are
+// index-addressed slices exploiting the transport's dense-id contract
+// (SimNetwork.AddNode assigns NodeIDs from 0 in creation order), and
+// per-type counters are flat arrays indexed by MsgType. Buckets and node
+// slots grow amortized as the run progresses.
+//
+// NewTraffic returns a locked accountant that is safe for concurrent use so
+// the TCP transport can share it across connection goroutines; NewSimTraffic
+// skips the mutex entirely for the single-threaded simulated runtime, where
+// every Record comes from the one engine goroutine.
 type Traffic struct {
-	mu     sync.Mutex
-	bucket time.Duration
-	in     map[wire.NodeID][]uint64
-	out    map[wire.NodeID][]uint64
-	count  map[wire.MsgType]uint64
-	bytes  map[wire.MsgType]uint64
+	mu sync.Mutex
+	// concurrent selects the locked paths; false only on the simulated
+	// runtime, whose engine is single-threaded by construction.
+	concurrent bool
+	bucket     time.Duration
+	in         [][]uint64 // indexed by NodeID: per-bucket bytes received
+	out        [][]uint64 // indexed by NodeID: per-bucket bytes sent
+	// inBig/outBig catch ids at or above denseLimit: the TCP runtime lets
+	// callers choose arbitrary NodeIDs (ListenTCP), and a sparse id must
+	// not grow the dense tables to its value. Allocated lazily; the
+	// simulated runtime never touches them.
+	inBig  map[wire.NodeID][]uint64
+	outBig map[wire.NodeID][]uint64
+	count  [wire.NumMsgTypes]uint64
+	bytes  [wire.NumMsgTypes]uint64
 	total  uint64
 }
 
-// NewTraffic returns an accountant aggregating at the given bucket width.
+// denseLimit bounds the index-addressed node tables. Simulated networks
+// assign ids densely from 0 and stay far below it; ids beyond fall back to
+// the map path.
+const denseLimit = 1 << 16
+
+// NewTraffic returns a concurrency-safe accountant aggregating at the given
+// bucket width.
 func NewTraffic(bucket time.Duration) *Traffic {
+	t := NewSimTraffic(bucket)
+	t.concurrent = true
+	return t
+}
+
+// NewSimTraffic returns an accountant for the single-threaded simulated
+// runtime: identical accounting, no locking. It must only be used from the
+// engine goroutine.
+func NewSimTraffic(bucket time.Duration) *Traffic {
 	if bucket <= 0 {
 		bucket = 10 * time.Second
 	}
-	return &Traffic{
-		bucket: bucket,
-		in:     make(map[wire.NodeID][]uint64),
-		out:    make(map[wire.NodeID][]uint64),
-		count:  make(map[wire.MsgType]uint64),
-		bytes:  make(map[wire.MsgType]uint64),
+	return &Traffic{bucket: bucket}
+}
+
+func (t *Traffic) lock() {
+	if t.concurrent {
+		t.mu.Lock()
+	}
+}
+
+func (t *Traffic) unlock() {
+	if t.concurrent {
+		t.mu.Unlock()
 	}
 }
 
@@ -45,37 +84,83 @@ func (t *Traffic) Bucket() time.Duration { return t.bucket }
 // at virtual/wall time at.
 func (t *Traffic) Record(from, to wire.NodeID, mt wire.MsgType, size int, at time.Duration) {
 	idx := int(at / t.bucket)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.out[from] = bump(t.out[from], idx, uint64(size))
-	t.in[to] = bump(t.in[to], idx, uint64(size))
-	t.count[mt]++
-	t.bytes[mt] += uint64(size)
+	t.lock()
+	if from < denseLimit {
+		t.out = bumpNode(t.out, int(from), idx, uint64(size))
+	} else {
+		t.outBig = bumpBig(t.outBig, from, idx, uint64(size))
+	}
+	if to < denseLimit {
+		t.in = bumpNode(t.in, int(to), idx, uint64(size))
+	} else {
+		t.inBig = bumpBig(t.inBig, to, idx, uint64(size))
+	}
+	if int(mt) < wire.NumMsgTypes {
+		t.count[mt]++
+		t.bytes[mt] += uint64(size)
+	}
 	t.total += uint64(size)
+	t.unlock()
 }
 
-func bump(s []uint64, idx int, v uint64) []uint64 {
-	for len(s) <= idx {
-		s = append(s, 0)
+// bumpNode adds v to node's bucket idx, growing the node table and the
+// node's bucket series as needed (amortized; the steady state hits the
+// in-place add only).
+func bumpNode(s [][]uint64, node, idx int, v uint64) [][]uint64 {
+	for len(s) <= node {
+		s = append(s, nil)
 	}
-	s[idx] += v
+	b := s[node]
+	for len(b) <= idx {
+		b = append(b, 0)
+	}
+	b[idx] += v
+	s[node] = b
 	return s
+}
+
+// bumpBig is bumpNode for the sparse-id overflow map.
+func bumpBig(m map[wire.NodeID][]uint64, id wire.NodeID, idx int, v uint64) map[wire.NodeID][]uint64 {
+	if m == nil {
+		m = make(map[wire.NodeID][]uint64)
+	}
+	b := m[id]
+	for len(b) <= idx {
+		b = append(b, 0)
+	}
+	b[idx] += v
+	m[id] = b
+	return m
+}
+
+// series returns the node's recorded buckets, consulting the dense table or
+// the sparse overflow map as the id dictates. Callers hold the lock (or run
+// single-threaded).
+func series(tab [][]uint64, big map[wire.NodeID][]uint64, id wire.NodeID) []uint64 {
+	if id >= denseLimit {
+		return big[id]
+	}
+	if int(id) < len(tab) {
+		return tab[id]
+	}
+	return nil
 }
 
 // NodeSeries returns the node's traffic in MB/s per bucket (in + out), over
 // nBuckets buckets (zero-padded).
 func (t *Traffic) NodeSeries(id wire.NodeID, nBuckets int) []float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lock()
+	defer t.unlock()
 	out := make([]float64, nBuckets)
 	secs := t.bucket.Seconds()
+	inS, outS := series(t.in, t.inBig, id), series(t.out, t.outBig, id)
 	for i := 0; i < nBuckets; i++ {
 		var b uint64
-		if s := t.in[id]; i < len(s) {
-			b += s[i]
+		if i < len(inS) {
+			b += inS[i]
 		}
-		if s := t.out[id]; i < len(s) {
-			b += s[i]
+		if i < len(outS) {
+			b += outS[i]
 		}
 		out[i] = float64(b) / 1e6 / secs
 	}
@@ -100,12 +185,12 @@ func (t *Traffic) NodeAverage(id wire.NodeID, nBuckets int) float64 {
 // whole run, for per-organization bandwidth accounting in multi-org
 // networks.
 func (t *Traffic) NodeTotals(id wire.NodeID) (in, out uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, v := range t.in[id] {
+	t.lock()
+	defer t.unlock()
+	for _, v := range series(t.in, t.inBig, id) {
 		in += v
 	}
-	for _, v := range t.out[id] {
+	for _, v := range series(t.out, t.outBig, id) {
 		out += v
 	}
 	return in, out
@@ -113,32 +198,40 @@ func (t *Traffic) NodeTotals(id wire.NodeID) (in, out uint64) {
 
 // TotalBytes returns the total bytes transmitted across the network.
 func (t *Traffic) TotalBytes() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lock()
+	defer t.unlock()
 	return t.total
 }
 
 // CountOf returns how many messages of the given type were transmitted.
 func (t *Traffic) CountOf(mt wire.MsgType) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	if int(mt) >= wire.NumMsgTypes {
+		return 0
+	}
+	t.lock()
+	defer t.unlock()
 	return t.count[mt]
 }
 
 // BytesOf returns the bytes transmitted as messages of the given type.
 func (t *Traffic) BytesOf(mt wire.MsgType) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	if int(mt) >= wire.NumMsgTypes {
+		return 0
+	}
+	t.lock()
+	defer t.unlock()
 	return t.bytes[mt]
 }
 
 // Breakdown returns per-type (count, bytes) pairs for reporting.
 func (t *Traffic) Breakdown() map[wire.MsgType][2]uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make(map[wire.MsgType][2]uint64, len(t.count))
+	t.lock()
+	defer t.unlock()
+	out := make(map[wire.MsgType][2]uint64)
 	for mt, c := range t.count {
-		out[mt] = [2]uint64{c, t.bytes[mt]}
+		if c > 0 {
+			out[wire.MsgType(mt)] = [2]uint64{c, t.bytes[mt]}
+		}
 	}
 	return out
 }

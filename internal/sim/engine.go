@@ -49,6 +49,11 @@ type Engine struct {
 	seed     int64
 	stopped  bool
 	executed uint64
+	// free recycles fired delivery events (AfterMsg) so the steady-state
+	// per-message path never allocates: a simulation delivering millions of
+	// messages reuses a working set of event structs the size of its peak
+	// in-flight count.
+	free []*event
 }
 
 // NewEngine returns an engine whose random streams derive from seed.
@@ -94,6 +99,49 @@ func (e *Engine) At(t time.Duration, fn func()) Timer {
 	return e.After(t-e.now, fn)
 }
 
+// DeliveryHandler consumes a pooled delivery event: the payload a transport
+// stored with AfterMsg comes back as typed arguments instead of a captured
+// closure environment.
+type DeliveryHandler func(from, to uint64, msg any)
+
+// AfterMsg schedules h(from, to, msg) at Now()+d on the pooled delivery
+// path. It is the allocation-free counterpart of After for the dominant
+// event class of a network simulation — message deliveries — which are
+// fire-and-forget: no Timer is returned because deliveries are never
+// cancelled (faults are checked at fire time by the handler). The (time,
+// insertion sequence) ordering contract is exactly After's: an AfterMsg and
+// an After scheduled for the same instant fire in scheduling order.
+//
+// The event struct comes from a free list and returns to it after firing,
+// and the arguments live in typed fields, so steady-state delivery performs
+// zero heap allocations. Storing msg in the any field is allocation-free
+// when msg is already an interface or pointer (interface-to-interface
+// conversion copies the two words); callers should not pass bare scalars.
+func (e *Engine) AfterMsg(d time.Duration, h DeliveryHandler, from, to uint64, msg any) {
+	if h == nil {
+		panic("sim: AfterMsg called with nil handler")
+	}
+	if d < 0 {
+		d = 0
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{e: e}
+	}
+	ev.at = e.now + d
+	ev.seq = e.seq
+	e.seq++
+	ev.deliver = h
+	ev.from = from
+	ev.to = to
+	ev.msg = msg
+	e.queue.push(ev)
+}
+
 // Every schedules fn at now+interval, now+2*interval, ... until the returned
 // timer is stopped. The first firing is one full interval from now.
 //
@@ -121,9 +169,20 @@ func (e *Engine) Step() bool {
 	if ev.at > e.now {
 		e.now = ev.at
 	}
+	e.executed++
+	if h := ev.deliver; h != nil {
+		// Pooled delivery event: copy the payload out, recycle the struct
+		// before invoking the handler (so the handler's own sends can reuse
+		// it), then dispatch.
+		from, to, msg := ev.from, ev.to, ev.msg
+		ev.deliver = nil
+		ev.msg = nil
+		e.free = append(e.free, ev)
+		h(from, to, msg)
+		return true
+	}
 	fn := ev.fn
 	ev.fn = nil // release the closure; also marks the event as fired
-	e.executed++
 	fn()
 	return true
 }
@@ -164,12 +223,22 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // event implements Timer. index is the event's position in the owning
 // engine's heap, or -1 once it has fired or been cancelled.
+//
+// An event is either a closure event (fn set, scheduled by After/Every) or
+// a pooled delivery event (deliver set, scheduled by AfterMsg, recycled via
+// the engine's free list after firing). Delivery events never escape as
+// Timers, so Stop cannot observe one.
 type event struct {
 	e     *Engine
 	at    time.Duration
 	seq   uint64
 	fn    func()
 	index int
+
+	// Typed payload of the pooled delivery path.
+	deliver  DeliveryHandler
+	from, to uint64
+	msg      any
 }
 
 func (ev *event) Stop() bool {

@@ -35,12 +35,16 @@ type SimNetwork struct {
 	// retransmissions mask transient loss. Partitions and crashed nodes
 	// still cut them.
 	lossExempt map[wire.MsgType]bool
+
+	// deliverFn is the deliver method bound once at construction so that
+	// per-message scheduling through sim.Engine.AfterMsg captures nothing.
+	deliverFn sim.DeliveryHandler
 }
 
 // NewSimNetwork creates a simulated network. traffic may be nil to skip
 // accounting.
 func NewSimNetwork(engine *sim.Engine, model netmodel.Model, traffic *netmodel.Traffic) *SimNetwork {
-	return &SimNetwork{
+	n := &SimNetwork{
 		engine:    engine,
 		model:     model,
 		traffic:   traffic,
@@ -50,6 +54,8 @@ func NewSimNetwork(engine *sim.Engine, model netmodel.Model, traffic *netmodel.T
 		linkExtra: make(map[[2]wire.NodeID]time.Duration),
 		nodeExtra: make(map[wire.NodeID]time.Duration),
 	}
+	n.deliverFn = n.deliver
+	return n
 }
 
 // AddNode attaches a new endpoint and returns it. IDs are assigned densely
@@ -155,6 +161,10 @@ func (n *SimNetwork) Reachable(from, to wire.NodeID) bool {
 	return true
 }
 
+// send accounts, filters and schedules one message. The steady-state path
+// is allocation-free: delivery goes through the engine's pooled AfterMsg
+// events via the pre-bound deliverFn, and the common no-overrides case
+// skips the linkExtra/nodeExtra lookups entirely.
 func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 	if int(to) >= len(n.nodes) {
 		return fmt.Errorf("transport: unknown destination %v", to)
@@ -170,7 +180,6 @@ func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 	if n.dropRate > 0 && !n.lossExempt[msg.Type()] && n.rng.Float64() < n.dropRate {
 		return nil
 	}
-	dst := n.nodes[to]
 	delay := n.model.Delay(n.rng, size)
 	if len(n.linkExtra) > 0 {
 		delay += n.linkExtra[[2]wire.NodeID{from, to}]
@@ -178,12 +187,18 @@ func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 	if len(n.nodeExtra) > 0 {
 		delay += n.nodeExtra[from] + n.nodeExtra[to]
 	}
-	n.engine.After(delay, func() {
-		if h := dst.handler; h != nil && !n.downNode[dst.id] {
-			h(from, msg)
-		}
-	})
+	n.engine.AfterMsg(delay, n.deliverFn, uint64(from), uint64(to), msg)
 	return nil
+}
+
+// deliver is the AfterMsg handler behind every in-flight message. Fault
+// state is checked at fire time, exactly as the per-message closure used
+// to: a node crashed while the message was in flight still swallows it.
+func (n *SimNetwork) deliver(from, to uint64, msg any) {
+	dst := n.nodes[to]
+	if h := dst.handler; h != nil && !n.downNode[dst.id] {
+		h(wire.NodeID(from), msg.(wire.Message))
+	}
 }
 
 // SimEndpoint implements Endpoint on a SimNetwork.

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/wire"
+)
+
+// fastModel keeps delivery delays tiny so benchmarks and allocation probes
+// drain the queue with short RunFor windows.
+func fastModel() netmodel.Model {
+	return netmodel.Model{PropMin: time.Microsecond, PropMax: 2 * time.Microsecond}
+}
+
+// A node that crashes while a message is in flight must swallow it: the
+// pooled delivery path checks fault state at fire time, like the per-message
+// closure it replaced.
+func TestSimNetworkCrashWhileInFlightSwallowsDelivery(t *testing.T) {
+	engine := sim.NewEngine(1)
+	net := NewSimNetwork(engine, fastModel(), nil)
+	src := net.AddNode()
+	dst := net.AddNode()
+	delivered := 0
+	dst.SetHandler(func(wire.NodeID, wire.Message) { delivered++ })
+
+	if err := src.Send(dst.ID(), &wire.StateInfo{Height: 1}); err != nil {
+		t.Fatal(err)
+	}
+	net.SetNodeDown(dst.ID(), true) // crash after send, before delivery
+	engine.RunFor(time.Second)
+	if delivered != 0 {
+		t.Fatalf("crashed node handled %d messages, want 0", delivered)
+	}
+
+	net.SetNodeDown(dst.ID(), false)
+	if err := src.Send(dst.ID(), &wire.StateInfo{Height: 2}); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunFor(time.Second)
+	if delivered != 1 {
+		t.Fatalf("revived node handled %d messages, want 1", delivered)
+	}
+}
+
+// The steady-state send-and-deliver cycle must not allocate: pooled engine
+// events, no capturing closure, dense traffic accounting.
+func TestSimNetworkSendSteadyStateAllocationFree(t *testing.T) {
+	engine := sim.NewEngine(1)
+	tr := netmodel.NewSimTraffic(time.Hour) // one bucket for the whole probe
+	net := NewSimNetwork(engine, fastModel(), tr)
+	src := net.AddNode()
+	dst := net.AddNode()
+	dst.SetHandler(func(wire.NodeID, wire.Message) {})
+	msg := &wire.StateInfo{Height: 7}
+	cycle := func() {
+		_ = src.Send(dst.ID(), msg)
+		engine.RunFor(10 * time.Microsecond)
+	}
+	for i := 0; i < 200; i++ {
+		cycle() // warm the event pool, queue capacity and traffic slots
+	}
+	if allocs := testing.AllocsPerRun(2000, cycle); allocs != 0 {
+		t.Fatalf("steady-state send+deliver allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSimNetworkSend measures the full per-message transport path at
+// steady state: traffic accounting, reachability and loss checks, delay
+// draw, pooled scheduling and dispatch. Must report 0 allocs/op.
+func BenchmarkSimNetworkSend(b *testing.B) {
+	engine := sim.NewEngine(1)
+	tr := netmodel.NewSimTraffic(10 * time.Second)
+	net := NewSimNetwork(engine, netmodel.LAN(), tr)
+	const n = 100
+	eps := make([]*SimEndpoint, n)
+	for i := range eps {
+		eps[i] = net.AddNode()
+		eps[i].SetHandler(func(wire.NodeID, wire.Message) {})
+	}
+	msg := &wire.StateInfo{Height: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eps[i%n].Send(eps[(i+1)%n].ID(), msg)
+		if i%64 == 63 {
+			engine.RunFor(time.Millisecond)
+		}
+	}
+}

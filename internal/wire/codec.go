@@ -55,6 +55,12 @@ const (
 	maxMsgType // sentinel, keep last
 )
 
+// NumMsgTypes is one past the highest valid MsgType: arrays of size
+// NumMsgTypes indexed directly by MsgType cover every tag (index 0, the
+// reserved invalid tag, stays unused). Dense per-type accounting (see
+// netmodel.Traffic) relies on it instead of maps.
+const NumMsgTypes = int(maxMsgType)
+
 // String returns the message type name.
 func (t MsgType) String() string {
 	names := [...]string{
