@@ -27,6 +27,7 @@ import (
 
 	"fabricgossip/internal/analysis"
 	"fabricgossip/internal/gossip"
+	"fabricgossip/internal/gossip/original"
 	"fabricgossip/internal/harness"
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/metrics"
@@ -308,6 +309,44 @@ func BenchmarkScenarioOrgMixedProtocols(b *testing.B) {
 	benchScenarioOrgs(b, "org-mixed-protocols", 100, 4, harness.VariantEnhanced)
 }
 
+// BenchmarkScenarioOrgOutageOrdererDown tracks the anchor-peer cross-org
+// recovery path: a whole organization and then the ordering service crash,
+// and the org restarts cold with the orderer still down, recovering through
+// remote anchors over WAN links. Beyond the usual event fingerprint it
+// exports the recovery plane's own metrics: sync_bytes (StateRequest +
+// StateResponse traffic, deterministic per seed) and sync_tail_ms (the
+// p99.9 catch-up latency) — both gated by cmd/benchdiff.
+func BenchmarkScenarioOrgOutageOrdererDown(b *testing.B) {
+	var events uint64
+	var syncBytes, syncTail float64
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunNamed("org-outage-orderer-down", scenario.Options{
+			Peers: 100, Orgs: 4, Variant: harness.VariantEnhanced, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CaughtUp != rep.Survivors {
+			b.Fatalf("%d of %d survivors caught up", rep.CaughtUp, rep.Survivors)
+		}
+		events += rep.EngineEvents
+		syncBytes = float64(rep.SyncBytes)
+		syncTail = float64(rep.Recoveries.P999) / 1e6
+	}
+	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	reportMetric(b, syncBytes, "sync_bytes")
+	reportMetric(b, syncTail, "sync_tail_ms")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		reportMetric(b, float64(events)/secs, "events_per_s")
+	}
+}
+
+// BenchmarkScenarioOrgAsymConsortium tracks the heterogeneous-org-size
+// layout (one datacenter org plus two small branches).
+func BenchmarkScenarioOrgAsymConsortium(b *testing.B) {
+	benchScenarioOrgs(b, "org-asym-consortium", 100, 3, harness.VariantEnhanced)
+}
+
 // BenchmarkMultiOrgDissemination measures the fault-free Figure 1 shape on
 // harness.Network directly: 4 orgs x 25 peers, per-org epidemics over a
 // shared LAN, reporting the aggregate p99.9 first-reception latency.
@@ -391,6 +430,83 @@ func BenchmarkHotPathDeliveryAllocs(b *testing.B) {
 	}
 	if delivered == 0 {
 		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkRandomPeersReuse locks the per-tick sampling contract: a draw
+// through RandomPeersInto with an owned buffer is allocation-free, so the
+// periodic state-info/alive/push ticks allocate nothing for peer sampling.
+// The allocs_op metric is gated by cmd/benchdiff.
+func BenchmarkRandomPeersReuse(b *testing.B) {
+	engine := sim.NewEngine(1)
+	net := transport.NewSimNetwork(engine, netmodel.LAN(), nil)
+	peers := make([]wire.NodeID, 1000)
+	for i := range peers {
+		peers[i] = wire.NodeID(i)
+	}
+	ep := net.AddNode()
+	core := gossip.New(gossip.DefaultConfig(ep.ID(), peers), ep, engine, engine.Rand("gossip"),
+		original.New(original.Config{Fout: 3}))
+	var buf []wire.NodeID
+	cycle := func() {
+		buf = core.RandomPeersInto(4, buf)
+		if len(buf) != 4 {
+			b.Fatal("short sample")
+		}
+	}
+	cycle() // grow the buffer once
+	reportMetric(b, testing.AllocsPerRun(2000, cycle), "allocs_op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+// BenchmarkStateSyncServe locks the zero-copy serve contract end to end: a
+// StateRequest for an already-frozen range travels through the simulated
+// transport, hits the provider's batch cache and is answered by re-sending
+// the cached pre-encoded StateResponse — zero allocations and zero
+// re-encoding of the block trees at steady state. The allocs_op metric is
+// gated by cmd/benchdiff.
+func BenchmarkStateSyncServe(b *testing.B) {
+	engine := sim.NewEngine(1)
+	model := netmodel.Model{PropMin: time.Microsecond, PropMax: 2 * time.Microsecond}
+	traffic := netmodel.NewSimTraffic(time.Hour)
+	net := transport.NewSimNetwork(engine, model, traffic)
+	serverEP := net.AddNode()
+	client := net.AddNode()
+	peers := []wire.NodeID{serverEP.ID(), client.ID()}
+	core := gossip.New(gossip.DefaultConfig(serverEP.ID(), peers), serverEP, engine,
+		engine.Rand("gossip"), original.New(original.Config{Fout: 3}))
+	for _, blk := range harness.BuildChain(32, 10, 512, 1) {
+		core.AddBlock(blk)
+	}
+	responses := 0
+	client.SetHandler(func(_ wire.NodeID, m wire.Message) {
+		if _, ok := m.(*wire.StateResponse); ok {
+			responses++
+		}
+	})
+	req := &wire.StateRequest{From: 0, To: 32}
+	cycle := func() {
+		_ = client.Send(serverEP.ID(), req)
+		engine.RunFor(10 * time.Microsecond)
+	}
+	for i := 0; i < 200; i++ {
+		cycle() // freeze + cache the batch, warm the event pool
+	}
+	reportMetric(b, testing.AllocsPerRun(2000, cycle), "allocs_op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	if responses == 0 {
+		b.Fatal("no responses served")
+	}
+	if stats := core.StateSyncStats(); stats.ServedCached == 0 {
+		b.Fatal("serve path never hit the frozen-batch cache")
 	}
 }
 

@@ -8,13 +8,18 @@
 // Gated units — deterministic outputs of the seeded simulation, identical
 // on any machine:
 //
-//	tail_ms     dissemination tail latency (increase = regression)
-//	peer_MBps   per-peer bandwidth overhead (increase = regression)
-//	allocs_op   hot-path heap allocations per message (increase = regression)
-//	sim_events  discrete events per run (drift in EITHER direction fails:
-//	            these are behavioral fingerprints, not costs — fewer events
-//	            can mean messages silently vanished)
-//	conflicts_* invalidated transactions, Table II (either direction fails)
+//	tail_ms      dissemination tail latency (increase = regression)
+//	peer_MBps    per-peer bandwidth overhead (increase = regression)
+//	allocs_op    hot-path heap allocations per message (increase = regression)
+//	sync_tail_ms recovery-plane catch-up tail latency (increase = regression)
+//	sim_events   discrete events per run (drift in EITHER direction fails:
+//	             these are behavioral fingerprints, not costs — fewer events
+//	             can mean messages silently vanished)
+//	sync_bytes   state-sync (StateRequest/StateResponse) traffic volume
+//	             (either direction fails: it is a behavioral fingerprint of
+//	             the recovery plane, and shrinkage can mean transfers
+//	             silently stopped)
+//	conflicts_*  invalidated transactions, Table II (either direction fails)
 //
 // Wall-clock-dependent units (events_per_s and anything else) vary with the
 // host, so they are printed for the trajectory but never gated. A gated
@@ -40,7 +45,9 @@ var gatedUnits = map[string]gateMode{
 	"tail_ms":        gateIncrease,
 	"peer_MBps":      gateIncrease,
 	"allocs_op":      gateIncrease,
+	"sync_tail_ms":   gateIncrease,
 	"sim_events":     gateEither,
+	"sync_bytes":     gateEither,
 	"conflicts_orig": gateEither,
 	"conflicts_enh":  gateEither,
 }

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +31,7 @@ func main() {
 	name := flag.String("scenario", "all", "scenario name, comma-separated list, or 'all'")
 	peers := flag.Int("peers", 100, "total network size across all orgs (up to thousands)")
 	orgs := flag.Int("orgs", 1, "organization count (peers must divide evenly)")
+	orgSizes := flag.String("org-sizes", "", "explicit per-org peer counts, e.g. 50,30,20 (overrides -peers/-orgs; asymmetric consortiums)")
 	variant := flag.String("variant", "enhanced", "protocol: original, enhanced or both")
 	seed := flag.Int64("seed", 1, "root random seed")
 	check := flag.Bool("check", false, "run each scenario twice and verify identical fingerprints")
@@ -70,10 +72,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sizes, err := parseOrgSizes(*orgSizes)
+	if err != nil {
+		fatal(err)
+	}
 
 	for _, n := range names {
 		for _, v := range variants {
-			opt := scenario.Options{Peers: *peers, Orgs: *orgs, Variant: v, Seed: *seed}
+			opt := scenario.Options{Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed}
 			start := time.Now()
 			rep, err := scenario.RunNamed(n, opt)
 			if err != nil {
@@ -100,6 +106,21 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+func parseOrgSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("scenarios: bad -org-sizes entry %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 func parseVariants(s string) ([]harness.Variant, error) {

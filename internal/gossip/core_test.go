@@ -135,15 +135,18 @@ func TestServeStateRequestRespectsBatchAndGaps(t *testing.T) {
 		t.Fatalf("sent %d messages, want 1", len(sent))
 	}
 	resp := sent[0].msg.(*wire.StateResponse)
-	if len(resp.Blocks) != 3 || resp.Blocks[0].Num != 0 {
-		t.Fatalf("response blocks = %d", len(resp.Blocks))
+	if len(resp.Blocks()) != 3 || resp.Blocks()[0].Num != 0 {
+		t.Fatalf("response blocks = %d", len(resp.Blocks()))
+	}
+	if !resp.Batch.Frozen() {
+		t.Fatal("served batch not frozen (zero-copy serve path)")
 	}
 	// Request across the gap stops at it.
 	ep.deliver(1, &wire.StateRequest{From: 4, To: 7})
 	sent = ep.sends()
 	resp = sent[1].msg.(*wire.StateResponse)
-	if len(resp.Blocks) != 1 || resp.Blocks[0].Num != 4 {
-		t.Fatalf("gap response = %v", resp.Blocks)
+	if len(resp.Blocks()) != 1 || resp.Blocks()[0].Num != 4 {
+		t.Fatalf("gap response = %v", resp.Blocks())
 	}
 	// Request for blocks we lack entirely: no response at all.
 	ep.deliver(1, &wire.StateRequest{From: 10, To: 12})
@@ -232,7 +235,7 @@ func TestStateResponseFillsGapAndCommits(t *testing.T) {
 	var committed []uint64
 	core.OnCommit(func(b *ledger.Block) { committed = append(committed, b.Num) })
 	core.AddBlock(blockN(2))
-	ep.deliver(1, &wire.StateResponse{Blocks: []*ledger.Block{blockN(0), blockN(1)}})
+	ep.deliver(1, &wire.StateResponse{Batch: wire.NewBlockBatch([]*ledger.Block{blockN(0), blockN(1)})})
 	if len(committed) != 3 || core.Height() != 3 {
 		t.Fatalf("committed %v, height %d", committed, core.Height())
 	}

@@ -133,6 +133,17 @@ type Protocol struct {
 	pushBuf   []wire.BlockOffer
 	pushTimer simTimer
 
+	// sampleBuf is the spread path's reusable fan-out sample and
+	// digestSpreads handleDigest's staged new-pair scratch. Both are
+	// reused only on the single-threaded simulated runtime (reuse), where
+	// message handlers are serialized by the engine; the TCP runtime's
+	// concurrent handlers allocate fresh slices instead. Neither is ever
+	// part of an outbound message — in-flight messages must not alias
+	// reused memory.
+	sampleBuf     []wire.NodeID
+	digestSpreads []wire.BlockOffer
+	reuse         bool
+
 	stopped bool
 }
 
@@ -158,6 +169,7 @@ func (p *Protocol) Start(c *gossip.Core) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.c = c
+	p.reuse = c.SingleThreaded()
 }
 
 // Stop implements gossip.Protocol.
@@ -182,7 +194,7 @@ func (p *Protocol) OnOrdererBlock(b *ledger.Block) {
 	p.markSeen(b.Num, 0)
 	p.mu.Unlock()
 	msg := &wire.Data{Block: b, Counter: 0}
-	for _, t := range p.c.RandomPeers(p.cfg.FLeaderOut) {
+	for _, t := range p.sample(p.cfg.FLeaderOut) {
 		p.c.Send(t, msg)
 	}
 }
@@ -259,9 +271,12 @@ func (p *Protocol) handleData(m *wire.Data) {
 
 func (p *Protocol) handleDigest(from wire.NodeID, m *wire.PushDigest) {
 	now := p.c.Scheduler().Now()
-	var wantNums []uint64
+	var wantNums []uint64 // becomes the PushRequest payload: never reused
 	var spreads []wire.BlockOffer
 	p.mu.Lock()
+	if p.reuse {
+		spreads = p.digestSpreads[:0]
+	}
 	for _, o := range m.Offers {
 		if p.markSeen(o.Num, o.Counter) {
 			spreads = append(spreads, o)
@@ -273,6 +288,9 @@ func (p *Protocol) handleDigest(from wire.NodeID, m *wire.PushDigest) {
 				wantNums = append(wantNums, o.Num)
 			}
 		}
+	}
+	if p.reuse {
+		p.digestSpreads = spreads
 	}
 	p.mu.Unlock()
 	if len(wantNums) > 0 {
@@ -340,7 +358,19 @@ func (p *Protocol) spread(num uint64, received uint32) {
 		p.bufferSpread(wire.BlockOffer{Num: num, Counter: next})
 		return
 	}
-	p.forward(wire.BlockOffer{Num: num, Counter: next}, p.c.RandomPeers(p.cfg.Fout))
+	p.forward(wire.BlockOffer{Num: num, Counter: next}, p.sample(p.cfg.Fout))
+}
+
+// sample draws the fan-out targets, through the reusable buffer on the
+// single-threaded runtime. The result is consumed (sent to) before any
+// other sample call, so reuse is safe there; concurrent TCP handlers get a
+// fresh slice.
+func (p *Protocol) sample(k int) []wire.NodeID {
+	if !p.reuse {
+		return p.c.RandomPeers(k)
+	}
+	p.sampleBuf = p.c.RandomPeersInto(k, p.sampleBuf)
+	return p.sampleBuf
 }
 
 func (p *Protocol) bufferSpread(o wire.BlockOffer) {
@@ -366,7 +396,7 @@ func (p *Protocol) flushSpread() {
 		return
 	}
 	// The bias: one sample for every buffered pair.
-	targets := p.c.RandomPeers(p.cfg.Fout)
+	targets := p.sample(p.cfg.Fout)
 	for _, o := range buf {
 		p.forward(o, targets)
 	}

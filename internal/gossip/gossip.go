@@ -1,8 +1,10 @@
 // Package gossip implements the shared infrastructure of Fabric's gossip
-// layer (paper §III): the per-peer block buffer with in-order delivery, the
-// membership heartbeats and ledger-height metadata (state info) that all
-// peers exchange, and the recovery (anti-entropy) component that lets peers
-// catch up on missing block ranges.
+// layer (paper §III): the per-peer block buffer with in-order delivery, and
+// the membership heartbeats and ledger-height metadata (state info) that
+// all peers exchange. The recovery (anti-entropy) component that lets peers
+// catch up on missing block ranges lives in internal/statesync; the core
+// delegates to its Fetcher/Provider pair through the narrow statesync.Host
+// interface it implements.
 //
 // The two dissemination variants plug into this core as Protocol
 // implementations:
@@ -13,12 +15,12 @@
 package gossip
 
 import (
-	"sort"
 	"sync"
 	"time"
 
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/sim"
+	"fabricgossip/internal/statesync"
 	"fabricgossip/internal/transport"
 	"fabricgossip/internal/wire"
 )
@@ -71,9 +73,23 @@ type Config struct {
 
 	// RecoveryInterval is how often the peer checks whether it is behind
 	// the highest advertised ledger and fetches a batch of missing
-	// blocks. RecoveryBatch caps the range requested at once.
+	// blocks. RecoveryBatch caps the range requested at once. Both feed
+	// the statesync engine the core delegates recovery to.
 	RecoveryInterval time.Duration
 	RecoveryBatch    int
+
+	// AnchorPeers lists remote-organization anchor peers this peer's
+	// leader may fetch missing blocks from when the ordering service goes
+	// silent (cross-org state transfer through the statesync engine).
+	// Empty — the default — disables the path entirely.
+	AnchorPeers []wire.NodeID
+	// AnchorInterval is how often the leader runs an anchor probe round
+	// while the orderer is silent. Zero disables probing even with
+	// anchors configured.
+	AnchorInterval time.Duration
+	// OrdererStall is how long without an orderer delivery before the
+	// leader considers the orderer unreachable. Zero defaults to 5s.
+	OrdererStall time.Duration
 }
 
 // DefaultConfig returns the Fabric-default shared parameters for the given
@@ -102,17 +118,24 @@ type Core struct {
 	rng   *sim.Rand
 	proto Protocol
 
-	mu          sync.Mutex
-	blocks      map[uint64]*ledger.Block
-	height      uint64 // next block needed for in-order delivery
-	highest     uint64 // highest block number stored (valid if hasAny)
-	hasAny      bool
-	peerHeights map[wire.NodeID]uint64
-	membership  *Membership
-	aliveSeq    uint64
-	timers      []sim.Timer
-	started     bool
-	stopped     bool
+	mu         sync.Mutex
+	blocks     map[uint64]*ledger.Block
+	height     uint64 // next block needed for in-order delivery
+	highest    uint64 // highest block number stored (valid if hasAny)
+	hasAny     bool
+	membership *Membership
+	aliveSeq   uint64
+	timers     []sim.Timer
+	started    bool
+	stopped    bool
+
+	// fetcher/provider form the statesync engine the core delegates the
+	// recovery plane to: the fetcher owns the advertised-heights view,
+	// request targeting and anchor probing; the provider serves requests
+	// from frozen block batches. Both are called only with mu released
+	// (they lock internally and call back into the core's accessors).
+	fetcher  *statesync.Fetcher
+	provider *statesync.Provider
 
 	// others is cfg.Peers minus self, precomputed once: RandomPeers samples
 	// in place with k swaps that are undone after the draw, so every call
@@ -122,15 +145,17 @@ type Core struct {
 	others  []wire.NodeID
 	swapIdx []int
 
+	// stateInfoPeers/alivePeers are the periodic ticks' reusable sampling
+	// buffers: each is owned exclusively by its tick (periodic timers never
+	// overlap themselves on either runtime), so the steady-state tick path
+	// allocates nothing for peer sampling.
+	stateInfoPeers []wire.NodeID
+	alivePeers     []wire.NodeID
+
 	// aliveMeta is the zero-filled heartbeat padding, allocated once: Alive
 	// messages are read-only on both runtimes (the sim path shares the
 	// message value, the TCP path marshals it), so every tick reuses it.
 	aliveMeta []byte
-
-	// maxAdvertised is an upper bound on every height in peerHeights,
-	// raised on StateInfo receipt and tightened during recovery scans. It
-	// lets the caught-up fast path of recoveryTick skip the O(n) scan.
-	maxAdvertised uint64
 
 	onFirstReception func(b *ledger.Block, at time.Duration)
 	onCommit         func(b *ledger.Block)
@@ -145,14 +170,13 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		expiration = 3 * cfg.AliveInterval
 	}
 	c := &Core{
-		cfg:         cfg,
-		ep:          ep,
-		sched:       sched,
-		rng:         rng,
-		proto:       proto,
-		blocks:      make(map[uint64]*ledger.Block),
-		peerHeights: make(map[wire.NodeID]uint64),
-		membership:  NewMembership(cfg.Self, expiration),
+		cfg:        cfg,
+		ep:         ep,
+		sched:      sched,
+		rng:        rng,
+		proto:      proto,
+		blocks:     make(map[uint64]*ledger.Block),
+		membership: NewMembership(cfg.Self, expiration),
 		// Seed the heartbeat sequence from boot time so a restarted
 		// peer's fresh core emits sequences above anything its previous
 		// incarnation sent — otherwise other peers' anti-replay check
@@ -171,6 +195,13 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		}
 	}
 	c.swapIdx = make([]int, 0, len(c.others))
+	ssCfg := statesync.Config{
+		Batch:        cfg.RecoveryBatch,
+		Anchors:      cfg.AnchorPeers,
+		OrdererStall: cfg.OrdererStall,
+	}
+	c.fetcher = statesync.NewFetcher(c, ssCfg)
+	c.provider = statesync.NewProvider(c, ssCfg)
 	ep.SetHandler(c.handleMessage)
 	return c
 }
@@ -223,7 +254,10 @@ func (c *Core) Start() {
 		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.AliveInterval, c.aliveTick))
 	}
 	if c.cfg.RecoveryInterval > 0 {
-		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.RecoveryInterval, c.recoveryTick))
+		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.RecoveryInterval, c.fetcher.Tick))
+	}
+	if c.cfg.AnchorInterval > 0 && len(c.cfg.AnchorPeers) > 0 {
+		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.AnchorInterval, c.fetcher.AnchorTick))
 	}
 	c.mu.Unlock()
 	c.proto.Start(c)
@@ -310,7 +344,27 @@ func (c *Core) Send(to wire.NodeID, msg wire.Message) {
 }
 
 // RandomPeers samples k distinct peers uniformly, never including self.
-// If fewer than k eligible peers exist, all of them are returned.
+// If fewer than k eligible peers exist, all of them are returned. The
+// result is freshly allocated; hot paths use RandomPeersInto with a
+// per-call-site buffer instead.
+func (c *Core) RandomPeers(k int) []wire.NodeID { return c.RandomPeersInto(k, nil) }
+
+// SingleThreaded reports whether the core runs on the discrete-event
+// engine, whose callbacks are serialized by construction. Protocols use it
+// to decide whether per-instance scratch buffers are safe to reuse across
+// message handlers (on the TCP runtime handlers can run concurrently, so
+// they must allocate instead).
+func (c *Core) SingleThreaded() bool {
+	_, ok := c.sched.(*sim.Engine)
+	return ok
+}
+
+// RandomPeersInto is RandomPeers sampling into buf's backing array (grown
+// if needed), so a periodic tick can reuse one buffer across rounds and
+// keep the per-tick path allocation-free. The random draws are identical to
+// RandomPeers — buffer reuse never shifts the stream. The caller owns buf
+// exclusively: the returned slice aliases it and is valid until the owner's
+// next call.
 //
 // This sits on the push hot path, so the candidate slice (peers minus self)
 // is precomputed once at construction: a draw is k partial-Fisher-Yates
@@ -318,14 +372,19 @@ func (c *Core) Send(to wire.NodeID, msg wire.Message) {
 // so the next call — and therefore the whole run — consumes random values
 // identically to a per-call rebuild. That replaces the old O(n) rebuild per
 // tick with O(k) work.
-func (c *Core) RandomPeers(k int) []wire.NodeID {
+func (c *Core) RandomPeersInto(k int, buf []wire.NodeID) []wire.NodeID {
 	if k > len(c.others) {
 		k = len(c.others)
 	}
 	if k <= 0 {
-		return nil
+		return buf[:0] // nil buf stays nil: RandomPeers(0) == nil
 	}
-	out := make([]wire.NodeID, k)
+	out := buf
+	if cap(out) < k {
+		out = make([]wire.NodeID, k)
+	} else {
+		out = out[:k]
+	}
 	c.mu.Lock()
 	cand := c.others
 	sw := c.swapIdx[:k]
@@ -421,20 +480,11 @@ func (c *Core) handleMessage(from wire.NodeID, msg wire.Message) {
 	c.mu.Unlock()
 	switch m := msg.(type) {
 	case *wire.StateInfo:
-		c.mu.Lock()
-		if m.Height > c.peerHeights[from] {
-			c.peerHeights[from] = m.Height
-			if m.Height > c.maxAdvertised {
-				c.maxAdvertised = m.Height
-			}
-		}
-		c.mu.Unlock()
+		c.fetcher.Observe(from, m.Height)
 	case *wire.StateRequest:
-		c.serveStateRequest(from, m)
+		c.provider.Serve(from, m)
 	case *wire.StateResponse:
-		for _, b := range m.Blocks {
-			c.AddBlock(b)
-		}
+		c.fetcher.HandleResponse(m)
 	case *wire.Alive:
 		now := c.sched.Now()
 		c.mu.Lock()
@@ -445,7 +495,9 @@ func (c *Core) handleMessage(from wire.NodeID, msg wire.Message) {
 			fn(from, true, now)
 		}
 	case *wire.DeliverBlock:
-		// Ordering service -> leader peer.
+		// Ordering service -> leader peer. The fetcher notes the delivery
+		// so anchor probing stands down while the orderer is healthy.
+		c.fetcher.NoteDeliver()
 		c.proto.OnOrdererBlock(m.Block)
 	default:
 		c.proto.Handle(from, msg)
@@ -459,7 +511,8 @@ func (c *Core) stateInfoTick() {
 	h := c.height
 	c.mu.Unlock()
 	msg := &wire.StateInfo{Height: h}
-	for _, p := range c.RandomPeers(c.cfg.StateInfoFanout) {
+	c.stateInfoPeers = c.RandomPeersInto(c.cfg.StateInfoFanout, c.stateInfoPeers)
+	for _, p := range c.stateInfoPeers {
 		c.Send(p, msg)
 	}
 }
@@ -470,15 +523,15 @@ func (c *Core) aliveTick() {
 	c.aliveSeq++
 	seq := c.aliveSeq
 	dead := c.membership.Expire(now)
+	fn := c.onPeerState
+	c.mu.Unlock()
 	// Drop dead peers' advertised heights: recovery must not keep targeting
 	// a crashed peer (its requests would vanish and catch-up would stall a
 	// full RecoveryInterval per round), and a stale maximum would also pin
 	// the view if the peer later rejoins with an empty ledger.
 	for _, p := range dead {
-		delete(c.peerHeights, p)
+		c.fetcher.Forget(p)
 	}
-	fn := c.onPeerState
-	c.mu.Unlock()
 	if fn != nil {
 		for _, p := range dead {
 			fn(p, false, now)
@@ -488,92 +541,9 @@ func (c *Core) aliveTick() {
 	// messages are read-only on every delivery path, so no tick needs a
 	// fresh allocation.
 	msg := &wire.Alive{Seq: seq, Meta: c.aliveMeta}
-	for _, p := range c.RandomPeers(c.cfg.AliveFanout) {
+	c.alivePeers = c.RandomPeersInto(c.cfg.AliveFanout, c.alivePeers)
+	for _, p := range c.alivePeers {
 		c.Send(p, msg)
-	}
-}
-
-// recoveryTick implements the paper's recovery component: if a peer's
-// ledger is behind the highest advertised height, it requests the
-// consecutive missing blocks from one of the most advanced peers.
-//
-// The caught-up steady state — the overwhelming majority of ticks — exits
-// on the incrementally tracked maxAdvertised bound without scanning the
-// peerHeights map at all; the O(n) candidate scan runs only while actually
-// behind. maxAdvertised is an over-approximation (pruning a dead peer's
-// height does not lower it until the next scan tightens it), which can cost
-// a redundant scan but never changes which request is sent: the scan
-// recomputes the true maximum and candidate set exactly as before.
-func (c *Core) recoveryTick() {
-	c.mu.Lock()
-	if c.maxAdvertised <= c.height {
-		c.mu.Unlock()
-		return
-	}
-	var best wire.NodeID
-	var bestH uint64
-	var maxSeen uint64
-	candidates := make([]wire.NodeID, 0, 4)
-	for p, h := range c.peerHeights {
-		if h > maxSeen {
-			maxSeen = h
-		}
-		// Skip peers the membership view has marked dead: their heights may
-		// linger (a StateInfo can arrive after the expiration sweep pruned
-		// the entry) but a request to them can never be answered. Peers the
-		// sparse heartbeat sample never observed stay eligible — at large n
-		// most of the organization is in that state.
-		if c.membership.Dead(p) {
-			continue
-		}
-		if h > bestH {
-			bestH = h
-			candidates = candidates[:0]
-		}
-		if h == bestH && h > 0 {
-			candidates = append(candidates, p)
-		}
-	}
-	c.maxAdvertised = maxSeen
-	myH := c.height
-	batch := uint64(c.cfg.RecoveryBatch)
-	if bestH <= myH || len(candidates) == 0 {
-		c.mu.Unlock()
-		return
-	}
-	// candidates came out of map iteration: sort before the random pick so
-	// the same seed selects the same peer on every run. The draw stays
-	// under mu: RandomPeers uses the same non-thread-safe rng under mu,
-	// and on the TCP runtime the periodic ticks fire on separate
-	// goroutines.
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-	best = candidates[c.rng.Intn(len(candidates))]
-	c.mu.Unlock()
-
-	to := bestH
-	if batch > 0 && to > myH+batch {
-		to = myH + batch
-	}
-	c.Send(best, &wire.StateRequest{From: myH, To: to})
-}
-
-func (c *Core) serveStateRequest(from wire.NodeID, req *wire.StateRequest) {
-	c.mu.Lock()
-	var blocks []*ledger.Block
-	limit := req.To
-	if max := req.From + uint64(c.cfg.RecoveryBatch); c.cfg.RecoveryBatch > 0 && limit > max {
-		limit = max
-	}
-	for num := req.From; num < limit; num++ {
-		b, ok := c.blocks[num]
-		if !ok {
-			break // only consecutive runs are useful to the requester
-		}
-		blocks = append(blocks, b)
-	}
-	c.mu.Unlock()
-	if len(blocks) > 0 {
-		c.Send(from, &wire.StateResponse{Blocks: blocks})
 	}
 }
 
@@ -594,16 +564,27 @@ func (c *Core) LeaderPeer() wire.NodeID {
 }
 
 // IsLeader reports whether this peer currently believes it leads the
-// organization.
+// organization. It is part of the statesync.Host interface: anchor probing
+// is a leader duty.
 func (c *Core) IsLeader() bool { return c.LeaderPeer() == c.cfg.Self }
 
-// PeerHeights returns a copy of the advertised heights view.
-func (c *Core) PeerHeights() map[wire.NodeID]uint64 {
+// PeerDead reports whether the membership view has explicitly marked the
+// peer dead (statesync.Host: the fetcher's candidate filter).
+func (c *Core) PeerDead(p wire.NodeID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[wire.NodeID]uint64, len(c.peerHeights))
-	for k, v := range c.peerHeights {
-		out[k] = v
-	}
-	return out
+	return c.membership.Dead(p)
+}
+
+// Now returns the scheduler's current time (statesync.Host).
+func (c *Core) Now() time.Duration { return c.sched.Now() }
+
+// PeerHeights returns a copy of the advertised heights view, owned by the
+// statesync fetcher.
+func (c *Core) PeerHeights() map[wire.NodeID]uint64 { return c.fetcher.Heights() }
+
+// StateSyncStats snapshots the statesync engine's counters (bytes and
+// blocks fetched, responses served, cache hits, anchor probes).
+func (c *Core) StateSyncStats() statesync.Stats {
+	return statesync.CollectStats(c.fetcher, c.provider)
 }

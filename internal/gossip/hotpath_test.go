@@ -128,8 +128,10 @@ func TestRandomPeersMatchesPerCallRebuildReference(t *testing.T) {
 }
 
 // Recovery must still fire when the peer that advertised the maximum height
-// has died and been pruned: the stale maxAdvertised upper bound triggers a
-// scan, the scan tightens it and targets the best live peer.
+// has died and been pruned: the fetcher's stale upper bound triggers a
+// scan, the scan tightens it and targets the best live peer. (The bound's
+// tightening itself is asserted in internal/statesync's unit tests; here
+// the delegation from the core's membership sweep must hold.)
 func TestRecoveryAfterMaxAdvertiserPruned(t *testing.T) {
 	c, ep, engine := newTestCore(t, 0, 4, nil)
 
@@ -142,12 +144,15 @@ func TestRecoveryAfterMaxAdvertiserPruned(t *testing.T) {
 	if !c.membership.Dead(1) {
 		t.Fatal("peer 1 should have expired")
 	}
+	if _, ok := c.PeerHeights()[1]; ok {
+		t.Fatal("expired peer's height not forgotten by the fetcher")
+	}
 
 	// Peer 2 is live at a lower height; recovery must target it.
 	c.handleMessage(2, &wire.StateInfo{Height: 3})
 	c.handleMessage(2, &wire.Alive{Seq: 1})
 	ep.to, ep.sent = nil, nil
-	c.recoveryTick()
+	c.fetcher.Tick()
 
 	var req *wire.StateRequest
 	var reqTo wire.NodeID
@@ -157,7 +162,7 @@ func TestRecoveryAfterMaxAdvertiserPruned(t *testing.T) {
 		}
 	}
 	if req == nil {
-		t.Fatal("recoveryTick sent no StateRequest despite a live peer being ahead")
+		t.Fatal("recovery tick sent no StateRequest despite a live peer being ahead")
 	}
 	if reqTo != 2 {
 		t.Fatalf("recovery targeted %v, want live peer 2", reqTo)
@@ -165,23 +170,15 @@ func TestRecoveryAfterMaxAdvertiserPruned(t *testing.T) {
 	if req.From != 0 || req.To != 3 {
 		t.Fatalf("requested [%d, %d), want [0, 3)", req.From, req.To)
 	}
-
-	// The scan tightened the bound to the surviving entries' maximum.
-	c.mu.Lock()
-	bound := c.maxAdvertised
-	c.mu.Unlock()
-	if bound != 3 {
-		t.Fatalf("maxAdvertised = %d after scan, want 3", bound)
-	}
 }
 
 // Caught-up peers — the steady state — must skip recovery without sending
 // anything (and without consuming random values: determinism).
 func TestRecoveryTickNoopWhenCaughtUp(t *testing.T) {
 	c, ep, _ := newTestCore(t, 0, 4, nil)
-	c.recoveryTick()
+	c.fetcher.Tick()
 	if len(ep.sent) != 0 {
-		t.Fatalf("fresh core sent %d messages from recoveryTick, want 0", len(ep.sent))
+		t.Fatalf("fresh core sent %d messages from recovery tick, want 0", len(ep.sent))
 	}
 }
 
@@ -283,6 +280,30 @@ func TestRearmingTimerSnapsAfterLongStall(t *testing.T) {
 	f.cbs[1]()
 	if f.delays[2] != interval {
 		t.Fatalf("delay after snap %v, want %v", f.delays[2], interval)
+	}
+}
+
+// RandomPeersInto with a reused buffer must consume the random stream and
+// produce results identically to the allocating RandomPeers — buffer reuse
+// is a pure allocation optimization, or every checked-in fingerprint would
+// move.
+func TestRandomPeersIntoMatchesRandomPeers(t *testing.T) {
+	const n = 13
+	cInto, _, _ := newTestCore(t, 4, n, nil)
+	cRef, _, _ := newTestCore(t, 4, n, nil)
+	var buf []wire.NodeID
+	for call := 0; call < 200; call++ {
+		k := call % (n + 2)
+		buf = cInto.RandomPeersInto(k, buf)
+		want := cRef.RandomPeers(k)
+		if len(buf) != len(want) {
+			t.Fatalf("call %d (k=%d): got %v, want %v", call, k, buf, want)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("call %d (k=%d): got %v, want %v", call, k, buf, want)
+			}
+		}
 	}
 }
 

@@ -69,7 +69,24 @@ type Protocol struct {
 	// avoid fetching the same body from several responders in one round.
 	requested map[uint64]time.Duration
 
+	// pullPeers/pullHellos are pullTick's reusable scratch (a periodic
+	// timer never overlaps itself, so the tick owns them exclusively on
+	// both runtimes). pushTargets is flushPush's sampling buffer, reused
+	// only on the single-threaded simulated runtime — on the TCP runtime
+	// concurrent Data handlers can race into flushPush, so it allocates.
+	pullPeers   []wire.NodeID
+	pullHellos  []hello
+	pushTargets []wire.NodeID
+	reuse       bool
+
 	stopped bool
+}
+
+// hello is one outbound pull opening, staged so sends happen outside mu in
+// sampling order.
+type hello struct {
+	nonce uint64
+	to    wire.NodeID
 }
 
 // New returns an unstarted protocol instance.
@@ -89,6 +106,7 @@ func (p *Protocol) Start(c *gossip.Core) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.c = c
+	p.reuse = c.SingleThreaded()
 	if p.cfg.TPull > 0 {
 		p.pullTimer = c.Scheduler().After(p.pullDelay(), p.pullTick)
 	}
@@ -185,7 +203,13 @@ func (p *Protocol) flushPush() {
 	if len(buf) == 0 {
 		return
 	}
-	targets := p.c.RandomPeers(p.cfg.Fout)
+	var targets []wire.NodeID
+	if p.reuse {
+		p.pushTargets = p.c.RandomPeersInto(p.cfg.Fout, p.pushTargets)
+		targets = p.pushTargets
+	} else {
+		targets = p.c.RandomPeers(p.cfg.Fout)
+	}
 	for _, b := range buf {
 		msg := &wire.Data{Block: b}
 		for _, t := range targets {
@@ -203,20 +227,17 @@ func (p *Protocol) pullTick() {
 		return
 	}
 	p.pullTimer = p.c.Scheduler().After(p.cfg.TPull, p.pullTick)
-	peers := p.c.RandomPeers(p.cfg.Fin)
+	p.pullPeers = p.c.RandomPeersInto(p.cfg.Fin, p.pullPeers)
 	// Hellos go out in sampling order (a map here would randomize send
 	// order and with it the transport's delay draws, breaking run-to-run
 	// determinism).
-	type hello struct {
-		nonce uint64
-		to    wire.NodeID
-	}
-	hellos := make([]hello, 0, len(peers))
-	for _, q := range peers {
+	hellos := p.pullHellos[:0]
+	for _, q := range p.pullPeers {
 		p.nextNonce++
 		p.pending[p.nextNonce] = q
 		hellos = append(hellos, hello{nonce: p.nextNonce, to: q})
 	}
+	p.pullHellos = hellos
 	p.mu.Unlock()
 	for _, h := range hellos {
 		p.c.Send(h.to, &wire.PullHello{Nonce: h.nonce})

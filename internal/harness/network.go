@@ -47,6 +47,32 @@ type NetworkParams struct {
 	// to the paper's fout=4, TTLdirect=2.
 	Fout      int
 	TTLDirect uint32
+
+	// AnchorRecovery enables cross-organization state transfer: each
+	// organization designates its AnchorsPerOrg lowest-indexed peers as
+	// anchor peers (Fabric's channel-config anchors), and every peer is
+	// configured with the *other* organizations' anchors so its leader can
+	// fetch missing blocks from them when the ordering service goes
+	// silent. Off by default: single-org networks and orderer-only
+	// recovery behave exactly as before.
+	AnchorRecovery bool
+	// AnchorsPerOrg is how many anchor peers each organization publishes
+	// (default 1; capped at the organization's size).
+	AnchorsPerOrg int
+	// AnchorInterval is each leader's anchor probe period while the
+	// orderer is silent (default 2s).
+	AnchorInterval time.Duration
+	// OrdererStall is how long without an orderer delivery before a
+	// leader starts probing anchors (default 5s).
+	OrdererStall time.Duration
+
+	// WANDelay, when positive, separates every organization — and the
+	// ordering service — onto its own WAN site: messages between nodes of
+	// different organizations (or between the orderer and any peer) pay
+	// this much extra one-way latency on top of the LAN model, via the
+	// transport's O(1)-per-send site assignment. Intra-org traffic stays
+	// on the LAN.
+	WANDelay time.Duration
 }
 
 func (p NetworkParams) withDefaults() NetworkParams {
@@ -67,6 +93,15 @@ func (p NetworkParams) withDefaults() NetworkParams {
 	}
 	if p.TTLDirect == 0 {
 		p.TTLDirect = 2
+	}
+	if p.AnchorsPerOrg == 0 {
+		p.AnchorsPerOrg = 1
+	}
+	if p.AnchorInterval == 0 {
+		p.AnchorInterval = 2 * time.Second
+	}
+	if p.OrdererStall == 0 {
+		p.OrdererStall = 5 * time.Second
 	}
 	return p
 }
@@ -114,9 +149,10 @@ type Network struct {
 	onCore    func(global int, c *gossip.Core)
 	onDeliver func(org, peer int, b *ledger.Block, redelivery bool)
 
-	eps     []*transport.SimEndpoint
-	crashed []bool
-	orgOf   []int // global peer index -> org index
+	eps         []*transport.SimEndpoint
+	crashed     []bool
+	orgOf       []int // global peer index -> org index
+	ordererDown bool
 
 	// Ordering-service state: the cut chain plus, per organization, the
 	// next chain position to stream, the last leader streamed to, and the
@@ -224,6 +260,9 @@ func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
 		}
 	}
 	n.Orderer = n.Net.AddNode()
+	if p.WANDelay > 0 {
+		n.applyWAN(p.WANDelay)
+	}
 	n.nextIdx = make([]int, len(n.Orgs))
 	n.highWater = make([]int, len(n.Orgs))
 	n.lastLead = make([]int, len(n.Orgs))
@@ -240,6 +279,11 @@ func (n *Network) buildCore(global int) *gossip.Core {
 	d := n.Orgs[n.orgOf[global]]
 	ep := n.eps[global]
 	cfg := gossip.DefaultConfig(ep.ID(), d.Peers)
+	if n.Params.AnchorRecovery {
+		cfg.AnchorPeers = n.remoteAnchors(d.Index)
+		cfg.AnchorInterval = n.Params.AnchorInterval
+		cfg.OrdererStall = n.Params.OrdererStall
+	}
 	if n.tune != nil {
 		n.tune(ep.ID(), &cfg)
 	}
@@ -255,6 +299,59 @@ func (n *Network) buildCore(global int) *gossip.Core {
 		n.onCore(global, core)
 	}
 	return core
+}
+
+// OrgAnchors returns an organization's published anchor peers: its
+// AnchorsPerOrg lowest-indexed members (Fabric designates anchors in the
+// channel configuration; the lowest indices are this harness's stable
+// choice).
+func (n *Network) OrgAnchors(org int) []wire.NodeID {
+	d := n.Orgs[org]
+	k := n.Params.AnchorsPerOrg
+	if k > len(d.Peers) {
+		k = len(d.Peers)
+	}
+	return d.Peers[:k]
+}
+
+// remoteAnchors collects every other organization's anchor peers, in org
+// order — the cross-org fetch targets for a member of org.
+func (n *Network) remoteAnchors(org int) []wire.NodeID {
+	var out []wire.NodeID
+	for o := range n.Orgs {
+		if o == org {
+			continue
+		}
+		out = append(out, n.OrgAnchors(o)...)
+	}
+	return out
+}
+
+// applyWAN assigns every organization — and the ordering service — its own
+// WAN site on the transport, so any message crossing a site boundary pays
+// the delay. Site assignment is O(N); the per-message cost is one array
+// compare, so intra-org LAN traffic keeps its fast path even at
+// thousand-peer scale (a per-link override mesh would be O(N^2) map
+// entries probed on every send).
+func (n *Network) applyWAN(d time.Duration) {
+	for g := range n.Cores {
+		n.Net.SetNodeSite(wire.NodeID(g), n.orgOf[g])
+	}
+	n.Net.SetNodeSite(n.Orderer.ID(), len(n.Orgs))
+	n.Net.SetSiteDelay(d)
+}
+
+// SetInterOrgDelay adds (or, with d <= 0, removes) extra one-way latency on
+// every directed link between two organizations — a single WAN segment,
+// finer-grained than NetworkParams.WANDelay.
+func (n *Network) SetInterOrgDelay(orgA, orgB int, d time.Duration) {
+	da, db := n.Orgs[orgA], n.Orgs[orgB]
+	for a := da.Lo; a < da.Hi; a++ {
+		for b := db.Lo; b < db.Hi; b++ {
+			n.Net.SetLinkExtraDelay(wire.NodeID(a), wire.NodeID(b), d)
+			n.Net.SetLinkExtraDelay(wire.NodeID(b), wire.NodeID(a), d)
+		}
+	}
 }
 
 // TotalPeers returns the peer count across all organizations.
@@ -319,6 +416,38 @@ func (n *Network) Restart(global int) *gossip.Core {
 
 // Crashed reports whether the peer at the given global index is crashed.
 func (n *Network) Crashed(global int) bool { return n.crashed[global] }
+
+// CrashOrderer fails the ordering service: its endpoint goes silent, every
+// organization's deliver stream dies with it, and no blocks reach any
+// leader until RestartOrderer. With AnchorRecovery enabled, organizations
+// that fall behind can still catch up through remote anchor peers — the
+// paper-external scenario this harness models after Fabric's deliver
+// fallback. No-op if already crashed.
+func (n *Network) CrashOrderer() {
+	if n.ordererDown {
+		return
+	}
+	n.ordererDown = true
+	n.Net.SetNodeDown(n.Orderer.ID(), true)
+	for org := range n.lastLead {
+		n.lastLead[org] = -1 // every deliver session dies with the orderer
+	}
+}
+
+// RestartOrderer revives a crashed ordering service; its chain state is
+// durable, so the next pump resumes each organization's stream (rewinding
+// to the current leader's height). No-op if not crashed.
+func (n *Network) RestartOrderer() {
+	if !n.ordererDown {
+		return
+	}
+	n.ordererDown = false
+	n.Net.SetNodeDown(n.Orderer.ID(), false)
+	n.pumpAll()
+}
+
+// OrdererCrashed reports whether the ordering service is currently down.
+func (n *Network) OrdererCrashed() bool { return n.ordererDown }
 
 // LiveCount returns the number of non-crashed peers across the network.
 func (n *Network) LiveCount() int {

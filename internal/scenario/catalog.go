@@ -18,11 +18,37 @@ type Def struct {
 	// means the entry runs on any topology. RunNamed bumps the requested
 	// org count up to it automatically.
 	MinOrgs int
-	Build   func(top Topology) Scenario
+	// Sizes, when set, shapes the requested total peer count into an
+	// explicit per-org layout (asymmetric consortiums), overriding the
+	// uniform Peers/Orgs split. RunNamed feeds the result through
+	// Options.OrgSizes unless the caller already set their own.
+	Sizes func(totalPeers int) []int
+	Build func(top Topology) Scenario
 }
 
 // catalog holds the built-in scenarios, keyed by name.
 var catalog = map[string]Def{}
+
+// asymConsortiumSizes splits a total peer count into the asymmetric 3-org
+// layout of org-asym-consortium: roughly half the peers in the datacenter
+// organization, the rest split 3:2 across the two branches, every
+// organization at least 2 peers. 20 peers become 10+6+4.
+func asymConsortiumSizes(total int) []int {
+	if total < 6 {
+		total = 6
+	}
+	a := total / 2
+	b := (total - a) * 3 / 5
+	c := total - a - b
+	if b < 2 {
+		b = 2
+	}
+	if c < 2 {
+		c = 2
+	}
+	a = total - b - c
+	return []int{a, b, c}
+}
 
 func register(d Def) {
 	catalog[d.Name] = d
@@ -204,7 +230,7 @@ func init() {
 			"re-streams the backlog and intra-org gossip closes the gaps",
 		MinOrgs: 2,
 		Build: func(top Topology) Scenario {
-			victim := top.Orgs - 1
+			victim := top.Orgs() - 1
 			return Scenario{
 				Blocks:        8,
 				BlockInterval: 400 * time.Millisecond,
@@ -243,12 +269,60 @@ func init() {
 			"plus intra-org recovery (deep catch-up)",
 		MinOrgs: 2,
 		Build: func(top Topology) Scenario {
-			victim := top.Orgs - 1
+			victim := top.Orgs() - 1
 			return Scenario{
 				Blocks:        12,
 				BlockInterval: 300 * time.Millisecond,
 				Warmup:        time.Second,
 				Tail:          45 * time.Second,
+				InitialDown:   top.OrgSpan(victim),
+				Events: []Event{
+					{At: 4 * time.Second, Action: RestartOrg{Org: victim}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "org-outage-orderer-down",
+		Description: "an entire organization crashes mid-dissemination, then the " +
+			"ordering service itself dies; the org restarts cold with the orderer " +
+			"still down and recovers every block through remote orgs' anchor peers " +
+			"over WAN links (cross-org state transfer)",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			victim := top.Orgs() - 1
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 300 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          45 * time.Second,
+				// The whole point of the entry: the only way back for the
+				// victim organization is the anchor-peer path, with realistic
+				// inter-site latency on every cross-org hop.
+				AnchorRecovery: true,
+				WANDelay:       20 * time.Millisecond,
+				Events: []Event{
+					{At: 1500 * time.Millisecond, Action: CrashOrg{Org: victim}},
+					{At: 5 * time.Second, Action: CrashOrderer{}},
+					{At: 8 * time.Second, Action: RestartOrg{Org: victim}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "org-asym-consortium",
+		Description: "an asymmetric consortium — one datacenter organization and " +
+			"two much smaller branches; the smallest branch cold-joins mid-run and " +
+			"must catch up from zero while the big org's epidemic dominates traffic",
+		MinOrgs: 3,
+		Sizes:   asymConsortiumSizes,
+		Build: func(top Topology) Scenario {
+			victim := top.Orgs() - 1 // the smallest branch
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 300 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          40 * time.Second,
 				InitialDown:   top.OrgSpan(victim),
 				Events: []Event{
 					{At: 4 * time.Second, Action: RestartOrg{Org: victim}},
@@ -263,7 +337,7 @@ func init() {
 			"per-org report compares both epidemics side by side",
 		MinOrgs: 2,
 		Build: func(top Topology) Scenario {
-			variants := make([]harness.Variant, top.Orgs)
+			variants := make([]harness.Variant, top.Orgs())
 			for o := range variants {
 				if o%2 == 0 {
 					variants[o] = harness.VariantOriginal

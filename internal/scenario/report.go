@@ -83,6 +83,16 @@ type Report struct {
 	TotalBytes uint64
 	Overhead   float64
 
+	// SyncBytes and SyncMessages attribute the recovery plane's share of
+	// the traffic: StateRequest plus StateResponse bytes and message
+	// counts (the statesync engine's fetch/serve volume, including any
+	// cross-org anchor transfers). They are deterministic per seed but
+	// deliberately excluded from String — and therefore from Fingerprint —
+	// so their introduction does not move the checked-in fingerprints of
+	// pre-existing catalog entries. TotalBytes already covers them.
+	SyncBytes    uint64
+	SyncMessages uint64
+
 	// EngineEvents is the number of discrete events the engine executed.
 	EngineEvents uint64
 

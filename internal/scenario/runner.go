@@ -20,6 +20,10 @@ type Options struct {
 	// Orgs is the organization count (default 1). Multi-org catalog
 	// entries (Def.MinOrgs > 1) bump it to their minimum automatically.
 	Orgs int
+	// OrgSizes, when set, overrides Peers/Orgs with an explicit per-org
+	// layout (asymmetric consortiums). Each entry needs at least 2 peers.
+	// Catalog entries with a Sizes shaper populate it from Peers.
+	OrgSizes []int
 	// Variant selects the protocol under test (default VariantEnhanced).
 	// A scenario's OrgVariants override it per organization.
 	Variant harness.Variant
@@ -56,6 +60,16 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) topology() (Topology, error) {
+	if len(o.OrgSizes) > 0 {
+		sizes := make([]int, len(o.OrgSizes))
+		for i, s := range o.OrgSizes {
+			if s < 2 {
+				return Topology{}, fmt.Errorf("scenario: org %d has %d peers, need at least 2", i, s)
+			}
+			sizes[i] = s
+		}
+		return Topology{Sizes: sizes}, nil
+	}
 	if o.Orgs < 1 {
 		return Topology{}, fmt.Errorf("scenario: need at least 1 org, got %d", o.Orgs)
 	}
@@ -66,7 +80,7 @@ func (o Options) topology() (Topology, error) {
 	if per < 2 {
 		return Topology{}, fmt.Errorf("scenario: %d peers per org, need at least 2", per)
 	}
-	return Topology{Orgs: o.Orgs, PeersPerOrg: per}, nil
+	return Uniform(o.Orgs, per), nil
 }
 
 // runner is the per-run mutable state behind the fault actions and
@@ -110,6 +124,17 @@ func RunNamed(name string, opt Options) (*Report, error) {
 	if opt.Orgs < def.MinOrgs {
 		opt.Orgs = def.MinOrgs
 	}
+	if def.Sizes != nil && len(opt.OrgSizes) == 0 {
+		opt.OrgSizes = def.Sizes(opt.Peers)
+	}
+	// An explicit layout bypasses the Peers/Orgs split entirely, so it must
+	// satisfy the entry's org minimum itself — org-targeted scripts would
+	// otherwise run on degenerate topologies (e.g. the "remote org" being
+	// the whole network) and report nonsense instead of failing.
+	if len(opt.OrgSizes) > 0 && len(opt.OrgSizes) < def.MinOrgs {
+		return nil, fmt.Errorf("%s: %d org sizes given, scenario needs at least %d organizations",
+			name, len(opt.OrgSizes), def.MinOrgs)
+	}
 	top, err := opt.topology()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -147,9 +172,9 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 			}
 		}
 		for _, o := range actionOrgs(ev.Action) {
-			if o < 0 || o >= top.Orgs {
+			if o < 0 || o >= top.Orgs() {
 				return nil, fmt.Errorf("scenario: event %q at %v names org %d, outside [0, %d)",
-					ev.Action, ev.At, o, top.Orgs)
+					ev.Action, ev.At, o, top.Orgs())
 			}
 		}
 		if split, ok := ev.Action.(PartitionSplit); ok && (split.Split <= 0 || split.Split >= top.Total()) {
@@ -163,16 +188,16 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		opt:        opt,
 		top:        top,
 		rec:        metrics.NewRecoveryRecorder(),
-		orgRecs:    make([]*metrics.RecoveryRecorder, top.Orgs),
+		orgRecs:    make([]*metrics.RecoveryRecorder, top.Orgs()),
 		lat:        metrics.NewGroupedLatency(),
 		seen:       make(map[uint64]bool),
-		orgSeen:    make([]map[uint64]bool, top.Orgs),
-		orgStart:   make([]map[uint64]time.Duration, top.Orgs),
+		orgSeen:    make([]map[uint64]bool, top.Orgs()),
+		orgStart:   make([]map[uint64]time.Duration, top.Orgs()),
 		lastCommit: make([]int64, top.Total()),
 		restartAt:  make([]time.Duration, top.Total()),
 		recovering: make([]bool, top.Total()),
 	}
-	for o := 0; o < top.Orgs; o++ {
+	for o := 0; o < top.Orgs(); o++ {
 		r.orgRecs[o] = metrics.NewRecoveryRecorder()
 		r.orgSeen[o] = make(map[uint64]bool)
 		r.orgStart[o] = make(map[uint64]time.Duration)
@@ -183,9 +208,9 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 
 	// One spec per organization; a scenario's OrgVariants pin protocols
 	// per org, everything else inherits the run's variant.
-	specs := make([]harness.OrgSpec, top.Orgs)
+	specs := make([]harness.OrgSpec, top.Orgs())
 	for o := range specs {
-		specs[o] = harness.OrgSpec{Peers: top.PeersPerOrg}
+		specs[o] = harness.OrgSpec{Peers: top.Size(o)}
 		if o < len(sc.OrgVariants) && sc.OrgVariants[o] != "" {
 			specs[o].Variant = sc.OrgVariants[o]
 		}
@@ -195,6 +220,11 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		Variant: opt.Variant,
 		Orgs:    specs,
 		Bucket:  time.Second,
+		// The recovery-plane extensions are scenario-scripted: anchors and
+		// WAN separation only exist when the scenario asks for them, so
+		// every pre-existing script runs byte-identically.
+		AnchorRecovery: sc.AnchorRecovery,
+		WANDelay:       sc.WANDelay,
 	},
 		// Fault handling wants faster membership and recovery turnarounds
 		// than the paper's fault-free 10 s defaults.
@@ -285,7 +315,7 @@ func (r *runner) onDeliver(org, peer int, b *ledger.Block, redelivery bool) {
 			r.seen[b.Num] = true
 			r.injected++
 		}
-		if r.top.Orgs == 1 {
+		if r.top.Orgs() == 1 {
 			r.tracef("deliver block %d -> peer %d", b.Num, peer)
 		} else {
 			r.tracef("deliver block %d -> org %d peer %d", b.Num, org, peer)
@@ -293,7 +323,7 @@ func (r *runner) onDeliver(org, peer int, b *ledger.Block, redelivery bool) {
 		return
 	}
 	if redelivery {
-		if r.top.Orgs == 1 {
+		if r.top.Orgs() == 1 {
 			r.tracef("redeliver block %d -> peer %d", b.Num, peer)
 		} else {
 			r.tracef("redeliver block %d -> org %d peer %d", b.Num, org, peer)
@@ -380,8 +410,8 @@ func (r *runner) isolateOrgs(orgs []int) {
 	}
 	main := make([]wire.NodeID, 0, r.top.Total()+1)
 	groups := make([][]wire.NodeID, 1, len(orgs)+1)
-	for o := 0; o < r.top.Orgs; o++ {
-		ids := make([]wire.NodeID, 0, r.top.PeersPerOrg)
+	for o := 0; o < r.top.Orgs(); o++ {
+		ids := make([]wire.NodeID, 0, r.top.Size(o))
 		for _, i := range r.top.OrgSpan(o) {
 			ids = append(ids, wire.NodeID(i))
 		}
@@ -407,12 +437,16 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		Scenario:       r.sc.Name,
 		Variant:        string(r.opt.Variant),
 		Peers:          r.top.Total(),
-		Orgs:           r.top.Orgs,
+		Orgs:           r.top.Orgs(),
 		Seed:           r.opt.Seed,
 		BlocksInjected: r.injected,
 		Transitions:    r.transitions,
 		EngineEvents:   r.net.Engine.Executed(),
 		TotalBytes:     r.net.Traffic.TotalBytes(),
+		SyncBytes: r.net.Traffic.BytesOf(wire.TypeStateRequest) +
+			r.net.Traffic.BytesOf(wire.TypeStateResponse),
+		SyncMessages: r.net.Traffic.CountOf(wire.TypeStateRequest) +
+			r.net.Traffic.CountOf(wire.TypeStateResponse),
 		Recoveries:     metrics.Summarize(r.rec.Distribution()),
 		Latency:        metrics.Summarize(r.lat.All().All()),
 		Trace:          r.trace,
@@ -422,11 +456,11 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		blockBytes = wire.BlockEncodedSize(blocks[0])
 		rep.BlockBytes = blockBytes
 	}
-	for o := 0; o < r.top.Orgs; o++ {
+	for o := 0; o < r.top.Orgs(); o++ {
 		or := OrgReport{
 			Org:       o,
 			Variant:   string(r.net.Orgs[o].Variant),
-			Peers:     r.top.PeersPerOrg,
+			Peers:     r.top.Size(o),
 			Delivered: len(r.orgSeen[o]),
 			Recovery:  metrics.Summarize(r.orgRecs[o].Distribution()),
 			Latency:   metrics.Summarize(r.lat.Group(o).All()),
@@ -450,7 +484,7 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		// Per-org overhead relates bytes entering the organization's NICs
 		// to the ideal minimum of every delivered block reaching each
 		// member exactly once (the leader's copy arrives from the orderer).
-		or.Overhead = metrics.OverheadRatio(inBytes, blockBytes, r.top.PeersPerOrg, or.Delivered)
+		or.Overhead = metrics.OverheadRatio(inBytes, blockBytes, r.top.Size(o), or.Delivered)
 		rep.Survivors += or.Survivors
 		rep.CaughtUp += or.CaughtUp
 		rep.PendingRecoveries += or.PendingRecoveries

@@ -59,6 +59,17 @@ type Scenario struct {
 	// missing entries inherit the run's variant.
 	OrgVariants []harness.Variant
 
+	// AnchorRecovery enables cross-organization state transfer through
+	// anchor peers (harness.NetworkParams.AnchorRecovery): when the
+	// ordering service goes silent, an organization's leader fetches
+	// missing blocks from remote orgs' anchors. Off by default, so
+	// pre-existing scripts are unaffected.
+	AnchorRecovery bool
+	// WANDelay separates each organization (and the ordering service)
+	// onto its own WAN site with this much extra one-way inter-site
+	// latency. Zero keeps the single shared LAN.
+	WANDelay time.Duration
+
 	Events []Event
 }
 
@@ -168,6 +179,25 @@ func (a IsolateOrgs) apply(r *runner) { r.isolateOrgs(a.Orgs) }
 func (a IsolateOrgs) String() string {
 	return fmt.Sprintf("isolate orgs %v", a.Orgs)
 }
+
+// CrashOrderer fails the ordering service itself: every organization's
+// deliver stream dies and no new blocks enter any organization until
+// RestartOrderer. Combined with an org-wide crash, this is the outage the
+// anchor-peer recovery path exists for — without AnchorRecovery the downed
+// organization can never catch up.
+type CrashOrderer struct{}
+
+func (a CrashOrderer) apply(r *runner) { r.net.CrashOrderer() }
+
+func (a CrashOrderer) String() string { return "crash orderer" }
+
+// RestartOrderer revives a crashed ordering service; its durable chain
+// resumes streaming to each organization's current leader.
+type RestartOrderer struct{}
+
+func (a RestartOrderer) apply(r *runner) { r.net.RestartOrderer() }
+
+func (a RestartOrderer) String() string { return "restart orderer" }
 
 // RestartPeers revives the listed peers with fresh cores and empty block
 // stores: the rejoin-with-catchup path through state info + recovery.

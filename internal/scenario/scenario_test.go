@@ -18,7 +18,11 @@ func TestCatalogHasAtLeastFiveScenarios(t *testing.T) {
 			t.Fatalf("incomplete catalog entry %+v", d)
 		}
 		orgs := max(1, d.MinOrgs)
-		sc := d.Build(Topology{Orgs: orgs, PeersPerOrg: 40 / orgs})
+		top := Uniform(orgs, 40/orgs)
+		if d.Sizes != nil {
+			top = Topology{Sizes: d.Sizes(40)}
+		}
+		sc := d.Build(top)
 		if sc.Blocks <= 0 || sc.BlockInterval <= 0 {
 			t.Fatalf("%s: no workload", d.Name)
 		}

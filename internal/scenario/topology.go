@@ -1,35 +1,92 @@
 package scenario
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
-// Topology describes the organization layout a scenario runs on: Orgs
-// organizations of PeersPerOrg peers each, with global dense peer indices
-// (org o owns [o*PeersPerOrg, (o+1)*PeersPerOrg)). The single-org layout of
-// the original catalog is Topology{Orgs: 1, PeersPerOrg: n}.
+// Topology describes the organization layout a scenario runs on: Sizes[o]
+// is organization o's peer count, and global peer indices are dense in org
+// order (org 0 owns [0, Sizes[0]), org 1 the next Sizes[1] indices, ...).
+// Organizations need not be the same size — asymmetric consortiums (one
+// datacenter org, several small branches) are first-class. The single-org
+// layout of the original catalog is Uniform(1, n).
 type Topology struct {
-	Orgs        int
-	PeersPerOrg int
+	Sizes []int
 }
 
+// Uniform returns the homogeneous layout: orgs organizations of per peers.
+func Uniform(orgs, per int) Topology {
+	sizes := make([]int, orgs)
+	for i := range sizes {
+		sizes[i] = per
+	}
+	return Topology{Sizes: sizes}
+}
+
+// Orgs returns the organization count.
+func (t Topology) Orgs() int { return len(t.Sizes) }
+
+// Size returns organization org's peer count.
+func (t Topology) Size(org int) int { return t.Sizes[org] }
+
 // Total returns the network-wide peer count.
-func (t Topology) Total() int { return t.Orgs * t.PeersPerOrg }
+func (t Topology) Total() int {
+	n := 0
+	for _, s := range t.Sizes {
+		n += s
+	}
+	return n
+}
 
 // OrgOf returns the organization index owning a global peer index.
-func (t Topology) OrgOf(global int) int { return global / t.PeersPerOrg }
+func (t Topology) OrgOf(global int) int {
+	for o, s := range t.Sizes {
+		if global < s {
+			return o
+		}
+		global -= s
+	}
+	return len(t.Sizes) - 1
+}
 
 // OrgLo returns the first global peer index of an organization.
-func (t Topology) OrgLo(org int) int { return org * t.PeersPerOrg }
+func (t Topology) OrgLo(org int) int {
+	lo := 0
+	for o := 0; o < org; o++ {
+		lo += t.Sizes[o]
+	}
+	return lo
+}
 
 // OrgHi returns one past the last global peer index of an organization.
-func (t Topology) OrgHi(org int) int { return (org + 1) * t.PeersPerOrg }
+func (t Topology) OrgHi(org int) int { return t.OrgLo(org) + t.Sizes[org] }
 
 // OrgSpan returns the organization's global peer indices.
 func (t Topology) OrgSpan(org int) []int { return span(t.OrgLo(org), t.OrgHi(org)) }
 
-// String renders the layout, e.g. "4 orgs x 250 peers".
-func (t Topology) String() string {
-	if t.Orgs == 1 {
-		return fmt.Sprintf("%d peers", t.PeersPerOrg)
+// Uniform reports whether every organization has the same size.
+func (t Topology) IsUniform() bool {
+	for _, s := range t.Sizes[1:] {
+		if s != t.Sizes[0] {
+			return false
+		}
 	}
-	return fmt.Sprintf("%d orgs x %d peers", t.Orgs, t.PeersPerOrg)
+	return true
+}
+
+// String renders the layout, e.g. "4 orgs x 250 peers" or
+// "3 orgs (10+6+4 peers)".
+func (t Topology) String() string {
+	if t.Orgs() == 1 {
+		return fmt.Sprintf("%d peers", t.Sizes[0])
+	}
+	if t.IsUniform() {
+		return fmt.Sprintf("%d orgs x %d peers", t.Orgs(), t.Sizes[0])
+	}
+	parts := make([]string, len(t.Sizes))
+	for i, s := range t.Sizes {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return fmt.Sprintf("%d orgs (%s peers)", t.Orgs(), strings.Join(parts, "+"))
 }

@@ -27,9 +27,16 @@ type SimNetwork struct {
 	// group boundaries are dropped. nil means no partition is active.
 	partition map[wire.NodeID]int
 	// linkExtra/nodeExtra add latency on top of the network model
-	// (slow-link and straggler-node faults, WAN segments).
+	// (slow-link and straggler-node faults, single WAN segments).
 	linkExtra map[[2]wire.NodeID]time.Duration
 	nodeExtra map[wire.NodeID]time.Duration
+	// sites/siteDelay model WAN separation without per-link state: every
+	// node belongs to a site (dense-id indexed; default site 0), and a
+	// message crossing a site boundary pays siteDelay extra one-way
+	// latency. An O(1) array compare per send instead of the O(n^2) link
+	// override map a full WAN mesh would need.
+	sites     []int
+	siteDelay time.Duration
 	// lossExempt message types skip the uniform drop rate: they model
 	// reliable streams (e.g. the ordering service's delivery gRPC) whose
 	// retransmissions mask transient loss. Partitions and crashed nodes
@@ -145,6 +152,32 @@ func (n *SimNetwork) SetNodeExtraDelay(id wire.NodeID, d time.Duration) {
 	}
 }
 
+// SetNodeSite assigns the node to a WAN site. Nodes default to site 0;
+// messages between different sites pay the SetSiteDelay latency.
+func (n *SimNetwork) SetNodeSite(id wire.NodeID, site int) {
+	for len(n.sites) <= int(id) {
+		n.sites = append(n.sites, 0)
+	}
+	n.sites[id] = site
+}
+
+// SetSiteDelay sets the extra one-way latency every message crossing a
+// site boundary pays. d <= 0 disables site-based delays.
+func (n *SimNetwork) SetSiteDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n.siteDelay = d
+}
+
+// siteOf returns the node's WAN site (default 0).
+func (n *SimNetwork) siteOf(id wire.NodeID) int {
+	if int(id) < len(n.sites) {
+		return n.sites[id]
+	}
+	return 0
+}
+
 // Reachable reports whether a message from -> to would currently be
 // delivered, ignoring probabilistic loss: the destination exists, neither
 // endpoint is down, the link is up and no partition separates them.
@@ -186,6 +219,9 @@ func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 	}
 	if len(n.nodeExtra) > 0 {
 		delay += n.nodeExtra[from] + n.nodeExtra[to]
+	}
+	if n.siteDelay > 0 && n.siteOf(from) != n.siteOf(to) {
+		delay += n.siteDelay
 	}
 	n.engine.AfterMsg(delay, n.deliverFn, uint64(from), uint64(to), msg)
 	return nil

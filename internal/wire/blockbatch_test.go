@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"fabricgossip/internal/ledger"
+)
+
+// A frozen batch must be a pure transmission-cost optimization: identical
+// bytes, identical EncodedSize, before and after Freeze.
+func TestBlockBatchFreezeIsByteIdentical(t *testing.T) {
+	blocks := []*ledger.Block{testBlock(1, 3), testBlock(2, 2), testBlock(3, 1)}
+	cold := &StateResponse{Batch: NewBlockBatch(blocks)}
+	coldBytes := Marshal(cold)
+	if got := cold.EncodedSize(); got != len(coldBytes) {
+		t.Fatalf("unfrozen EncodedSize = %d, Marshal produced %d bytes", got, len(coldBytes))
+	}
+
+	hot := &StateResponse{Batch: NewBlockBatch(blocks).Freeze()}
+	hotBytes := Marshal(hot)
+	if !bytes.Equal(coldBytes, hotBytes) {
+		t.Fatal("frozen batch marshals differently from unfrozen")
+	}
+	if got := hot.EncodedSize(); got != len(hotBytes) {
+		t.Fatalf("frozen EncodedSize = %d, Marshal produced %d bytes", got, len(hotBytes))
+	}
+
+	// Freeze is idempotent and Marshal does not thaw.
+	hot.Batch.Freeze()
+	if !bytes.Equal(Marshal(hot), coldBytes) {
+		t.Fatal("double freeze changed the encoding")
+	}
+	if !hot.Batch.Frozen() || cold.Batch.Frozen() {
+		t.Fatal("Frozen flags wrong")
+	}
+}
+
+func TestStateResponseRoundTrip(t *testing.T) {
+	blocks := []*ledger.Block{testBlock(5, 2), testBlock(6, 4)}
+	out := Marshal(&StateResponse{Batch: NewBlockBatch(blocks).Freeze()})
+	m, err := Unmarshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := m.(*StateResponse)
+	if !ok {
+		t.Fatalf("decoded %T", m)
+	}
+	got := resp.Blocks()
+	if len(got) != len(blocks) {
+		t.Fatalf("decoded %d blocks, want %d", len(got), len(blocks))
+	}
+	for i, b := range got {
+		if b.Num != blocks[i].Num || len(b.Txs) != len(blocks[i].Txs) {
+			t.Fatalf("block %d decoded as num=%d txs=%d", i, b.Num, len(b.Txs))
+		}
+	}
+	// The decoded batch re-encodes canonically whether or not re-frozen.
+	if !bytes.Equal(Marshal(resp), out) {
+		t.Fatal("decoded response re-encodes differently")
+	}
+	resp.Batch.Freeze()
+	if !bytes.Equal(Marshal(resp), out) {
+		t.Fatal("re-frozen decoded response re-encodes differently")
+	}
+}
+
+// Corrupt batch framings must be rejected with an error, never accepted or
+// panicking: count promising more blocks than present, truncation inside a
+// block body, and trailing bytes after a complete batch.
+func TestStateResponseCorruptInputs(t *testing.T) {
+	good := Marshal(&StateResponse{Batch: NewBlockBatch(
+		[]*ledger.Block{testBlock(1, 2), testBlock(2, 1)}).Freeze()})
+	cases := map[string][]byte{
+		"missing count":    {byte(TypeStateResponse)},
+		"absurd count":     {byte(TypeStateResponse), 0xff},
+		"count no bodies":  good[:2],
+		"truncated body":   good[:len(good)-3],
+		"trailing garbage": append(append([]byte{}, good...), 0x01),
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+// A nil batch and an empty batch both encode as the canonical empty
+// response and decode back to zero blocks.
+func TestStateResponseEmptyForms(t *testing.T) {
+	for name, m := range map[string]*StateResponse{
+		"nil batch":   {},
+		"empty batch": {Batch: NewBlockBatch(nil)},
+		"frozen nil":  {Batch: NewBlockBatch(nil).Freeze()},
+	} {
+		out := Marshal(m)
+		if m.EncodedSize() != len(out) {
+			t.Fatalf("%s: EncodedSize %d != %d", name, m.EncodedSize(), len(out))
+		}
+		dec, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := dec.(*StateResponse).Blocks(); len(got) != 0 {
+			t.Fatalf("%s: decoded %d blocks", name, len(got))
+		}
+	}
+}

@@ -58,7 +58,7 @@ func allMessages() []Message {
 		&PullData{Nonce: 42, Block: blk},
 		&StateInfo{Height: 123456},
 		&StateRequest{From: 10, To: 20},
-		&StateResponse{Blocks: []*ledger.Block{testBlock(1, 2), testBlock(2, 1)}},
+		&StateResponse{Batch: NewBlockBatch([]*ledger.Block{testBlock(1, 2), testBlock(2, 1)})},
 		&Alive{Seq: 9, Meta: []byte("peer0@orgA")},
 		&RaftVoteRequest{Term: 3, Candidate: 2, LastLogIndex: 99, LastLogTerm: 2},
 		&RaftVoteResponse{Term: 3, Granted: true},

@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"fabricgossip/internal/ledger"
 )
 
 // FuzzUnmarshal fuzzes the wire codec's decode path: any input must either
@@ -25,6 +27,18 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{byte(maxMsgType)})              // just past the last type
 	f.Add([]byte{byte(TypeStateResponse), 0xff}) // absurd block count
 	f.Add(bytes.Repeat([]byte{0x80}, 32))        // unterminated varint
+
+	// The StateResponse batch framing, frozen and corrupted: a frozen batch
+	// must marshal to exactly the bytes a fresh encode produces, and every
+	// truncation or count/payload mismatch must be rejected, not panic.
+	frozen := Marshal(&StateResponse{Batch: NewBlockBatch(
+		[]*ledger.Block{testBlock(3, 2), testBlock(4, 1)}).Freeze()})
+	f.Add(frozen)
+	f.Add(frozen[:len(frozen)-3])                    // truncated mid-batch
+	f.Add(frozen[:2])                                // count only, no bodies
+	f.Add([]byte{byte(TypeStateResponse)})           // missing count entirely
+	f.Add([]byte{byte(TypeStateResponse), 7, 0})     // count promises absent blocks
+	f.Add(append(append([]byte{}, frozen...), 0xAA)) // trailing garbage after batch
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Unmarshal(data)

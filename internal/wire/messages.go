@@ -205,8 +205,10 @@ type StateInfo struct {
 // Type implements Message.
 func (*StateInfo) Type() MsgType { return TypeStateInfo }
 
-// EncodedSize implements Message.
-func (m *StateInfo) EncodedSize() int { return encodedSize(m) }
+// EncodedSize implements Message. Hand-computed: the generic counting sink
+// escapes to the heap through the sink interface, and state metadata sits
+// on the allocation-free recovery hot path.
+func (m *StateInfo) EncodedSize() int { return 1 + uvarintLen(m.Height) }
 
 func (m *StateInfo) encode(s sink) { s.uvarint(m.Height) }
 
@@ -224,8 +226,11 @@ type StateRequest struct {
 // Type implements Message.
 func (*StateRequest) Type() MsgType { return TypeStateRequest }
 
-// EncodedSize implements Message.
-func (m *StateRequest) EncodedSize() int { return encodedSize(m) }
+// EncodedSize implements Message. Hand-computed for the same reason as
+// StateInfo: requests are sized on every recovery round trip.
+func (m *StateRequest) EncodedSize() int {
+	return 1 + uvarintLen(m.From) + uvarintLen(m.To)
+}
 
 func (m *StateRequest) encode(s sink) {
 	s.uvarint(m.From)
@@ -238,9 +243,83 @@ func decodeStateRequest(d *decoder) *StateRequest {
 	return m
 }
 
-// StateResponse returns a batch of consecutive blocks for recovery.
-type StateResponse struct {
+// BlockBatch is the payload of a StateResponse: an immutable run of
+// consecutive blocks together with (optionally) its cached encoding — the
+// length-prefixed batch framing, a uvarint block count followed by the
+// concatenated canonical block bodies. Blocks are immutable once cut, so a
+// serving peer freezes the batch once and every later transmission of the
+// same range reuses the cached bytes: the simulated transport sizes the
+// message from the cached length and the TCP transport appends the bytes
+// with one copy, with no per-request re-walk of the block trees.
+type BlockBatch struct {
 	Blocks []*ledger.Block
+
+	// enc is the frozen batch framing (count + bodies). nil until Freeze.
+	enc []byte
+}
+
+// NewBlockBatch wraps blocks in an unfrozen batch.
+func NewBlockBatch(blocks []*ledger.Block) *BlockBatch {
+	return &BlockBatch{Blocks: blocks}
+}
+
+// Freeze caches the batch's encoding so subsequent transmissions reuse it.
+// It is idempotent and returns the batch for chaining. The batch must not
+// be mutated after freezing.
+func (bb *BlockBatch) Freeze() *BlockBatch {
+	if bb.enc == nil {
+		s := &bufSink{buf: make([]byte, 0, bb.encodedLen())}
+		s.uvarint(uint64(len(bb.Blocks)))
+		for _, b := range bb.Blocks {
+			encodeBlock(s, b)
+		}
+		bb.enc = s.buf
+	}
+	return bb
+}
+
+// Frozen reports whether the batch's encoding is cached.
+func (bb *BlockBatch) Frozen() bool { return bb.enc != nil }
+
+// encodedLen returns the batch framing's length in bytes without encoding:
+// from the cache when frozen, otherwise from the per-block size cache.
+func (bb *BlockBatch) encodedLen() int {
+	if bb.enc != nil {
+		return len(bb.enc)
+	}
+	n := uvarintLen(uint64(len(bb.Blocks)))
+	for _, b := range bb.Blocks {
+		n += BlockEncodedSize(b)
+	}
+	return n
+}
+
+// encodeTo writes the batch framing: the frozen bytes verbatim, or a fresh
+// walk of the block trees when unfrozen. Both produce identical bytes.
+func (bb *BlockBatch) encodeTo(s sink) {
+	if bb.enc != nil {
+		s.bytes(bb.enc)
+		return
+	}
+	s.uvarint(uint64(len(bb.Blocks)))
+	for _, b := range bb.Blocks {
+		encodeBlock(s, b)
+	}
+}
+
+// StateResponse returns a batch of consecutive blocks for recovery. The
+// batch representation lets serving peers answer repeated requests for the
+// same range from a frozen encoding (see BlockBatch).
+type StateResponse struct {
+	Batch *BlockBatch
+}
+
+// Blocks returns the batch's blocks (nil-safe).
+func (m *StateResponse) Blocks() []*ledger.Block {
+	if m.Batch == nil {
+		return nil
+	}
+	return m.Batch.Blocks
 }
 
 // Type implements Message.
@@ -248,22 +327,22 @@ func (*StateResponse) Type() MsgType { return TypeStateResponse }
 
 // EncodedSize implements Message.
 func (m *StateResponse) EncodedSize() int {
-	n := 1 + uvarintLen(uint64(len(m.Blocks)))
-	for _, b := range m.Blocks {
-		n += BlockEncodedSize(b)
+	if m.Batch == nil {
+		return 1 + uvarintLen(0)
 	}
-	return n
+	return 1 + m.Batch.encodedLen()
 }
 
 func (m *StateResponse) encode(s sink) {
-	s.uvarint(uint64(len(m.Blocks)))
-	for _, b := range m.Blocks {
-		encodeBlock(s, b)
+	if m.Batch == nil {
+		s.uvarint(0)
+		return
 	}
+	m.Batch.encodeTo(s)
 }
 
 func decodeStateResponse(d *decoder) *StateResponse {
-	m := &StateResponse{}
+	m := &StateResponse{Batch: &BlockBatch{}}
 	n := d.uvarint("block count")
 	if d.err != nil {
 		return m
@@ -272,9 +351,9 @@ func decodeStateResponse(d *decoder) *StateResponse {
 		d.fail("block count")
 		return m
 	}
-	m.Blocks = make([]*ledger.Block, 0, n)
+	m.Batch.Blocks = make([]*ledger.Block, 0, n)
 	for i := uint64(0); i < n && d.err == nil; i++ {
-		m.Blocks = append(m.Blocks, decodeBlock(d))
+		m.Batch.Blocks = append(m.Batch.Blocks, decodeBlock(d))
 	}
 	return m
 }
