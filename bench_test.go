@@ -30,6 +30,7 @@ import (
 	"fabricgossip/internal/gossip/original"
 	"fabricgossip/internal/harness"
 	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/membership"
 	"fabricgossip/internal/metrics"
 	"fabricgossip/internal/netmodel"
 	"fabricgossip/internal/order"
@@ -347,6 +348,69 @@ func BenchmarkScenarioOrgAsymConsortium(b *testing.B) {
 	benchScenarioOrgs(b, "org-asym-consortium", 100, 3, harness.VariantEnhanced)
 }
 
+// BenchmarkScenarioViewConvergence1000 is the dense-membership acceptance
+// run: a cold thousand-peer organization under the SWIM extensions
+// (piggybacked events, probe-based suspicion, view shuffling) must
+// converge its views to >= 0.95 steady-state completeness. Beyond the
+// usual event fingerprint it exports the membership plane's own metrics:
+// view_completeness (either-drift: a drop means views went sparse, a rise
+// means the baseline was stale) and leader_convergence_ms (increase =
+// regression), both gated by cmd/benchdiff.
+func BenchmarkScenarioViewConvergence1000(b *testing.B) {
+	var events uint64
+	var compl, convMs float64
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunNamed("org-view-convergence", scenario.Options{
+			Peers: 1000, Variant: harness.VariantEnhanced, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CaughtUp != rep.Survivors {
+			b.Fatalf("%d of %d survivors caught up", rep.CaughtUp, rep.Survivors)
+		}
+		if rep.ViewCompleteness < 0.95 {
+			b.Fatalf("view completeness = %.3f at 1x1000, want >= 0.95", rep.ViewCompleteness)
+		}
+		events += rep.EngineEvents
+		compl = rep.ViewCompleteness
+		convMs = float64(rep.LeaderConvergence) / 1e6
+	}
+	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	reportMetric(b, compl, "view_completeness")
+	reportMetric(b, convMs, "leader_convergence_ms")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		reportMetric(b, float64(events)/secs, "events_per_s")
+	}
+}
+
+// BenchmarkScenarioFlappingMembers tracks the suspicion/refutation path
+// under sustained packet loss plus genuine churn (org-flapping-members):
+// the view must stay complete while lossy-but-live peers are refuted
+// rather than flapped through dead.
+func BenchmarkScenarioFlappingMembers(b *testing.B) {
+	var events uint64
+	var compl float64
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunNamed("org-flapping-members", scenario.Options{
+			Peers: 300, Variant: harness.VariantEnhanced, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CaughtUp != rep.Survivors {
+			b.Fatalf("%d of %d survivors caught up", rep.CaughtUp, rep.Survivors)
+		}
+		events += rep.EngineEvents
+		compl = rep.ViewCompleteness
+	}
+	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	reportMetric(b, compl, "view_completeness")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		reportMetric(b, float64(events)/secs, "events_per_s")
+	}
+}
+
 // BenchmarkMultiOrgDissemination measures the fault-free Figure 1 shape on
 // harness.Network directly: 4 orgs x 25 peers, per-org epidemics over a
 // shared LAN, reporting the aggregate p99.9 first-reception latency.
@@ -455,6 +519,70 @@ func BenchmarkRandomPeersReuse(b *testing.B) {
 		}
 	}
 	cycle() // grow the buffer once
+	reportMetric(b, testing.AllocsPerRun(2000, cycle), "allocs_op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+// BenchmarkMembershipLeader locks the leader-query contract: Leader walks
+// the sorted tracked slice and answers from the first live probe — no
+// allocation and no per-call sort, even over a thousand-peer view (the old
+// implementation allocated and sorted the full live list on every tick).
+// The allocs_op metric is gated by cmd/benchdiff.
+func BenchmarkMembershipLeader(b *testing.B) {
+	v := membership.New(membership.Config{Self: 500, Expiration: time.Hour}, nil)
+	for i := 0; i < 1000; i++ {
+		if i != 500 {
+			v.Observe(wire.NodeID(i), 1, 0)
+		}
+	}
+	now := time.Second
+	cycle := func() {
+		if v.Leader(now) != 0 {
+			b.Fatal("wrong leader")
+		}
+	}
+	reportMetric(b, testing.AllocsPerRun(2000, cycle), "allocs_op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+// BenchmarkMembershipPiggybackIdle locks the piggyback steady state: with
+// the SWIM extensions enabled but no pending rumors — a stable
+// organization — every ordinary send through the core costs one queue
+// check and allocates nothing beyond the raw delivery path. The allocs_op
+// metric is gated by cmd/benchdiff.
+func BenchmarkMembershipPiggybackIdle(b *testing.B) {
+	engine := sim.NewEngine(1)
+	model := netmodel.Model{PropMin: time.Microsecond, PropMax: 2 * time.Microsecond}
+	net := transport.NewSimNetwork(engine, model, netmodel.NewSimTraffic(time.Hour))
+	src := net.AddNode()
+	dst := net.AddNode()
+	cfg := gossip.DefaultConfig(src.ID(), []wire.NodeID{src.ID(), dst.ID()})
+	cfg.StateInfoInterval = 0
+	cfg.AliveInterval = 0
+	cfg.RecoveryInterval = 0
+	cfg.SuspectTimeout = 10 * time.Second
+	cfg.PiggybackMax = 32
+	cfg.ShuffleInterval = time.Hour // enabled, but never fires in the probe window
+	core := gossip.New(cfg, src, engine, engine.Rand("gossip"), original.New(original.Config{Fout: 1}))
+	msg := &wire.StateInfo{Height: 1}
+	cycle := func() {
+		core.Send(dst.ID(), msg)
+		engine.RunFor(10 * time.Microsecond)
+	}
+	for i := 0; i < 500; i++ {
+		cycle() // warm the event pool and drain any bootstrap rumors
+	}
+	if qs := core.MembershipStats(); qs.Queued != 0 {
+		b.Fatalf("rumor queue not drained: %+v", qs)
+	}
 	reportMetric(b, testing.AllocsPerRun(2000, cycle), "allocs_op")
 	b.ReportAllocs()
 	b.ResetTimer()

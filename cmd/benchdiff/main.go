@@ -20,6 +20,11 @@
 //	             the recovery plane, and shrinkage can mean transfers
 //	             silently stopped)
 //	conflicts_*  invalidated transactions, Table II (either direction fails)
+//	view_completeness      steady-state membership view density at 1x1000
+//	                       (either direction fails: a drop means views went
+//	                       sparse, a rise means the baseline was stale)
+//	leader_convergence_ms  time for every peer's leader belief to settle
+//	                       (increase = regression)
 //
 // Wall-clock-dependent units (events_per_s and anything else) vary with the
 // host, so they are printed for the trajectory but never gated. A gated
@@ -42,14 +47,16 @@ import (
 // increases; behavioral fingerprints (event and conflict counts) fail on
 // drift in either direction.
 var gatedUnits = map[string]gateMode{
-	"tail_ms":        gateIncrease,
-	"peer_MBps":      gateIncrease,
-	"allocs_op":      gateIncrease,
-	"sync_tail_ms":   gateIncrease,
-	"sim_events":     gateEither,
-	"sync_bytes":     gateEither,
-	"conflicts_orig": gateEither,
-	"conflicts_enh":  gateEither,
+	"tail_ms":               gateIncrease,
+	"peer_MBps":             gateIncrease,
+	"allocs_op":             gateIncrease,
+	"sync_tail_ms":          gateIncrease,
+	"leader_convergence_ms": gateIncrease,
+	"sim_events":            gateEither,
+	"sync_bytes":            gateEither,
+	"view_completeness":     gateEither,
+	"conflicts_orig":        gateEither,
+	"conflicts_enh":         gateEither,
 }
 
 type gateMode int

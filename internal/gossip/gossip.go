@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/membership"
 	"fabricgossip/internal/sim"
 	"fabricgossip/internal/statesync"
 	"fabricgossip/internal/transport"
@@ -71,6 +72,20 @@ type Config struct {
 	// last heartbeat. Zero defaults to 3x AliveInterval.
 	AliveExpiration time.Duration
 
+	// SuspectTimeout, PiggybackMax, PiggybackBudget, ShuffleInterval and
+	// ShuffleSample enable the SWIM-style membership extensions
+	// (internal/membership): lapsed peers become refutable suspects
+	// instead of dying immediately, membership rumors piggyback on every
+	// outgoing gossip message with per-rumor retransmit budgets, and a
+	// periodic shuffle exchanges view samples with a random live peer.
+	// All zero — the default — reproduces the legacy sparse heartbeat
+	// view exactly (no extra messages, no extra random draws).
+	SuspectTimeout  time.Duration
+	PiggybackMax    int
+	PiggybackBudget int
+	ShuffleInterval time.Duration
+	ShuffleSample   int
+
 	// RecoveryInterval is how often the peer checks whether it is behind
 	// the highest advertised ledger and fetches a batch of missing
 	// blocks. RecoveryBatch caps the range requested at once. Both feed
@@ -118,16 +133,30 @@ type Core struct {
 	rng   *sim.Rand
 	proto Protocol
 
-	mu         sync.Mutex
-	blocks     map[uint64]*ledger.Block
-	height     uint64 // next block needed for in-order delivery
-	highest    uint64 // highest block number stored (valid if hasAny)
-	hasAny     bool
-	membership *Membership
-	aliveSeq   uint64
-	timers     []sim.Timer
-	started    bool
-	stopped    bool
+	mu       sync.Mutex
+	blocks   map[uint64]*ledger.Block
+	height   uint64 // next block needed for in-order delivery
+	highest  uint64 // highest block number stored (valid if hasAny)
+	hasAny   bool
+	aliveSeq uint64
+	timers   []sim.Timer
+	started  bool
+	stopped  bool
+
+	// view is the membership plane (internal/membership): the live/dead
+	// state machine behind LivePeers, LeaderPeer and the statesync dead
+	// filter, plus — when configured — the SWIM piggyback/suspicion/
+	// shuffle machinery. It locks internally and is called with mu
+	// released.
+	view *membership.View
+	// shuffleRng is the membership plane's own random stream, seeded from
+	// the core stream once at construction (and only when shuffling is
+	// enabled, so legacy configurations consume the shared stream
+	// identically). The shuffle timer is its sole user: sharing c.rng
+	// would race it against the other periodic ticks on the wall-clock
+	// runtime, where timer callbacks run on separate goroutines under
+	// different locks.
+	shuffleRng *sim.Rand
 
 	// fetcher/provider form the statesync engine the core delegates the
 	// recovery plane to: the fetcher owns the advertised-heights view,
@@ -136,6 +165,14 @@ type Core struct {
 	// (they lock internally and call back into the core's accessors).
 	fetcher  *statesync.Fetcher
 	provider *statesync.Provider
+
+	// members is the organization's member set, built only when
+	// piggybacking is enabled: membership digests ride exclusively on
+	// intra-org traffic. Cross-org sends exist (anchor-recovery statesync
+	// probes and their replies), and a digest attached to one would plant
+	// this organization's members in the remote organization's view —
+	// corrupting its leader election with foreign lower ids.
+	members map[wire.NodeID]struct{}
 
 	// others is cfg.Peers minus self, precomputed once: RandomPeers samples
 	// in place with k swaps that are undone after the draw, so every call
@@ -170,13 +207,12 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		expiration = 3 * cfg.AliveInterval
 	}
 	c := &Core{
-		cfg:        cfg,
-		ep:         ep,
-		sched:      sched,
-		rng:        rng,
-		proto:      proto,
-		blocks:     make(map[uint64]*ledger.Block),
-		membership: NewMembership(cfg.Self, expiration),
+		cfg:    cfg,
+		ep:     ep,
+		sched:  sched,
+		rng:    rng,
+		proto:  proto,
+		blocks: make(map[uint64]*ledger.Block),
 		// Seed the heartbeat sequence from boot time so a restarted
 		// peer's fresh core emits sequences above anything its previous
 		// incarnation sent — otherwise other peers' anti-replay check
@@ -185,6 +221,37 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		// in AliveMessage for the same reason).
 		aliveSeq:  uint64(sched.Now() / time.Millisecond),
 		aliveMeta: make([]byte, cfg.AliveMetaSize),
+	}
+	if cfg.ShuffleInterval > 0 {
+		c.shuffleRng = sim.NewRand(rng.Int63())
+	}
+	c.view = membership.New(membership.Config{
+		Self:            cfg.Self,
+		Expiration:      expiration,
+		SuspectTimeout:  cfg.SuspectTimeout,
+		PiggybackMax:    cfg.PiggybackMax,
+		PiggybackBudget: cfg.PiggybackBudget,
+		ShuffleInterval: cfg.ShuffleInterval,
+		ShuffleSample:   cfg.ShuffleSample,
+	}, (*memberHost)(c))
+	c.view.NoteSelfSeq(c.aliveSeq)
+	// Transitions caused by piggybacked or shuffled events feed the same
+	// paths as direct heartbeat transitions: deaths drop the peer's
+	// advertised height from the recovery plane, and both directions reach
+	// the measurement hook.
+	c.view.OnTransition(func(p wire.NodeID, alive bool) {
+		if !alive {
+			c.fetcher.Forget(p)
+		}
+		if fn := c.onPeerState; fn != nil {
+			fn(p, alive, c.sched.Now())
+		}
+	})
+	if cfg.PiggybackMax > 0 {
+		c.members = make(map[wire.NodeID]struct{}, len(cfg.Peers))
+		for _, p := range cfg.Peers {
+			c.members[p] = struct{}{}
+		}
 	}
 	// An orderer or observer core lists only remote peers, so self may be
 	// absent from cfg.Peers; others then equals cfg.Peers.
@@ -258,6 +325,9 @@ func (c *Core) Start() {
 	}
 	if c.cfg.AnchorInterval > 0 && len(c.cfg.AnchorPeers) > 0 {
 		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.AnchorInterval, c.fetcher.AnchorTick))
+	}
+	if c.cfg.ShuffleInterval > 0 {
+		c.timers = append(c.timers, everyTimer(c.sched, c.cfg.ShuffleInterval, c.shuffleTick))
 	}
 	c.mu.Unlock()
 	c.proto.Start(c)
@@ -339,9 +409,33 @@ func (p *rearming) Stop() bool {
 
 // Send transmits a message to another peer. Errors are dropped: gossip is
 // loss-tolerant by design and a failed send is equivalent to a lost packet.
+// With piggybacked membership dissemination enabled, every ordinary send
+// to a member of this organization also carries a bounded digest of queued
+// membership rumors to the same destination (a separate MemberEvents
+// message on the same link, so the frozen encodings of existing message
+// types never change). Cross-org destinations — anchor-recovery statesync
+// traffic — never carry digests: membership is per-organization.
 func (c *Core) Send(to wire.NodeID, msg wire.Message) {
 	_ = c.ep.Send(to, msg)
+	if c.members == nil {
+		return // piggybacking disabled
+	}
+	if membership.IsPayload(msg.Type()) {
+		return // membership payloads must not piggyback onto themselves
+	}
+	if _, ok := c.members[to]; ok {
+		c.view.PiggybackOnto(to)
+	}
 }
+
+// memberHost adapts Core to membership.Host: membership payloads go
+// straight to the endpoint (bypassing the piggybacking Send) and share the
+// core's deterministic random stream.
+type memberHost Core
+
+func (h *memberHost) Send(to wire.NodeID, msg wire.Message) { _ = h.ep.Send(to, msg) }
+
+func (h *memberHost) Rand() *sim.Rand { return h.shuffleRng }
 
 // RandomPeers samples k distinct peers uniformly, never including self.
 // If fewer than k eligible peers exist, all of them are returned. The
@@ -487,12 +581,11 @@ func (c *Core) handleMessage(from wire.NodeID, msg wire.Message) {
 		c.fetcher.HandleResponse(m)
 	case *wire.Alive:
 		now := c.sched.Now()
-		c.mu.Lock()
-		becameLive := c.membership.Observe(from, m.Seq, now)
-		fn := c.onPeerState
-		c.mu.Unlock()
-		if becameLive && fn != nil {
-			fn(from, true, now)
+		becameLive := c.view.Observe(from, m.Seq, now)
+		if becameLive {
+			if fn := c.onPeerState; fn != nil {
+				fn(from, true, now)
+			}
 		}
 	case *wire.DeliverBlock:
 		// Ordering service -> leader peer. The fetcher notes the delivery
@@ -500,6 +593,12 @@ func (c *Core) handleMessage(from wire.NodeID, msg wire.Message) {
 		c.fetcher.NoteDeliver()
 		c.proto.OnOrdererBlock(m.Block)
 	default:
+		// The membership plane claims its payload types itself, so the
+		// type list lives in exactly one place (View.Handle).
+		if c.view.Handle(from, msg, c.sched.Now()) {
+			c.refuteIfAccused()
+			return
+		}
 		c.proto.Handle(from, msg)
 	}
 }
@@ -522,9 +621,10 @@ func (c *Core) aliveTick() {
 	c.mu.Lock()
 	c.aliveSeq++
 	seq := c.aliveSeq
-	dead := c.membership.Expire(now)
 	fn := c.onPeerState
 	c.mu.Unlock()
+	c.view.NoteSelfSeq(seq)
+	dead := c.view.Sweep(now)
 	// Drop dead peers' advertised heights: recovery must not keep targeting
 	// a crashed peer (its requests would vanish and catch-up would stall a
 	// full RecoveryInterval per round), and a stale maximum would also pin
@@ -547,34 +647,66 @@ func (c *Core) aliveTick() {
 	}
 }
 
-// LivePeers returns the ids of peers currently believed alive (including
-// self), from the heartbeat view.
-func (c *Core) LivePeers() []wire.NodeID {
+// shuffleTick runs one membership view-shuffle round (SWIM extensions
+// only; the timer is armed only when ShuffleInterval is set).
+func (c *Core) shuffleTick() {
+	c.view.ShuffleTick(c.sched.Now())
+}
+
+// refuteIfAccused answers a suspect/dead claim about this peer: SWIM's
+// refutation bumps the heartbeat sequence (the incarnation number), queues
+// an alive rumor at the new sequence, and heartbeats immediately so direct
+// observers refresh too — without waiting for the next alive tick, which
+// could lose the race against everyone's suspicion timeout.
+func (c *Core) refuteIfAccused() {
+	if !c.view.TakeAccusation() {
+		return
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.membership.Live(c.sched.Now())
+	c.aliveSeq++
+	seq := c.aliveSeq
+	c.mu.Unlock()
+	c.view.QueueSelfAlive(seq)
+	msg := &wire.Alive{Seq: seq, Meta: c.aliveMeta}
+	for _, p := range c.RandomPeers(c.cfg.AliveFanout) {
+		c.Send(p, msg)
+	}
+}
+
+// LivePeers returns the ids of peers currently believed alive (including
+// self), from the membership view.
+func (c *Core) LivePeers() []wire.NodeID {
+	return c.view.Live(c.sched.Now())
+}
+
+// LivePeersInto is LivePeers appending into buf's backing array, for
+// callers sampling the view periodically without per-sample allocations.
+func (c *Core) LivePeersInto(buf []wire.NodeID) []wire.NodeID {
+	return c.view.LiveInto(buf, c.sched.Now())
 }
 
 // LeaderPeer returns the organization's dynamic-election leader: the
 // lowest-id peer currently believed alive.
 func (c *Core) LeaderPeer() wire.NodeID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.membership.Leader(c.sched.Now())
+	return c.view.Leader(c.sched.Now())
 }
 
 // IsLeader reports whether this peer currently believes it leads the
 // organization. It is part of the statesync.Host interface: anchor probing
 // is a leader duty.
-func (c *Core) IsLeader() bool { return c.LeaderPeer() == c.cfg.Self }
+func (c *Core) IsLeader() bool { return c.view.IsLeader(c.sched.Now()) }
 
-// PeerDead reports whether the membership view has explicitly marked the
-// peer dead (statesync.Host: the fetcher's candidate filter).
+// PeerDead reports whether the membership view considers the peer dead
+// (statesync.Host: the fetcher's candidate filter). It answers from the
+// same predicate as LivePeers/LeaderPeer — a peer is dead exactly when it
+// was observed once and is no longer alive.
 func (c *Core) PeerDead(p wire.NodeID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.membership.Dead(p)
+	return c.view.Dead(p, c.sched.Now())
 }
+
+// MembershipStats snapshots the membership view's counters (tracked peers
+// by state, rumor-queue depth, piggyback and refutation counts).
+func (c *Core) MembershipStats() membership.Stats { return c.view.Stats() }
 
 // Now returns the scheduler's current time (statesync.Host).
 func (c *Core) Now() time.Duration { return c.sched.Now() }

@@ -141,7 +141,7 @@ func TestRecoveryAfterMaxAdvertiserPruned(t *testing.T) {
 	c.handleMessage(1, &wire.Alive{Seq: 1})
 	engine.RunUntil(c.cfg.AliveExpiration + 3*c.cfg.AliveInterval + time.Second)
 	c.aliveTick()
-	if !c.membership.Dead(1) {
+	if !c.PeerDead(1) {
 		t.Fatal("peer 1 should have expired")
 	}
 	if _, ok := c.PeerHeights()[1]; ok {

@@ -10,106 +10,9 @@ import (
 	"fabricgossip/internal/wire"
 )
 
-func sec(n int) time.Duration { return time.Duration(n) * time.Second }
-
-func TestMembershipObserveAndExpire(t *testing.T) {
-	m := NewMembership(0, sec(3))
-	if m.Alive(1, sec(0)) {
-		t.Fatal("unseen peer reported alive")
-	}
-	m.Observe(1, 1, sec(0))
-	if !m.Alive(1, sec(3)) {
-		t.Fatal("peer dead within the window")
-	}
-	if m.Alive(1, sec(4)) {
-		t.Fatal("peer alive past expiration")
-	}
-	// A fresh heartbeat revives it.
-	m.Observe(1, 2, sec(10))
-	if !m.Alive(1, sec(12)) {
-		t.Fatal("revived peer not alive")
-	}
-}
-
-func TestMembershipIgnoresStaleHeartbeats(t *testing.T) {
-	m := NewMembership(0, sec(3))
-	m.Observe(1, 5, sec(0))
-	// A replayed older heartbeat arriving later must not extend liveness.
-	m.Observe(1, 4, sec(2))
-	m.Observe(1, 5, sec(2))
-	if m.Alive(1, sec(4)) {
-		t.Fatal("stale heartbeat extended liveness")
-	}
-}
-
-func TestMembershipSelfAlwaysAlive(t *testing.T) {
-	m := NewMembership(7, sec(1))
-	if !m.Alive(7, sec(100)) {
-		t.Fatal("self not alive")
-	}
-	m.Observe(7, 1, sec(0)) // self-heartbeats are ignored
-	live := m.Live(sec(100))
-	if len(live) != 1 || live[0] != 7 {
-		t.Fatalf("live = %v", live)
-	}
-}
-
-func TestMembershipLeaderIsLowestLiveID(t *testing.T) {
-	m := NewMembership(5, sec(3))
-	m.Observe(2, 1, sec(0))
-	m.Observe(8, 1, sec(0))
-	if got := m.Leader(sec(1)); got != 2 {
-		t.Fatalf("leader = %v, want 2", got)
-	}
-	// Peer 2 expires: self (5) becomes the lowest live id.
-	if got := m.Leader(sec(10)); got != 5 {
-		t.Fatalf("leader after expiry = %v, want self (5)", got)
-	}
-	if !m.IsLeader(sec(10)) {
-		t.Fatal("IsLeader disagrees with Leader")
-	}
-}
-
-func TestMembershipObserveReportsTransition(t *testing.T) {
-	m := NewMembership(0, sec(3))
-	if !m.Observe(1, 1, sec(0)) {
-		t.Fatal("first heartbeat not reported as a live transition")
-	}
-	if m.Observe(1, 2, sec(1)) {
-		t.Fatal("refresh heartbeat reported as a transition")
-	}
-	if m.Observe(1, 2, sec(2)) {
-		t.Fatal("stale heartbeat reported as a transition")
-	}
-	// Expire flips it dead; the next heartbeat is a transition again.
-	dead := m.Expire(sec(10))
-	if len(dead) != 1 || dead[0] != 1 {
-		t.Fatalf("Expire = %v, want [1]", dead)
-	}
-	if got := m.Expire(sec(11)); len(got) != 0 {
-		t.Fatalf("second Expire = %v, want none (already dead)", got)
-	}
-	if !m.Observe(1, 3, sec(12)) {
-		t.Fatal("rejoin heartbeat not reported as a transition")
-	}
-}
-
-func TestMembershipExpireReturnsSortedIDs(t *testing.T) {
-	m := NewMembership(0, sec(1))
-	for _, id := range []wire.NodeID{9, 3, 7, 1} {
-		m.Observe(id, 1, sec(0))
-	}
-	dead := m.Expire(sec(5))
-	want := []wire.NodeID{1, 3, 7, 9}
-	if len(dead) != len(want) {
-		t.Fatalf("Expire = %v", dead)
-	}
-	for i := range want {
-		if dead[i] != want[i] {
-			t.Fatalf("Expire order = %v, want %v", dead, want)
-		}
-	}
-}
+// The membership state machine's own tests live in internal/membership;
+// these cover the core's wiring of it: heartbeat-driven transitions
+// reaching the hook and leader failover converging across cores.
 
 func TestCorePeerStateChangeHook(t *testing.T) {
 	// Crash a peer and revive it: every survivor's hook must report the
@@ -229,4 +132,167 @@ func buildFailoverOrg(t *testing.T) *failoverOrg {
 		o.cores = append(o.cores, core)
 	}
 	return o
+}
+
+// TestCoreSwimRefutesSuspicionUnderLoss runs a small org with the SWIM
+// extensions on under heavy packet loss: without suspicion the sparse
+// heartbeat sample would flap peers dead and alive; with
+// suspicion + piggybacked refutations no live peer may ever be declared
+// dead, while a genuinely crashed peer still must be.
+func TestCoreSwimRefutesSuspicionUnderLoss(t *testing.T) {
+	e := sim.NewEngine(7)
+	net := transport.NewSimNetwork(e,
+		netmodel.Model{PropMin: time.Millisecond, PropMax: 2 * time.Millisecond}, nil)
+	net.SetDropRate(0.4)
+	const n = 8
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i)
+	}
+	falseDeaths := 0
+	crashDeaths := 0
+	var cores []*Core
+	for i := 0; i < n; i++ {
+		ep := net.AddNode()
+		cfg := DefaultConfig(ep.ID(), ids)
+		cfg.AliveInterval = time.Second
+		cfg.AliveFanout = 2 // sparse on purpose: losses starve the direct view
+		cfg.AliveExpiration = 3 * time.Second
+		cfg.StateInfoInterval = time.Second // piggyback carrier traffic
+		cfg.RecoveryInterval = 0
+		// Three shuffle rounds of refutation opportunity: at 40% loss a
+		// suspicion's round trip (rumor to the accused, refutation back)
+		// regularly loses one leg, so the timeout must cover retries.
+		cfg.SuspectTimeout = 6 * time.Second
+		cfg.PiggybackMax = 16
+		cfg.ShuffleInterval = 2 * time.Second
+		self := ep.ID()
+		core := New(cfg, ep, e, e.Rand("g"), &nullProtocol{})
+		core.OnPeerStateChange(func(peer wire.NodeID, alive bool, at time.Duration) {
+			if alive {
+				return
+			}
+			// The crashed node's own core keeps ticking with its endpoint
+			// silenced, so it correctly watches everyone else lapse; only
+			// the connected cores' verdicts are under test.
+			if self == n-1 {
+				return
+			}
+			if peer == n-1 && at > 20*time.Second {
+				crashDeaths++
+			} else {
+				falseDeaths++
+			}
+		})
+		core.Start()
+		cores = append(cores, core)
+	}
+	e.RunUntil(20 * time.Second)
+	if falseDeaths > 0 {
+		t.Fatalf("%d live peers declared dead under loss despite suspicion", falseDeaths)
+	}
+	// A real crash must still be detected (suspicion delays, not denies).
+	net.SetNodeDown(n-1, true)
+	e.RunUntil(45 * time.Second)
+	if crashDeaths == 0 {
+		t.Fatal("crashed peer never declared dead with suspicion enabled")
+	}
+	if falseDeaths > 0 {
+		t.Fatalf("%d false deaths after the crash window", falseDeaths)
+	}
+	for _, c := range cores {
+		c.Stop()
+	}
+}
+
+// TestCorePiggybackStaysInOrg locks the organization boundary: membership
+// digests ride only on sends to this organization's members. Cross-org
+// sends exist (anchor-recovery statesync probes), and a digest attached
+// to one would plant this org's members in the remote org's view.
+func TestCorePiggybackStaysInOrg(t *testing.T) {
+	c, ep, _ := newTestCore(t, 0, 5, func(cfg *Config) {
+		cfg.SuspectTimeout = 10 * time.Second
+		cfg.PiggybackMax = 8
+	})
+	// Queue a rumor by observing a member's heartbeat (a join is news).
+	c.handleMessage(1, &wire.Alive{Seq: 1})
+	if c.MembershipStats().Queued == 0 {
+		t.Fatal("no rumor queued")
+	}
+
+	const foreign = wire.NodeID(99) // outside the 5-peer member list
+	c.Send(foreign, &wire.StateRequest{From: 0, To: 8})
+	for i, m := range ep.sent {
+		if m.Type() == wire.TypeMemberEvents && ep.to[i] == foreign {
+			t.Fatal("membership digest piggybacked onto a cross-org send")
+		}
+	}
+
+	c.Send(2, &wire.StateInfo{Height: 0})
+	found := false
+	for i, m := range ep.sent {
+		if m.Type() == wire.TypeMemberEvents && ep.to[i] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("intra-org send carried no digest despite queued rumors")
+	}
+}
+
+// TestCorePiggybackDensifiesView locks the tentpole claim at the core
+// level: with fan-out 1 heartbeats on a 24-peer org, the direct view stays
+// a sparse sample, and enabling piggyback + shuffle closes it to the full
+// organization within the same virtual time.
+func TestCorePiggybackDensifiesView(t *testing.T) {
+	build := func(swim bool) float64 {
+		e := sim.NewEngine(5)
+		net := transport.NewSimNetwork(e,
+			netmodel.Model{PropMin: time.Millisecond, PropMax: 2 * time.Millisecond}, nil)
+		const n = 24
+		ids := make([]wire.NodeID, n)
+		for i := range ids {
+			ids[i] = wire.NodeID(i)
+		}
+		var cores []*Core
+		for i := 0; i < n; i++ {
+			ep := net.AddNode()
+			cfg := DefaultConfig(ep.ID(), ids)
+			cfg.AliveInterval = 2 * time.Second
+			cfg.AliveFanout = 1
+			cfg.AliveExpiration = 5 * time.Second
+			cfg.StateInfoInterval = time.Second
+			cfg.RecoveryInterval = 0
+			if swim {
+				cfg.SuspectTimeout = 10 * time.Second
+				cfg.PiggybackMax = 16
+				cfg.ShuffleInterval = 2 * time.Second
+				cfg.ShuffleSample = 16
+			}
+			core := New(cfg, ep, e, e.Rand("g"), &nullProtocol{})
+			core.Start()
+			cores = append(cores, core)
+		}
+		e.RunUntil(30 * time.Second)
+		total := 0
+		for _, c := range cores {
+			total += len(c.LivePeers())
+		}
+		for _, c := range cores {
+			c.Stop()
+		}
+		return float64(total) / float64(n*n)
+	}
+	sparse := build(false)
+	dense := build(true)
+	if sparse > 0.8 {
+		t.Fatalf("baseline view unexpectedly dense (%.2f): the test lost its contrast", sparse)
+	}
+	if dense < 0.95 {
+		t.Fatalf("piggyback+shuffle view completeness = %.2f, want >= 0.95 (sparse baseline %.2f)",
+			dense, sparse)
+	}
+	if dense <= sparse {
+		t.Fatalf("piggyback+shuffle did not densify the view: %.2f vs %.2f", dense, sparse)
+	}
 }

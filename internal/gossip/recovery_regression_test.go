@@ -99,29 +99,17 @@ func TestRecoveryIgnoresStaleHeightOfDeadPeer(t *testing.T) {
 }
 
 // The empty-live-view window right after a restart must elect self, not
-// panic on live[0].
+// panic. (The Leader fallback itself is unit-tested in
+// internal/membership; this locks the core-level delegation.)
 func TestLeaderOnFreshViewFallsBackToSelf(t *testing.T) {
-	m := NewMembership(4, 2*time.Second)
-	if got := m.Leader(0); got != 4 {
+	e := sim.NewEngine(1)
+	ep := &fakeEndpoint{id: 4}
+	core := New(DefaultConfig(4, []wire.NodeID{0, 1, 2, 3, 4}), ep, e, e.Rand("g"), &nullProtocol{})
+	if got := core.LeaderPeer(); got != 4 {
 		t.Fatalf("fresh view leader = %v, want self (4)", got)
 	}
-	if !m.IsLeader(0) {
+	if !core.IsLeader() {
 		t.Fatal("fresh view does not consider self the leader")
-	}
-	// A lower-id peer's heartbeat takes the lead; its lapse returns it.
-	m.Observe(1, 1, 0)
-	if got := m.Leader(time.Second); got != 1 {
-		t.Fatalf("leader = %v, want 1", got)
-	}
-	m.Expire(10 * time.Second)
-	if got := m.Leader(10 * time.Second); got != 4 {
-		t.Fatalf("leader after expiry = %v, want self (4)", got)
-	}
-	if !m.Dead(1) {
-		t.Fatal("expired peer not marked dead")
-	}
-	if m.Dead(3) {
-		t.Fatal("never-observed peer marked dead")
 	}
 }
 

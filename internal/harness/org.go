@@ -171,7 +171,7 @@ func (o *Org) LiveCount() int {
 
 // Leader returns the index of the lowest-id non-crashed peer (the
 // convergence point of Fabric's dynamic leader election, matching
-// gossip.Membership.Leader). Returns -1 if every peer is crashed.
+// membership.View.Leader). Returns -1 if every peer is crashed.
 func (o *Org) Leader() int {
 	for i, down := range o.crashed {
 		if !down {

@@ -330,6 +330,58 @@ func init() {
 			}
 		},
 	})
+	// --- dense-membership entries (SWIM piggyback / suspicion / shuffle) ---
+
+	register(Def{
+		Name: "org-view-convergence",
+		Description: "a cold-started organization converges its membership views to " +
+			"completeness under the SWIM extensions (piggybacked events + view " +
+			"shuffling): with fixed heartbeat fan-out alone the thousand-peer view " +
+			"stays a sparse sample and leader beliefs never settle",
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Blocks:            6,
+				BlockInterval:     500 * time.Millisecond,
+				Warmup:            time.Second,
+				Tail:              40 * time.Second,
+				SwimMembership:    true,
+				MeasureMembership: true,
+			}
+		},
+	})
+	register(Def{
+		Name: "org-flapping-members",
+		Description: "heavy packet loss starves the direct heartbeat sample while a " +
+			"small group genuinely crashes and rejoins: suspicion + refutation must " +
+			"keep lossy-but-live peers out of the dead state (no flapping) while " +
+			"still declaring the real crash",
+		Build: func(top Topology) Scenario {
+			n := top.Total()
+			k := max(1, n/50)
+			victims := span(n-k, n)
+			return Scenario{
+				Blocks:            8,
+				BlockInterval:     400 * time.Millisecond,
+				Warmup:            time.Second,
+				Tail:              40 * time.Second,
+				SwimMembership:    true,
+				MeasureMembership: true,
+				Events: []Event{
+					{At: time.Second, Action: PacketLoss{Rate: 0.25}},
+					// The crash window must outlast detection (a probe
+					// round to raise the suspicion plus the 10 s suspect
+					// timeout to confirm it), or the restart's refutation
+					// would clear every suspicion before a single death
+					// was declared and the "real crash" leg of the
+					// scenario would never exercise.
+					{At: 8 * time.Second, Action: CrashPeers{Peers: victims}},
+					{At: 22 * time.Second, Action: PacketLoss{}},
+					{At: 30 * time.Second, Action: RestartPeers{Peers: victims}},
+				},
+			}
+		},
+	})
+
 	register(Def{
 		Name: "org-mixed-protocols",
 		Description: "organizations alternate between the original and enhanced " +

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strings"
+	"time"
 
 	"fabricgossip/internal/metrics"
 )
@@ -93,6 +94,20 @@ type Report struct {
 	SyncBytes    uint64
 	SyncMessages uint64
 
+	// ViewSamples counts membership-view samples taken (zero unless the
+	// scenario sets MeasureMembership; the membership report line — and
+	// its contribution to the fingerprint — exists only then, so
+	// pre-existing fingerprints are unaffected). ViewCompleteness is the
+	// steady-state (final-sample) mean over live peers of |live view ∩
+	// actually live| / |actually live| within each peer's organization:
+	// 1.0 means every live peer sees the whole live organization.
+	// LeaderConvergence is when every live peer's believed leader last
+	// settled on its organization's true leader (the run's end if they
+	// never all agreed).
+	ViewSamples       int
+	ViewCompleteness  float64
+	LeaderConvergence time.Duration
+
 	// EngineEvents is the number of discrete events the engine executed.
 	EngineEvents uint64
 
@@ -115,6 +130,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  recoveries: %s\n", r.Recoveries)
 	fmt.Fprintf(&b, "  dissemination: %s\n", r.Latency)
 	fmt.Fprintf(&b, "  membership transitions: %d\n", r.Transitions)
+	if r.ViewSamples > 0 {
+		fmt.Fprintf(&b, "  membership view: completeness %.3f, leader convergence %v (%d samples)\n",
+			r.ViewCompleteness, r.LeaderConvergence, r.ViewSamples)
+	}
 	fmt.Fprintf(&b, "  traffic: %.2f MB, overhead %.2fx ideal\n", float64(r.TotalBytes)/1e6, r.Overhead)
 	if r.Orgs > 1 {
 		for _, or := range r.OrgReports {

@@ -96,8 +96,8 @@ type runner struct {
 	lat     *metrics.GroupedLatency
 
 	trace    []string
-	injected int              // distinct blocks delivered to at least one org
-	seen     map[uint64]bool  // blocks counted in injected
+	injected int               // distinct blocks delivered to at least one org
+	seen     map[uint64]bool   // blocks counted in injected
 	orgSeen  []map[uint64]bool // per-org delivered blocks
 	// orgStart[o][num] is the virtual time the block first entered org o
 	// (its leader's reception); later receptions record deltas against it.
@@ -110,6 +110,16 @@ type runner struct {
 
 	transitions     int
 	orderViolations int
+
+	// Membership-view sampling state (MeasureMembership only). liveBuf and
+	// actualBuf are the sampler's reusable scratch; convergedAt is the
+	// first sample time of the current everyone-agrees-on-the-leader
+	// streak (-1 while disagreeing).
+	viewSamples int
+	lastCompl   float64
+	convergedAt time.Duration
+	liveBuf     []wire.NodeID
+	actualBuf   []wire.NodeID
 }
 
 // RunNamed instantiates the named catalog scenario for opt's topology and
@@ -234,6 +244,17 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 			cfg.AliveExpiration = 5 * time.Second
 			cfg.RecoveryInterval = 2 * time.Second
 			cfg.RecoveryBatch = 64
+			if sc.SwimMembership {
+				// The SWIM defaults for dense views at n >= 1000: lapsed
+				// peers survive as refutable suspects for five heartbeat
+				// periods, rumors ride every message, and the shuffle
+				// refreshes 128 view entries per heartbeat period.
+				cfg.SuspectTimeout = 10 * time.Second
+				cfg.PiggybackMax = 32
+				cfg.PiggybackBudget = 4
+				cfg.ShuffleInterval = 2 * time.Second
+				cfg.ShuffleSample = 256
+			}
 		}),
 		harness.WithNetworkCoreHook(r.instrument),
 		harness.WithDeliverHook(r.onDeliver),
@@ -245,6 +266,14 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	engine := net.Engine
 
 	net.StartAll()
+	if sc.MeasureMembership {
+		// Sample twice a second once the initial heartbeat view has had
+		// Warmup to form. The sampler only reads core state — no random
+		// draws, no sends — so it cannot perturb the run it measures.
+		r.convergedAt = -1
+		sampler := engine.Every(viewSampleInterval, r.sampleViews)
+		defer sampler.Stop()
+	}
 	for _, i := range sc.InitialDown {
 		net.Crash(i)
 	}
@@ -426,6 +455,74 @@ func (r *runner) isolateOrgs(orgs []int) {
 	r.net.Net.Partition(groups...)
 }
 
+// viewSampleInterval is the membership sampler's period.
+const viewSampleInterval = 500 * time.Millisecond
+
+// sampleViews takes one membership measurement (MeasureMembership only):
+// the mean view completeness over live peers — each peer's live view
+// intersected with its organization's actually live members — and whether
+// every live peer currently agrees on its organization's true leader. The
+// streak-tracking behind convergedAt makes LeaderConvergence "the last
+// time somebody still disagreed" rather than the first lucky agreement.
+func (r *runner) sampleViews() {
+	now := r.net.Engine.Now()
+	if now < r.sc.Warmup {
+		return // let the initial heartbeat view form first
+	}
+	var complSum float64
+	var complN int
+	agree := true
+	for o := 0; o < r.top.Orgs(); o++ {
+		// The ground truth: the organization's actually live (non-crashed)
+		// members and its true leader, from the fault surface.
+		r.actualBuf = r.actualBuf[:0]
+		for _, i := range r.top.OrgSpan(o) {
+			if !r.net.Crashed(i) {
+				r.actualBuf = append(r.actualBuf, wire.NodeID(i))
+			}
+		}
+		if len(r.actualBuf) == 0 {
+			continue
+		}
+		trueLeader := wire.NodeID(r.net.OrgLeader(o))
+		for _, i := range r.top.OrgSpan(o) {
+			if r.net.Crashed(i) {
+				continue
+			}
+			core := r.net.Cores[i]
+			r.liveBuf = core.LivePeersInto(r.liveBuf)
+			// Both slices are sorted ascending: count the intersection
+			// with one merge pass. Entries outside the organization (none
+			// today: views are per-org) fall out naturally.
+			inter, a := 0, 0
+			for _, p := range r.liveBuf {
+				for a < len(r.actualBuf) && r.actualBuf[a] < p {
+					a++
+				}
+				if a < len(r.actualBuf) && r.actualBuf[a] == p {
+					inter++
+					a++
+				}
+			}
+			complSum += float64(inter) / float64(len(r.actualBuf))
+			complN++
+			if core.LeaderPeer() != trueLeader {
+				agree = false
+			}
+		}
+	}
+	if complN == 0 {
+		return
+	}
+	r.viewSamples++
+	r.lastCompl = complSum / float64(complN)
+	if !agree {
+		r.convergedAt = -1
+	} else if r.convergedAt < 0 {
+		r.convergedAt = now
+	}
+}
+
 func (r *runner) tracef(format string, args ...any) {
 	at := r.net.Engine.Now()
 	r.trace = append(r.trace, fmt.Sprintf("[%10v] %s", at, fmt.Sprintf(format, args...)))
@@ -447,9 +544,18 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 			r.net.Traffic.BytesOf(wire.TypeStateResponse),
 		SyncMessages: r.net.Traffic.CountOf(wire.TypeStateRequest) +
 			r.net.Traffic.CountOf(wire.TypeStateResponse),
-		Recoveries:     metrics.Summarize(r.rec.Distribution()),
-		Latency:        metrics.Summarize(r.lat.All().All()),
-		Trace:          r.trace,
+		Recoveries: metrics.Summarize(r.rec.Distribution()),
+		Latency:    metrics.Summarize(r.lat.All().All()),
+		Trace:      r.trace,
+	}
+	if r.viewSamples > 0 {
+		rep.ViewSamples = r.viewSamples
+		rep.ViewCompleteness = r.lastCompl
+		if r.convergedAt >= 0 {
+			rep.LeaderConvergence = r.convergedAt
+		} else {
+			rep.LeaderConvergence = r.sc.End() // never converged
+		}
 	}
 	var blockBytes int
 	if len(blocks) > 0 {

@@ -65,6 +65,20 @@ type Scenario struct {
 	// missing blocks from remote orgs' anchors. Off by default, so
 	// pre-existing scripts are unaffected.
 	AnchorRecovery bool
+	// SwimMembership enables the SWIM-style membership extensions on
+	// every peer (internal/membership): piggybacked event dissemination,
+	// suspicion with refutation, and periodic view shuffling, at the
+	// runner's default knobs. Off by default, so pre-existing scripts run
+	// byte-identically.
+	SwimMembership bool
+	// MeasureMembership samples every live peer's membership view twice a
+	// second (after Warmup) and reports view completeness and
+	// leader-convergence time. It is independent of SwimMembership so the
+	// same script can be measured with the mechanisms disabled — the
+	// sparse-baseline comparison the load-bearing tests rely on. Off by
+	// default (the sampling perturbs nothing, but its engine events would
+	// move pre-existing fingerprints).
+	MeasureMembership bool
 	// WANDelay separates each organization (and the ordering service)
 	// onto its own WAN site with this much extra one-way inter-site
 	// latency. Zero keeps the single shared LAN.

@@ -51,6 +51,9 @@ const (
 	TypeRaftForward
 	TypeSubmitTx
 	TypeDeliverBlock
+	TypeMemberEvents
+	TypeShuffleRequest
+	TypeShuffleResponse
 
 	maxMsgType // sentinel, keep last
 )
@@ -82,6 +85,9 @@ func (t MsgType) String() string {
 		TypeRaftForward:        "RaftForward",
 		TypeSubmitTx:           "SubmitTx",
 		TypeDeliverBlock:       "DeliverBlock",
+		TypeMemberEvents:       "MemberEvents",
+		TypeShuffleRequest:     "ShuffleRequest",
+		TypeShuffleResponse:    "ShuffleResponse",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]
@@ -158,6 +164,12 @@ func Unmarshal(data []byte) (Message, error) {
 		m = decodeSubmitTx(d)
 	case TypeDeliverBlock:
 		m = decodeDeliverBlock(d)
+	case TypeMemberEvents:
+		m = decodeMemberEvents(d)
+	case TypeShuffleRequest:
+		m = decodeShuffleRequest(d)
+	case TypeShuffleResponse:
+		m = decodeShuffleResponse(d)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

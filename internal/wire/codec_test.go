@@ -71,6 +71,13 @@ func allMessages() []Message {
 		&RaftForward{Data: []byte("payload")},
 		&SubmitTx{Tx: blk.Txs[0]},
 		&DeliverBlock{Block: blk},
+		&MemberEvents{Events: []MemberEvent{
+			{Peer: 3, Seq: 17, Kind: EventAlive},
+			{Peer: 900, Seq: 1 << 40, Kind: EventSuspect},
+			{Peer: 0, Seq: 0, Kind: EventDead},
+		}},
+		&ShuffleRequest{Entries: []MemberEvent{{Peer: 1, Seq: 5, Kind: EventAlive}}},
+		&ShuffleResponse{Entries: []MemberEvent{{Peer: 2, Seq: 6, Kind: EventSuspect}}},
 	}
 }
 

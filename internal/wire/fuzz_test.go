@@ -40,6 +40,18 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{byte(TypeStateResponse), 7, 0})     // count promises absent blocks
 	f.Add(append(append([]byte{}, frozen...), 0xAA)) // trailing garbage after batch
 
+	// Membership payload framing: truncated event lists and count/payload
+	// mismatches must be rejected cleanly.
+	events := Marshal(&MemberEvents{Events: []MemberEvent{
+		{Peer: 3, Seq: 1 << 33, Kind: EventAlive},
+		{Peer: 7, Seq: 2, Kind: EventDead},
+	}})
+	f.Add(events)
+	f.Add(events[:len(events)-1])                  // truncated mid-entry
+	f.Add([]byte{byte(TypeMemberEvents), 5})       // count promises absent entries
+	f.Add([]byte{byte(TypeShuffleRequest), 0xff})  // absurd entry count
+	f.Add([]byte{byte(TypeShuffleResponse), 1, 0}) // entry cut after peer id
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Unmarshal(data)
 		if err != nil {

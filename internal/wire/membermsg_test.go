@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// TestMemberPayloadEncodingsFrozen locks the membership payload encodings
+// byte for byte: the simulated transport accounts bandwidth from these
+// exact sizes and the TCP runtime ships these exact bytes, so any codec
+// change that moves a single byte must show up here as a deliberate,
+// reviewed freeze break — not as silent drift.
+func TestMemberPayloadEncodingsFrozen(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Message
+		hex  string
+	}{
+		{
+			name: "MemberEvents empty",
+			msg:  &MemberEvents{},
+			// type 19, count 0
+			hex: "1300",
+		},
+		{
+			name: "MemberEvents",
+			msg: &MemberEvents{Events: []MemberEvent{
+				{Peer: 3, Seq: 17, Kind: EventAlive},
+				{Peer: 300, Seq: 128, Kind: EventSuspect},
+				{Peer: 0, Seq: 0, Kind: EventDead},
+			}},
+			// type 19, count 3, then (peer, seq, kind) per event with
+			// uvarint peer/seq: 03 11 01 | ac02 8001 02 | 00 00 03
+			hex: "1303031101ac02800102000003",
+		},
+		{
+			name: "ShuffleRequest",
+			msg:  &ShuffleRequest{Entries: []MemberEvent{{Peer: 1, Seq: 5, Kind: EventAlive}}},
+			// type 20, count 1, peer 1, seq 5, kind 1
+			hex: "1401010501",
+		},
+		{
+			name: "ShuffleResponse",
+			msg:  &ShuffleResponse{Entries: []MemberEvent{{Peer: 2, Seq: 6, Kind: EventSuspect}}},
+			// type 21, count 1, peer 2, seq 6, kind 2
+			hex: "1501020602",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Marshal(c.msg)
+			if hex.EncodeToString(got) != c.hex {
+				t.Fatalf("encoding drifted:\n got  %s\n want %s", hex.EncodeToString(got), c.hex)
+			}
+			if c.msg.EncodedSize() != len(got) {
+				t.Fatalf("EncodedSize = %d, Marshal produced %d bytes", c.msg.EncodedSize(), len(got))
+			}
+		})
+	}
+}
+
+// Property: membership payloads with arbitrary event lists round-trip
+// exactly and EncodedSize matches the marshalled length (the hand-computed
+// size must agree with the real encoder for any peer/seq/kind combination).
+func TestPropertyMemberEventsRoundTrip(t *testing.T) {
+	f := func(peers []uint32, seqs []uint64, kinds []uint8) bool {
+		n := len(peers)
+		if len(seqs) < n {
+			n = len(seqs)
+		}
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		m := &MemberEvents{}
+		for i := 0; i < n; i++ {
+			m.Events = append(m.Events, MemberEvent{
+				Peer: NodeID(peers[i]), Seq: seqs[i], Kind: MemberEventKind(kinds[i]),
+			})
+		}
+		data := Marshal(m)
+		if len(data) != m.EncodedSize() {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		ge := got.(*MemberEvents)
+		if len(ge.Events) != len(m.Events) {
+			return false
+		}
+		for i := range m.Events {
+			if ge.Events[i] != m.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shuffle payloads share the event-list framing; request and
+// response with identical entries must differ only in the type byte.
+func TestPropertyShufflePayloadFraming(t *testing.T) {
+	f := func(peers []uint32, seq uint64) bool {
+		entries := make([]MemberEvent, 0, len(peers))
+		for _, p := range peers {
+			entries = append(entries, MemberEvent{Peer: NodeID(p), Seq: seq, Kind: EventAlive})
+		}
+		req := Marshal(&ShuffleRequest{Entries: entries})
+		resp := Marshal(&ShuffleResponse{Entries: entries})
+		if len(req) != len(resp) {
+			return false
+		}
+		if req[0] != byte(TypeShuffleRequest) || resp[0] != byte(TypeShuffleResponse) {
+			return false
+		}
+		return string(req[1:]) == string(resp[1:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
