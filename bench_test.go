@@ -10,6 +10,8 @@ package fabricgossip
 //	tail_ms      p99.9 dissemination latency (latency figures)
 //	peer_MBps    regular-peer bandwidth (bandwidth figures)
 //	conflicts    invalidated transactions (Table II)
+//	conflict_rate  workload-plane validation conflict fraction
+//	commit_tail_ms workload-plane p99.9 submit-to-commit latency
 //	sim_events   discrete events per scenario run (deterministic)
 //	events_per_s engine throughput (wall-clock; trajectory only, not gated)
 //	allocs_op    heap allocations per delivered message (hot-path contract)
@@ -406,6 +408,47 @@ func BenchmarkScenarioFlappingMembers(b *testing.B) {
 	}
 	reportMetric(b, float64(events)/float64(b.N), "sim_events")
 	reportMetric(b, compl, "view_completeness")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		reportMetric(b, float64(events)/secs, "events_per_s")
+	}
+}
+
+// BenchmarkScenarioTxloadHotkeyContention tracks the transaction workload
+// plane's full execute-order-validate path under Zipf hot-key contention
+// (txload-hotkey-contention at 2 orgs x 20 peers). Beyond the usual event
+// fingerprint it exports the workload plane's own metrics: conflict_rate
+// (either-drift: a drop can mean the MVCC path stopped detecting
+// collisions, not that contention improved) and commit_tail_ms (the p99.9
+// submit-to-commit latency; increase = regression) — both gated by
+// cmd/benchdiff.
+func BenchmarkScenarioTxloadHotkeyContention(b *testing.B) {
+	var events uint64
+	var rate, commitTail float64
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunNamed("txload-hotkey-contention", scenario.Options{
+			Peers: 40, Orgs: 2, Variant: harness.VariantEnhanced, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CaughtUp != rep.Survivors {
+			b.Fatalf("%d of %d survivors caught up", rep.CaughtUp, rep.Survivors)
+		}
+		w := rep.Workload
+		if w == nil || w.Committed == 0 {
+			b.Fatalf("no transactions committed: %+v", w)
+		}
+		if w.Submitted != w.Committed+w.Conflicts {
+			b.Fatalf("accounting leak: %d submitted, %d committed + %d conflicts",
+				w.Submitted, w.Committed, w.Conflicts)
+		}
+		events += rep.EngineEvents
+		rate = w.ConflictRate()
+		commitTail = float64(w.Latency.P999) / 1e6
+	}
+	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	reportMetric(b, rate, "conflict_rate")
+	reportMetric(b, commitTail, "commit_tail_ms")
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		reportMetric(b, float64(events)/secs, "events_per_s")
 	}

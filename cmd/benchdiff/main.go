@@ -20,6 +20,12 @@
 //	             the recovery plane, and shrinkage can mean transfers
 //	             silently stopped)
 //	conflicts_*  invalidated transactions, Table II (either direction fails)
+//	conflict_rate  workload-plane validation conflict fraction (either
+//	               direction fails: it is a behavioral fingerprint of the
+//	               MVCC path under contention — a drop can mean conflicts
+//	               stopped being detected, not that the protocol improved)
+//	commit_tail_ms workload-plane p99.9 submit-to-commit latency
+//	               (increase = regression)
 //	view_completeness      steady-state membership view density at 1x1000
 //	                       (either direction fails: a drop means views went
 //	                       sparse, a rise means the baseline was stale)
@@ -57,6 +63,8 @@ var gatedUnits = map[string]gateMode{
 	"view_completeness":     gateEither,
 	"conflicts_orig":        gateEither,
 	"conflicts_enh":         gateEither,
+	"conflict_rate":         gateEither,
+	"commit_tail_ms":        gateIncrease,
 }
 
 type gateMode int

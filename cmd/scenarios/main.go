@@ -13,6 +13,8 @@
 //	scenarios -scenario org-partition-heal,org-cold-join -orgs 4 -check
 //	scenarios -scenario churn -check                  # run twice, verify determinism
 //	scenarios -scenario partition-heal -trace         # include the event trace
+//	scenarios -scenario txload-hotkey-contention -peers 1000 -orgs 4 -check
+//	                          # full execute-order-validate pipeline under load
 package main
 
 import (

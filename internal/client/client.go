@@ -23,12 +23,22 @@ type Stats struct {
 	Submitted         int
 	ProposalConflicts int
 	EndorseErrors     int
+	// SubmitErrors counts transactions that endorsed cleanly but whose
+	// Broadcast to the ordering service failed (orderer down or
+	// unreachable). Needed to reconcile client-side accounting against the
+	// orderer's transaction count under faults.
+	SubmitErrors int
 }
+
+// EndorserSource yields the endorsers to use for one invocation; it lets a
+// client track a changing population (peers crashing and restarting)
+// instead of binding a fixed list at construction.
+type EndorserSource func() []*endorse.Endorser
 
 // Client drives transactions through the endorse-submit path.
 type Client struct {
 	name      string
-	endorsers []*endorse.Endorser
+	endorsers EndorserSource
 	submit    Submitter
 
 	mu    sync.Mutex
@@ -42,10 +52,20 @@ func New(name string, endorsers []*endorse.Endorser, submit Submitter) (*Client,
 	if len(endorsers) == 0 {
 		return nil, errors.New("client: need at least one endorser")
 	}
+	return NewWithSource(name, func() []*endorse.Endorser { return endorsers }, submit)
+}
+
+// NewWithSource creates a client that asks source for the current endorser
+// set on every invocation. An empty set at invocation time is an endorse
+// error (no live endorsing peers), not a constructor error.
+func NewWithSource(name string, source EndorserSource, submit Submitter) (*Client, error) {
+	if source == nil {
+		return nil, errors.New("client: need an endorser source")
+	}
 	if submit == nil {
 		return nil, errors.New("client: need a submitter")
 	}
-	return &Client{name: name, endorsers: endorsers, submit: submit}, nil
+	return &Client{name: name, endorsers: source, submit: submit}, nil
 }
 
 // Name returns the client's identity string.
@@ -67,8 +87,13 @@ var ErrProposalConflict = errors.New("client: proposal-time conflict")
 // been accepted by the ordering service but not yet validated; validation
 // outcomes surface at the peers.
 func (c *Client) Invoke(ccName string, args []string, payload []byte) (*ledger.Transaction, error) {
-	responses := make([]*endorse.Response, 0, len(c.endorsers))
-	for _, e := range c.endorsers {
+	endorsers := c.endorsers()
+	if len(endorsers) == 0 {
+		c.bump(func(s *Stats) { s.EndorseErrors++ })
+		return nil, errors.New("client: no endorsers available")
+	}
+	responses := make([]*endorse.Response, 0, len(endorsers))
+	for _, e := range endorsers {
 		resp, err := e.Endorse(c.name, ccName, args, payload)
 		if err != nil {
 			c.bump(func(s *Stats) { s.EndorseErrors++ })
@@ -85,6 +110,7 @@ func (c *Client) Invoke(ccName string, args []string, payload []byte) (*ledger.T
 		return nil, err
 	}
 	if err := c.submit(tx); err != nil {
+		c.bump(func(s *Stats) { s.SubmitErrors++ })
 		return nil, fmt.Errorf("client: submitting: %w", err)
 	}
 	c.bump(func(s *Stats) { s.Submitted++ })

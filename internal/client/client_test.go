@@ -95,6 +95,35 @@ func TestInvokeSubmitError(t *testing.T) {
 	if _, err := c.Invoke("counter", []string{"incr", "k"}, nil); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
+	// The failed submission must be counted, and not as a submission.
+	if s := c.Stats(); s.SubmitErrors != 1 || s.Submitted != 0 {
+		t.Fatalf("stats = %+v, want SubmitErrors=1 Submitted=0", s)
+	}
+}
+
+func TestNewWithSourceTracksEndorserPopulation(t *testing.T) {
+	state := ledger.NewStateDB()
+	var current []*endorse.Endorser
+	c, err := NewWithSource("c", func() []*endorse.Endorser { return current },
+		func(*ledger.Transaction) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No live endorsers: the invocation fails and counts an endorse error.
+	if _, err := c.Invoke("counter", []string{"incr", "k"}, nil); err == nil {
+		t.Fatal("invoke with no endorsers succeeded")
+	}
+	if s := c.Stats(); s.EndorseErrors != 1 {
+		t.Fatalf("stats = %+v, want EndorseErrors=1", s)
+	}
+	// An endorser comes (back) up: the same client succeeds.
+	current = []*endorse.Endorser{newEndorser(t, "p0", state)}
+	if _, err := c.Invoke("counter", []string{"incr", "k"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Submitted != 1 {
+		t.Fatalf("stats = %+v, want Submitted=1", s)
+	}
 }
 
 func TestNewValidation(t *testing.T) {

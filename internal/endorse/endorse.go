@@ -143,31 +143,84 @@ func NewPolicy(required int, ids ...*msp.Identity) Policy {
 	return p
 }
 
+// DefaultVerdictCacheCap bounds the policy checker's verdict cache. Large
+// enough to hold every in-flight transaction of the biggest experiment's
+// working set (blocks currently being validated across all peers), small
+// enough that a million-transaction workload cannot grow the process
+// without bound.
+const DefaultVerdictCacheCap = 1 << 13
+
 // Checker returns the validation-phase policy checker for the ledger: it
 // recomputes the transaction digest and verifies the endorsement
-// signatures. Verdicts are memoized by transaction identity: in a
-// simulated organization every peer validates the same immutable
-// transaction object, and re-running hundreds of identical Ed25519
-// verifications per transaction would dominate experiment run time without
-// changing any outcome.
+// signatures. Verdicts are memoized by transaction ID — the content digest
+// — so every copy of a transaction hits the cache, including copies
+// re-decoded from wire bytes (a pointer-keyed cache would re-run the full
+// Ed25519 verification per peer for those). The cache is bounded with FIFO
+// eviction at DefaultVerdictCacheCap entries.
+//
+// Trade-off: the ID binds the proposal content (checkOnce recomputes the
+// digest) but not the endorsement signatures, so two copies of a
+// transaction that differ only in their endorsements share a verdict. In
+// this simulator all copies of a transaction carry the endorsements the
+// client assembled, so the shortcut cannot change an outcome.
 func (p Policy) Checker() ledger.PolicyChecker {
-	var cache sync.Map // *ledger.Transaction -> error (nil stored as ok)
+	return p.CheckerN(DefaultVerdictCacheCap)
+}
+
+// CheckerN is Checker with an explicit cache capacity (minimum 1).
+func (p Policy) CheckerN(capacity int) ledger.PolicyChecker {
+	cache := newVerdictCache(capacity)
 	check := p.checkOnce
 	return func(tx *ledger.Transaction) error {
-		if v, ok := cache.Load(tx); ok {
-			if v == nil {
-				return nil
-			}
-			return v.(error)
+		if err, ok := cache.load(tx.ID); ok {
+			return err
 		}
 		err := check(tx)
-		if err == nil {
-			cache.Store(tx, nil)
-		} else {
-			cache.Store(tx, err)
-		}
+		cache.store(tx.ID, err)
 		return err
 	}
+}
+
+// verdictCache is a bounded FIFO map from transaction ID to policy verdict.
+// The hit path is a mutex and one map lookup keyed by the fixed-size digest
+// array: no allocation (a sync.Map would box the array key on every Load).
+type verdictCache struct {
+	mu       sync.Mutex
+	verdicts map[crypto.Digest]error
+	ring     []crypto.Digest // insertion order, evicted oldest-first
+	next     int             // ring slot the next insertion overwrites
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &verdictCache{
+		verdicts: make(map[crypto.Digest]error, capacity),
+		ring:     make([]crypto.Digest, capacity),
+	}
+}
+
+func (c *verdictCache) load(id crypto.Digest) (error, bool) {
+	c.mu.Lock()
+	err, ok := c.verdicts[id]
+	c.mu.Unlock()
+	return err, ok
+}
+
+func (c *verdictCache) store(id crypto.Digest, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.verdicts[id]; ok {
+		c.verdicts[id] = err // concurrent checkers raced; keep one ring slot
+		return
+	}
+	if len(c.verdicts) == len(c.ring) {
+		delete(c.verdicts, c.ring[c.next])
+	}
+	c.ring[c.next] = id
+	c.next = (c.next + 1) % len(c.ring)
+	c.verdicts[id] = err
 }
 
 func (p Policy) checkOnce(tx *ledger.Transaction) error {

@@ -187,3 +187,140 @@ func TestEndToEndValidationWithPolicy(t *testing.T) {
 		t.Fatalf("counter = %d, want 1", v)
 	}
 }
+
+// endorsedTx builds one valid single-endorser transaction for key.
+func endorsedTx(t *testing.T, f *fixture, key string) *ledger.Transaction {
+	t.Helper()
+	r, err := f.endorsers[0].Endorse("c", "counter", []string{"incr", key}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := AssembleTransaction("c", "counter", nil, []*Response{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// cloneTx copies a transaction the way the wire codec does on decode: same
+// content, fresh backing storage.
+func cloneTx(tx *ledger.Transaction) *ledger.Transaction {
+	cp := *tx
+	cp.Endorsements = make([]ledger.Endorsement, len(tx.Endorsements))
+	for i, e := range tx.Endorsements {
+		cp.Endorsements[i] = e
+		cp.Endorsements[i].Sig = append([]byte(nil), e.Sig...)
+	}
+	return &cp
+}
+
+// TestCheckerSharesVerdictAcrossCopies locks the fix for the pointer-keyed
+// verdict cache: a transaction re-decoded from wire bytes is a different
+// pointer with the same ID, and must hit the cached verdict instead of
+// re-running the Ed25519 verification. The corrupted endorsement on the
+// copy makes a cache miss observable — and documents the trade-off that
+// the verdict binds the transaction content, not the endorsement bytes.
+func TestCheckerSharesVerdictAcrossCopies(t *testing.T) {
+	f := newFixture(t, 1)
+	policy := NewPolicy(1, f.endorsers[0].Identity())
+	tx := endorsedTx(t, f, "k")
+
+	copyTx := cloneTx(tx)
+	copyTx.Endorsements[0].Sig[0] ^= 0xff
+	// Sanity: a cold checker rejects the corrupted copy.
+	if err := policy.Checker()(copyTx); !errors.Is(err, ErrPolicyUnsatisfied) {
+		t.Fatalf("cold checker on corrupted copy: %v", err)
+	}
+
+	checker := policy.Checker()
+	if err := checker(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Same ID, different pointer: must be a cache hit.
+	if err := checker(copyTx); err != nil {
+		t.Fatalf("re-decoded copy missed the verdict cache: %v", err)
+	}
+}
+
+// TestCheckerEvictsOldestVerdict pins the FIFO bound: once capacity newer
+// transactions have been checked, the oldest verdict is gone and the next
+// lookup re-verifies.
+func TestCheckerEvictsOldestVerdict(t *testing.T) {
+	f := newFixture(t, 1)
+	policy := NewPolicy(1, f.endorsers[0].Identity())
+	checker := policy.CheckerN(2)
+
+	txA := endorsedTx(t, f, "a")
+	corruptA := cloneTx(txA)
+	corruptA.Endorsements[0].Sig[0] ^= 0xff
+
+	if err := checker(txA); err != nil {
+		t.Fatal(err)
+	}
+	if err := checker(corruptA); err != nil {
+		t.Fatalf("verdict for A not cached: %v", err)
+	}
+	// Two newer transactions push A out of the 2-entry cache.
+	if err := checker(endorsedTx(t, f, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := checker(endorsedTx(t, f, "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := checker(corruptA); !errors.Is(err, ErrPolicyUnsatisfied) {
+		t.Fatalf("evicted verdict still served: %v", err)
+	}
+}
+
+// TestCheckerHitPathAllocates proves the cache hit path performs no
+// allocations: the digest-array map key avoids the interface boxing a
+// sync.Map lookup would pay.
+func TestCheckerHitPathAllocates(t *testing.T) {
+	f := newFixture(t, 1)
+	policy := NewPolicy(1, f.endorsers[0].Identity())
+	checker := policy.Checker()
+	tx := endorsedTx(t, f, "k")
+	if err := checker(tx); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := checker(tx); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("verdict-cache hit allocates %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkCheckerHit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	provider, err := msp.NewProvider(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, signer, err := provider.Enroll(msp.RolePeer, "orgA", "peer0", rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEndorser(id, signer, ledger.NewStateDB())
+	e.Install(chaincode.Counter{})
+	r, err := e.Endorse("c", "counter", []string{"incr", "k"}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx, err := AssembleTransaction("c", "counter", nil, []*Response{r})
+	if err != nil {
+		b.Fatal(err)
+	}
+	checker := NewPolicy(1, id).Checker()
+	if err := checker(tx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := checker(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -195,7 +195,7 @@ type Core struct {
 	aliveMeta []byte
 
 	onFirstReception func(b *ledger.Block, at time.Duration)
-	onCommit         func(b *ledger.Block)
+	onCommit         []func(b *ledger.Block)
 	onPeerState      func(peer wire.NodeID, alive bool, at time.Duration)
 }
 
@@ -280,10 +280,11 @@ func (c *Core) OnFirstReception(fn func(b *ledger.Block, at time.Duration)) {
 	c.onFirstReception = fn
 }
 
-// OnCommit installs the in-order delivery hook: blocks are handed to it in
-// strictly increasing order with no gaps (the peer package validates and
-// commits from here). Must be set before Start.
-func (c *Core) OnCommit(fn func(b *ledger.Block)) { c.onCommit = fn }
+// OnCommit appends an in-order delivery hook: blocks are handed to each
+// registered hook in strictly increasing order with no gaps (the peer
+// package validates and commits from here). Hooks run in registration
+// order. Must be set before Start.
+func (c *Core) OnCommit(fn func(b *ledger.Block)) { c.onCommit = append(c.onCommit, fn) }
 
 // OnPeerStateChange installs the membership transition hook: it fires when
 // a peer's heartbeat makes it newly live and when the periodic sweep
@@ -547,16 +548,16 @@ func (c *Core) AddBlock(b *ledger.Block) bool {
 		c.height++
 	}
 	first := c.onFirstReception
-	commitFn := c.onCommit
+	commitFns := c.onCommit
 	now := c.sched.Now()
 	c.mu.Unlock()
 
 	if first != nil {
 		first(b, now)
 	}
-	if commitFn != nil {
-		for _, cb := range commits {
-			commitFn(cb)
+	for _, cb := range commits {
+		for _, fn := range commitFns {
+			fn(cb)
 		}
 	}
 	c.proto.OnBlockStored(b)

@@ -286,3 +286,38 @@ func TestConflictExperimentOverRaftOrdering(t *testing.T) {
 		t.Fatalf("implausible conflicts: %d", res.Conflicts)
 	}
 }
+
+// TestConflictAccountingCrossCheckDeterministic is the focused end-to-end
+// pipeline check: at small scale, the experiment's ledger-side conflict
+// count must equal what the endorsing peer's commit results report
+// (Conflicts == PeerReportedConflicts), conflicts must actually occur (the
+// tight keyspace guarantees MVCC collisions), and the whole experiment
+// must replay identically for the same seed.
+func TestConflictAccountingCrossCheckDeterministic(t *testing.T) {
+	mk := func() ConflictParams {
+		p := DefaultConflictParams(VariantEnhanced, time.Second, 7)
+		p.NumPeers = 12
+		p.Keys = 8
+		p.Rounds = 6
+		return p
+	}
+	a, err := RunConflictExperiment(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Conflicts != a.PeerReportedConflicts {
+		t.Fatalf("ledger counted %d conflicts, peer commit results %d",
+			a.Conflicts, a.PeerReportedConflicts)
+	}
+	if a.Conflicts == 0 {
+		t.Fatal("tight keyspace produced no conflicts; the cross-check is vacuous")
+	}
+	b, err := RunConflictExperiment(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Conflicts != b.Conflicts || a.TotalTx != b.TotalTx ||
+		a.MeanTxPerBlock != b.MeanTxPerBlock || a.Blocks != b.Blocks {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -146,7 +146,7 @@ type Network struct {
 	Orderer *transport.SimEndpoint
 
 	tune      func(self wire.NodeID, cfg *gossip.Config)
-	onCore    func(global int, c *gossip.Core)
+	onCore    []func(global int, c *gossip.Core)
 	onDeliver func(org, peer int, b *ledger.Block, redelivery bool)
 
 	eps         []*transport.SimEndpoint
@@ -176,8 +176,18 @@ func WithNetworkGossipTune(f func(self wire.NodeID, cfg *gossip.Config)) Network
 // WithNetworkCoreHook installs f to run for every core before it starts —
 // at construction and for each core recreated by Restart — so measurement
 // hooks survive peer churn. The first argument is the global peer index.
+// Hooks run in registration order.
 func WithNetworkCoreHook(f func(global int, c *gossip.Core)) NetworkOption {
-	return func(n *Network) { n.onCore = f }
+	return func(n *Network) { n.onCore = append(n.onCore, f) }
+}
+
+// AddCoreHook registers a core hook after construction: it runs for every
+// core recreated by Restart from now on (existing cores are not revisited —
+// the caller can walk Cores itself). Subsystems layered on top of a built
+// Network (e.g. the workload plane's per-peer validation pipelines) use it
+// to survive peer churn.
+func (n *Network) AddCoreHook(f func(global int, c *gossip.Core)) {
+	n.onCore = append(n.onCore, f)
 }
 
 // WithDeliverHook installs f to observe every block the ordering service
@@ -295,8 +305,8 @@ func (n *Network) buildCore(global int) *gossip.Core {
 		proto = enhanced.New(d.enhanced)
 	}
 	core := gossip.New(cfg, ep, n.Engine, n.Engine.Rand("gossip"), proto)
-	if n.onCore != nil {
-		n.onCore(global, core)
+	for _, hook := range n.onCore {
+		hook(global, core)
 	}
 	return core
 }

@@ -279,8 +279,7 @@ func Table2Report(seed int64, quick bool) (Report, error) {
 	}
 	r.addf("%-8s %-9s %-11s %10s %10s %10s", "period", "tx/block", "validation", "original", "enhanced", "difference")
 	for _, period := range periods {
-		var oSum, eSum float64
-		var txPerBlock, valTime float64
+		var acc table2Acc
 		for _, s := range seeds {
 			op, err := RunConflictExperiment(shrink(DefaultConflictParams(VariantOriginal, period, s)))
 			if err != nil {
@@ -290,19 +289,64 @@ func Table2Report(seed int64, quick bool) (Report, error) {
 			if err != nil {
 				return r, err
 			}
-			oSum += float64(op.Conflicts)
-			eSum += float64(ep.Conflicts)
-			txPerBlock = op.MeanTxPerBlock
-			valTime = (time.Duration(op.MeanTxPerBlock) * op.Params.ValidationPerTx).Seconds()
+			acc.add(op, ep)
 		}
-		o := oSum / float64(len(seeds))
-		e := eSum / float64(len(seeds))
-		diff := 0.0
-		if o > 0 {
-			diff = 100 * (e - o) / o
-		}
+		row := acc.row()
 		r.addf("%-8v %-9.1f %-11.2f %10.1f %10.1f %9.1f%%",
-			period, txPerBlock, valTime, o, e, diff)
+			period, row.TxPerBlock, row.ValidationSec, row.Original, row.Enhanced, row.DiffPct)
 	}
 	return r, nil
+}
+
+// validationSeconds is the Table II "validation" column: the modelled time
+// to validate one mean-sized block, in float64 seconds. The multiplication
+// stays in float space throughout — converting the mean transactions per
+// block to a time.Duration first would truncate it to integer nanoseconds
+// and then multiply two Durations, which is dimensionally meaningless.
+func validationSeconds(meanTxPerBlock float64, perTx time.Duration) float64 {
+	return meanTxPerBlock * perTx.Seconds()
+}
+
+// table2Acc accumulates one Table II row across seeds. Every column is the
+// mean over all seeds' runs: conflicts per variant, and the original
+// variant's transactions per block and validation time (the paper reports
+// the original deployment's batching profile).
+type table2Acc struct {
+	n                   int
+	oSum, eSum          float64
+	txPerBlock, valTime float64
+}
+
+func (a *table2Acc) add(op, ep *ConflictResult) {
+	a.n++
+	a.oSum += float64(op.Conflicts)
+	a.eSum += float64(ep.Conflicts)
+	a.txPerBlock += op.MeanTxPerBlock
+	a.valTime += validationSeconds(op.MeanTxPerBlock, op.Params.ValidationPerTx)
+}
+
+// Table2Row is one averaged row of the Table II report.
+type Table2Row struct {
+	TxPerBlock    float64
+	ValidationSec float64
+	Original      float64
+	Enhanced      float64
+	DiffPct       float64
+}
+
+func (a *table2Acc) row() Table2Row {
+	if a.n == 0 {
+		return Table2Row{}
+	}
+	n := float64(a.n)
+	row := Table2Row{
+		TxPerBlock:    a.txPerBlock / n,
+		ValidationSec: a.valTime / n,
+		Original:      a.oSum / n,
+		Enhanced:      a.eSum / n,
+	}
+	if row.Original > 0 {
+		row.DiffPct = 100 * (row.Enhanced - row.Original) / row.Original
+	}
+	return row
 }

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestValidationSeconds pins the Table II "validation" column arithmetic:
+// 12.5 tx/block at 50 ms each is 0.625 s. The old code converted the float
+// mean to a time.Duration first (truncating 12.5 tx to 12 ns) and then
+// multiplied two Durations, yielding nonsense.
+func TestValidationSeconds(t *testing.T) {
+	got := validationSeconds(12.5, 50*time.Millisecond)
+	if math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("validationSeconds(12.5, 50ms) = %v, want 0.625", got)
+	}
+	if got := validationSeconds(0, 50*time.Millisecond); got != 0 {
+		t.Fatalf("validationSeconds(0, 50ms) = %v, want 0", got)
+	}
+}
+
+// TestTable2AccAverages pins that every Table II column is averaged across
+// seeds rather than keeping only the last seed's value.
+func TestTable2AccAverages(t *testing.T) {
+	params := ConflictParams{ValidationPerTx: 50 * time.Millisecond}
+	var acc table2Acc
+	acc.add(
+		&ConflictResult{Params: params, Conflicts: 100, MeanTxPerBlock: 10},
+		&ConflictResult{Params: params, Conflicts: 40},
+	)
+	acc.add(
+		&ConflictResult{Params: params, Conflicts: 200, MeanTxPerBlock: 15},
+		&ConflictResult{Params: params, Conflicts: 80},
+	)
+	row := acc.row()
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx("TxPerBlock", row.TxPerBlock, 12.5)
+	approx("ValidationSec", row.ValidationSec, (10*0.05+15*0.05)/2)
+	approx("Original", row.Original, 150)
+	approx("Enhanced", row.Enhanced, 60)
+	approx("DiffPct", row.DiffPct, 100*(60.0-150.0)/150.0)
+
+	if empty := (&table2Acc{}).row(); empty != (Table2Row{}) {
+		t.Errorf("empty accumulator row = %+v, want zero", empty)
+	}
+}

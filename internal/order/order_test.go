@@ -184,3 +184,72 @@ func TestSoloWithoutCallbackErrors(t *testing.T) {
 		t.Fatal("submit without OnCommit succeeded")
 	}
 }
+
+// directConsenter commits every submitted entry synchronously, letting a
+// test interleave transaction entries with arbitrary — including stale and
+// duplicated — TTC markers in the totally ordered stream.
+type directConsenter struct{ fn func([]byte) }
+
+func (c *directConsenter) Submit(data []byte) error { c.fn(data); return nil }
+func (c *directConsenter) OnCommit(fn func([]byte)) { c.fn = fn }
+
+// TestStaleTTCMarkersNeverCutTwice is the property test for the
+// onCommitted entryTTC path: whatever mix of stale, current, future and
+// duplicated TTC markers appears in the ordered stream, every block is cut
+// at most once — block numbers come out strictly sequential, no block is
+// empty, and every transaction lands in exactly one block in submission
+// order.
+func TestStaleTTCMarkersNeverCutTwice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		cons := &directConsenter{}
+		var blocks []*ledger.Block
+		maxTx := 1 + rng.Intn(5)
+		// BatchTimeout 0 disables the service's own TTC timer: every
+		// marker in this run is one the test injected.
+		svc := NewService(Config{MaxTxPerBlock: maxTx}, sim.NewEngine(1), cons, nil,
+			func(b *ledger.Block) { blocks = append(blocks, b) })
+		submitted := 0
+		for step := 0; step < 60; step++ {
+			if rng.Intn(2) == 0 {
+				if err := svc.Broadcast(mkTx(submitted)); err != nil {
+					t.Fatal(err)
+				}
+				submitted++
+				continue
+			}
+			// Adversarial marker: anywhere from long-stale to one past
+			// the block currently being assembled, sometimes repeated.
+			num := uint64(rng.Intn(int(svc.Height()) + 2))
+			_ = cons.Submit(encodeTTCEntry(num))
+			if rng.Intn(3) == 0 {
+				_ = cons.Submit(encodeTTCEntry(num))
+			}
+		}
+		// Flush whatever is pending so the conservation check can demand
+		// every transaction reached exactly one block.
+		_ = cons.Submit(encodeTTCEntry(svc.Height()))
+
+		next := byte(0)
+		for i, b := range blocks {
+			if b.Num != uint64(i) {
+				t.Fatalf("iter %d: block %d has number %d (cut twice or skipped)", iter, i, b.Num)
+			}
+			if len(b.Txs) == 0 {
+				t.Fatalf("iter %d: block %d is empty", iter, i)
+			}
+			for _, tx := range b.Txs {
+				if tx.Payload[0] != next {
+					t.Fatalf("iter %d: tx order broken: got %d, want %d", iter, tx.Payload[0], next)
+				}
+				next++
+			}
+		}
+		if int(next) != submitted {
+			t.Fatalf("iter %d: %d submitted, %d landed in blocks", iter, submitted, next)
+		}
+		if svc.Height() != uint64(len(blocks)) {
+			t.Fatalf("iter %d: height %d, %d blocks delivered", iter, svc.Height(), len(blocks))
+		}
+	}
+}

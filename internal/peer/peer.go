@@ -39,12 +39,25 @@ type Peer struct {
 	led   *ledger.Ledger
 	sched sim.Scheduler
 
-	mu       sync.Mutex
-	queue    []*ledger.Block
-	busy     bool
-	results  []ledger.CommitResult
-	onCommit func(ledger.CommitResult)
-	dropped  uint64
+	mu           sync.Mutex
+	queue        []*ledger.Block
+	busy         bool
+	results      []ledger.CommitResult
+	onCommit     func(ledger.CommitResult)
+	dropped      uint64
+	commitErrors uint64
+}
+
+// Stats is a snapshot of the peer's validation-pipeline counters.
+type Stats struct {
+	// Committed is the number of blocks committed to the local ledger.
+	Committed uint64
+	// CommitErrors counts blocks the ledger rejected at commit time (e.g.
+	// a hash-chain mismatch or an out-of-order block number). Each one
+	// drops the block and all its transactions.
+	CommitErrors uint64
+	// Dropped counts blocks that failed orderer-signature verification.
+	Dropped uint64
 }
 
 // New wires a peer on top of a gossip core. policy validates endorsements
@@ -108,6 +121,17 @@ func (p *Peer) Dropped() uint64 {
 	return p.dropped
 }
 
+// Stats returns a snapshot of the pipeline counters.
+func (p *Peer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Committed:    uint64(len(p.results)),
+		CommitErrors: p.commitErrors,
+		Dropped:      p.dropped,
+	}
+}
+
 // enqueue receives in-order blocks from gossip and drives the sequential
 // validation pipeline: each block occupies the validator for
 // ValidationPerTx * len(Txs) before committing, and the next block starts
@@ -148,14 +172,21 @@ func (p *Peer) validateNext() {
 	delay := time.Duration(len(b.Txs)) * p.cfg.ValidationPerTx
 	p.sched.After(delay, func() {
 		res, err := p.led.Commit(b)
-		if err == nil {
+		if err != nil {
+			// The block (and every transaction in it) is lost to this
+			// peer; surface it instead of failing silently.
 			p.mu.Lock()
-			p.results = append(p.results, res)
-			fn := p.onCommit
+			p.commitErrors++
 			p.mu.Unlock()
-			if fn != nil {
-				fn(res)
-			}
+			p.validateNext()
+			return
+		}
+		p.mu.Lock()
+		p.results = append(p.results, res)
+		fn := p.onCommit
+		p.mu.Unlock()
+		if fn != nil {
+			fn(res)
 		}
 		p.validateNext()
 	})

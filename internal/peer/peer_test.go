@@ -180,6 +180,32 @@ func TestOrdererSignatureAccepted(t *testing.T) {
 	}
 }
 
+// TestCommitErrorsCountCorruptedChain feeds a block whose PrevHash does not
+// match the committed chain: the ledger rejects it at commit time, and the
+// peer must count the loss instead of dropping the block silently.
+func TestCommitErrorsCountCorruptedChain(t *testing.T) {
+	f := newFixture(t, 3, Config{ValidationPerTx: time.Millisecond})
+	b0 := f.block(0, nil, 1, false)
+	// b1 claims to follow a different block 0: hash-chain mismatch.
+	b1 := f.block(1, nil, 1, false)
+	_ = f.order.Send(0, &wire.DeliverBlock{Block: b0})
+	_ = f.order.Send(0, &wire.DeliverBlock{Block: b1})
+	f.engine.RunUntil(time.Second)
+	if h := f.peers[0].Ledger().Height(); h != 1 {
+		t.Fatalf("height = %d, want 1 (corrupted block must not commit)", h)
+	}
+	st := f.peers[0].Stats()
+	if st.CommitErrors != 1 {
+		t.Fatalf("CommitErrors = %d, want 1", st.CommitErrors)
+	}
+	if st.Committed != 1 {
+		t.Fatalf("Committed = %d, want 1", st.Committed)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0 (signature path not involved)", st.Dropped)
+	}
+}
+
 func TestBlocksPropagateToAllPeersAndCommit(t *testing.T) {
 	const n = 8
 	f := newFixture(t, n, Config{ValidationPerTx: time.Millisecond})

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fabricgossip/internal/harness"
+	"fabricgossip/internal/workload"
 )
 
 // Def is a named catalog entry: a scenario template instantiated for a
@@ -406,6 +407,116 @@ func init() {
 				Events: []Event{
 					{At: time.Second, Action: PacketLoss{Rate: 0.10}},
 					{At: 8 * time.Second, Action: PacketLoss{}},
+				},
+			}
+		},
+	})
+
+	// --- transaction workload entries (end-to-end execute-order-validate) ---
+
+	register(Def{
+		Name: "txload-steady",
+		Description: "a steady Poisson transaction load drives the full " +
+			"execute-order-validate pipeline fault-free: per-org clients endorse, " +
+			"a real ordering service cuts blocks, every peer validates and " +
+			"commits — the workload-plane baseline for throughput, conflict rate " +
+			"and commit latency",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Warmup: time.Second,
+				Tail:   25 * time.Second,
+				Workload: &workload.Config{
+					ClientsPerOrg: 2,
+					Rate:          5,
+					Arrival:       workload.ArrivalPoisson,
+					Keys:          64,
+				},
+				Events: []Event{
+					{At: time.Second, Action: StartWorkload{}},
+					{At: 6 * time.Second, Action: StopWorkload{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "txload-hotkey-contention",
+		Description: "a Zipf-skewed workload hammers a handful of hot keys: " +
+			"colliding increments of the same key within a block window lose the " +
+			"MVCC check and retry, so the conflict rate climbs far above the " +
+			"uniform-keyspace baseline (the paper's §II-C invalidation path under " +
+			"real contention)",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Warmup: time.Second,
+				Tail:   25 * time.Second,
+				Workload: &workload.Config{
+					ClientsPerOrg: 4,
+					Rate:          10,
+					Arrival:       workload.ArrivalFixed,
+					Keys:          256,
+					ZipfS:         1.5,
+					RetryMax:      2,
+					BatchTimeout:  500 * time.Millisecond,
+				},
+				Events: []Event{
+					{At: time.Second, Action: StartWorkload{}},
+					{At: 6 * time.Second, Action: StopWorkload{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "txload-org-outage-under-load",
+		Description: "an entire organization crashes while transactions keep " +
+			"flowing: its clients' proposals fail (no live endorsers) until the " +
+			"org restarts cold, catches up through the deliver stream and resumes " +
+			"endorsing — in-flight transactions of the victim org resolve only " +
+			"once its peers recommit the backlog",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			victim := top.Orgs() - 1
+			return Scenario{
+				Warmup: time.Second,
+				Tail:   30 * time.Second,
+				Workload: &workload.Config{
+					ClientsPerOrg: 2,
+					Rate:          5,
+					Arrival:       workload.ArrivalPoisson,
+					Keys:          64,
+				},
+				Events: []Event{
+					{At: time.Second, Action: StartWorkload{}},
+					{At: 2500 * time.Millisecond, Action: CrashOrg{Org: victim}},
+					{At: 6 * time.Second, Action: RestartOrg{Org: victim}},
+					{At: 9 * time.Second, Action: StopWorkload{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "txload-leader-failover-under-load",
+		Description: "organization 0's leader — also one of its endorsing " +
+			"peers — crashes mid-load: the deliver stream fails over, the second " +
+			"endorser keeps proposals flowing, and the restarted ex-leader " +
+			"catches up while commits continue",
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Warmup: time.Second,
+				Tail:   30 * time.Second,
+				Workload: &workload.Config{
+					ClientsPerOrg:   2,
+					Rate:            5,
+					Arrival:         workload.ArrivalPoisson,
+					Keys:            64,
+					EndorsersPerOrg: 2,
+				},
+				Events: []Event{
+					{At: time.Second, Action: StartWorkload{}},
+					{At: 3 * time.Second, Action: CrashLeader{}},
+					{At: 6 * time.Second, Action: RestartPeers{Peers: []int{0}}},
+					{At: 8 * time.Second, Action: StopWorkload{}},
 				},
 			}
 		},

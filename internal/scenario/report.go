@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fabricgossip/internal/metrics"
+	"fabricgossip/internal/workload"
 )
 
 // OrgReport is one organization's slice of a scenario run: its own gossip
@@ -108,6 +109,12 @@ type Report struct {
 	ViewCompleteness  float64
 	LeaderConvergence time.Duration
 
+	// Workload is the transaction workload plane's outcome (nil unless
+	// the scenario set a Workload config; the workload report lines — and
+	// their contribution to the fingerprint — exist only then, so
+	// pre-existing fingerprints are unaffected).
+	Workload *workload.Stats
+
 	// EngineEvents is the number of discrete events the engine executed.
 	EngineEvents uint64
 
@@ -133,6 +140,22 @@ func (r *Report) String() string {
 	if r.ViewSamples > 0 {
 		fmt.Fprintf(&b, "  membership view: completeness %.3f, leader convergence %v (%d samples)\n",
 			r.ViewCompleteness, r.LeaderConvergence, r.ViewSamples)
+	}
+	if r.Workload != nil {
+		w := r.Workload
+		fmt.Fprintf(&b, "  workload: %d submitted, %d committed, %d conflicts (rate %.4f), %d retries\n",
+			w.Submitted, w.Committed, w.Conflicts, w.ConflictRate(), w.Retries)
+		fmt.Fprintf(&b, "  workload ordering: %d tx ordered, %d blocks cut (%d by size, %d by timeout)\n",
+			w.OrderedTx, w.BlocksCut, w.CutBySize, w.CutByTimeout)
+		fmt.Fprintf(&b, "  workload errors: %d proposal conflicts, %d endorse, %d submit, %d commit\n",
+			w.ProposalConflicts, w.EndorseErrors, w.SubmitErrors, w.CommitErrors)
+		fmt.Fprintf(&b, "  workload latency: %s\n", w.Latency)
+		if r.Orgs > 1 {
+			for _, ow := range w.Orgs {
+				fmt.Fprintf(&b, "  workload org %d: %d submitted, %d committed, %d conflicts, %d retries, latency p99=%v\n",
+					ow.Org, ow.Submitted, ow.Committed, ow.Conflicts, ow.Retries, ow.Latency.P99)
+			}
+		}
 	}
 	fmt.Fprintf(&b, "  traffic: %.2f MB, overhead %.2fx ideal\n", float64(r.TotalBytes)/1e6, r.Overhead)
 	if r.Orgs > 1 {

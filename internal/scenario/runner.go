@@ -9,6 +9,7 @@ import (
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/metrics"
 	"fabricgossip/internal/wire"
+	"fabricgossip/internal/workload"
 )
 
 // Options parameterizes one scenario run.
@@ -86,10 +87,11 @@ func (o Options) topology() (Topology, error) {
 // runner is the per-run mutable state behind the fault actions and
 // measurement hooks.
 type runner struct {
-	sc  Scenario
-	opt Options
-	top Topology
-	net *harness.Network
+	sc    Scenario
+	opt   Options
+	top   Topology
+	net   *harness.Network
+	plane *workload.Plane // nil unless sc.Workload is set
 
 	rec     *metrics.RecoveryRecorder
 	orgRecs []*metrics.RecoveryRecorder
@@ -163,8 +165,23 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sc.Blocks <= 0 {
+	if sc.Workload != nil {
+		// The workload plane cuts blocks through a real ordering service;
+		// a premade chain would collide with it on block numbers.
+		if sc.Blocks > 0 {
+			return nil, fmt.Errorf("scenario: %q sets both Blocks and Workload", sc.Name)
+		}
+	} else if sc.Blocks <= 0 {
 		return nil, fmt.Errorf("scenario: %q injects no blocks", sc.Name)
+	}
+	if sc.Workload == nil {
+		for _, ev := range sc.Events {
+			switch ev.Action.(type) {
+			case StartWorkload, StopWorkload:
+				return nil, fmt.Errorf("scenario: %q schedules %q without a Workload config",
+					sc.Name, ev.Action)
+			}
+		}
 	}
 	if len(sc.InitialDown) >= top.Total() {
 		return nil, fmt.Errorf("scenario: all %d peers initially down", top.Total())
@@ -265,6 +282,17 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	r.net = net
 	engine := net.Engine
 
+	// The workload plane must install before the cores start (its
+	// per-peer validation pipelines hook OnCommit) and before any restart
+	// event can fire (its rebuild hook must be registered).
+	if sc.Workload != nil {
+		plane, err := workload.Install(net, *sc.Workload)
+		if err != nil {
+			return nil, err
+		}
+		r.plane = plane
+	}
+
 	net.StartAll()
 	if sc.MeasureMembership {
 		// Sample twice a second once the initial heartbeat view has had
@@ -281,12 +309,17 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		r.tracef("start with peers %s down", rangeSpec(sc.InitialDown))
 	}
 
-	// Schedule the workload: the ordering service streams each cut block
-	// to every organization's leader (and retries undelivered backlogs).
-	blocks := harness.BuildChain(sc.Blocks, opt.TxPerBlock, opt.TxPayload, opt.Seed)
-	for i, b := range blocks {
-		b := b
-		engine.At(sc.Warmup+time.Duration(i)*sc.BlockInterval, func() { net.Append(b) })
+	// Schedule the dissemination workload: the ordering service streams
+	// each cut block to every organization's leader (and retries
+	// undelivered backlogs). With a workload plane the chain comes from
+	// the plane's ordering service instead.
+	var blocks []*ledger.Block
+	if sc.Blocks > 0 {
+		blocks = harness.BuildChain(sc.Blocks, opt.TxPerBlock, opt.TxPayload, opt.Seed)
+		for i, b := range blocks {
+			b := b
+			engine.At(sc.Warmup+time.Duration(i)*sc.BlockInterval, func() { net.Append(b) })
+		}
 	}
 
 	// Schedule the fault script.
@@ -416,7 +449,9 @@ func (r *runner) restart(i int) {
 }
 
 // partition cuts peers [0, split) plus the orderer from peers [split, n).
-// Range validation happened in Run.
+// Range validation happened in Run. Workload clients are not listed, so
+// they land in group 0 with the orderer (transport semantics): submissions
+// keep flowing, but endorsement against peers on the far side fails.
 func (r *runner) partition(split int) {
 	sideA := make([]wire.NodeID, 0, split+1)
 	for i := 0; i < split; i++ {
@@ -431,7 +466,10 @@ func (r *runner) partition(split int) {
 }
 
 // isolateOrgs partitions each listed organization into its own group; the
-// remaining organizations and the orderer form the main group.
+// remaining organizations and the orderer form the main group. With a
+// workload plane, an organization's clients are cut off with it (they sit
+// on the organization's site), so an isolated organization's submissions
+// fail as SubmitErrors instead of silently reaching the orderer.
 func (r *runner) isolateOrgs(orgs []int) {
 	cut := make(map[int]bool, len(orgs))
 	for _, o := range orgs {
@@ -443,6 +481,9 @@ func (r *runner) isolateOrgs(orgs []int) {
 		ids := make([]wire.NodeID, 0, r.top.Size(o))
 		for _, i := range r.top.OrgSpan(o) {
 			ids = append(ids, wire.NodeID(i))
+		}
+		if r.plane != nil {
+			ids = append(ids, r.plane.ClientNodes(o)...)
 		}
 		if cut[o] {
 			groups = append(groups, ids)
@@ -595,6 +636,10 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		rep.CaughtUp += or.CaughtUp
 		rep.PendingRecoveries += or.PendingRecoveries
 		rep.OrgReports = append(rep.OrgReports, or)
+	}
+	if r.plane != nil {
+		w := r.plane.Stats()
+		rep.Workload = &w
 	}
 	rep.OrderViolations = r.orderViolations
 	if blockBytes > 0 {

@@ -27,6 +27,7 @@ import (
 
 	"fabricgossip/internal/harness"
 	"fabricgossip/internal/wire"
+	"fabricgossip/internal/workload"
 )
 
 // Scenario is a declarative fault experiment: a dissemination workload plus
@@ -83,6 +84,15 @@ type Scenario struct {
 	// onto its own WAN site with this much extra one-way inter-site
 	// latency. Zero keeps the single shared LAN.
 	WANDelay time.Duration
+
+	// Workload, when set, installs the transaction workload plane
+	// (internal/workload): client populations drive endorsed transactions
+	// through the full execute-order-validate pipeline, with blocks cut by
+	// a real ordering service instead of the premade chain — so Blocks
+	// must be 0. The submission window is scripted with StartWorkload and
+	// StopWorkload events. Nil (the default) keeps the premade-chain
+	// dissemination workload, byte-identical to before.
+	Workload *workload.Config
 
 	Events []Event
 }
@@ -285,6 +295,23 @@ func (a PacketLoss) apply(r *runner) { r.net.Net.SetDropRate(a.Rate) }
 func (a PacketLoss) String() string {
 	return fmt.Sprintf("packet loss %.0f%%", a.Rate*100)
 }
+
+// StartWorkload opens the workload plane's submission window: every client
+// begins its arrival process. Requires Scenario.Workload.
+type StartWorkload struct{}
+
+func (a StartWorkload) apply(r *runner) { r.plane.Start() }
+
+func (a StartWorkload) String() string { return "start workload" }
+
+// StopWorkload closes the submission window: no new transactions are
+// submitted, in-flight ones still resolve and count. Requires
+// Scenario.Workload.
+type StopWorkload struct{}
+
+func (a StopWorkload) apply(r *runner) { r.plane.Stop() }
+
+func (a StopWorkload) String() string { return "stop workload" }
 
 // rangeSpec compactly formats a peer index list: contiguous ascending runs
 // print as "a..b", anything else as an explicit count.

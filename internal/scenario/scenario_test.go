@@ -23,7 +23,22 @@ func TestCatalogHasAtLeastFiveScenarios(t *testing.T) {
 			top = Topology{Sizes: d.Sizes(40)}
 		}
 		sc := d.Build(top)
-		if sc.Blocks <= 0 || sc.BlockInterval <= 0 {
+		if sc.Workload != nil {
+			// Transaction-workload entries cut their own chain; the
+			// submission window must be scripted.
+			if sc.Blocks != 0 {
+				t.Fatalf("%s: premade chain next to a workload plane", d.Name)
+			}
+			hasStart := false
+			for _, ev := range sc.Events {
+				if _, ok := ev.Action.(StartWorkload); ok {
+					hasStart = true
+				}
+			}
+			if !hasStart {
+				t.Fatalf("%s: workload scenario never starts its workload", d.Name)
+			}
+		} else if sc.Blocks <= 0 || sc.BlockInterval <= 0 {
 			t.Fatalf("%s: no workload", d.Name)
 		}
 		if sc.End() <= sc.Warmup {

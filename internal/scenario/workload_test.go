@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fabricgossip/internal/harness"
+	"fabricgossip/internal/workload"
+)
+
+// TestHotkeyZipfSkewIsLoadBearing proves the Zipf knob earns its place in
+// txload-hotkey-contention: the same script with skew disabled (uniform
+// key selection over the same keyspace) must show a materially lower MVCC
+// conflict rate. If contention stopped flowing through the hot keys, the
+// entry would silently degrade into a second steady-state run.
+func TestHotkeyZipfSkewIsLoadBearing(t *testing.T) {
+	def, err := Lookup("txload-hotkey-contention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Peers: 20, Orgs: 2, Seed: 42, Variant: harness.VariantEnhanced}
+	top, err := opt.topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(mutate func(*workload.Config)) workload.Stats {
+		sc := def.Build(top)
+		sc.Name = def.Name
+		mutate(sc.Workload)
+		rep, err := Run(sc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Workload == nil {
+			t.Fatal("workload scenario produced no workload report")
+		}
+		return *rep.Workload
+	}
+
+	skewed := run(func(*workload.Config) {})
+	uniform := run(func(cfg *workload.Config) { cfg.ZipfS = 0 })
+
+	if skewed.Committed == 0 || uniform.Committed == 0 {
+		t.Fatalf("degenerate runs: skewed %+v, uniform %+v", skewed, uniform)
+	}
+	sr, ur := skewed.ConflictRate(), uniform.ConflictRate()
+	if sr < 3*ur {
+		t.Fatalf("zipf skew not load-bearing: skewed conflict rate %.4f vs uniform %.4f", sr, ur)
+	}
+}
+
+// TestWorkloadAccountingCloses pins the plane's conservation property on
+// the fault-free entry: every submitted transaction resolves as exactly
+// one commit or one conflict by the end of the run, blocks really come
+// from the ordering service, and the fault counters stay zero.
+func TestWorkloadAccountingCloses(t *testing.T) {
+	rep, err := RunNamed("txload-steady", Options{Peers: 20, Seed: 42, Variant: harness.VariantEnhanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rep.Workload
+	if w == nil {
+		t.Fatal("no workload report")
+	}
+	if w.Submitted == 0 || w.Committed == 0 {
+		t.Fatalf("no load flowed: %+v", w)
+	}
+	if w.Submitted != w.Committed+w.Conflicts {
+		t.Fatalf("accounting leak: %d submitted, %d committed + %d conflicts",
+			w.Submitted, w.Committed, w.Conflicts)
+	}
+	if uint64(w.Submitted) != w.OrderedTx {
+		t.Fatalf("orderer saw %d txs, clients submitted %d", w.OrderedTx, w.Submitted)
+	}
+	if w.BlocksCut == 0 || w.BlocksCut != w.CutBySize+w.CutByTimeout {
+		t.Fatalf("block cutting off: %+v", w)
+	}
+	if w.EndorseErrors != 0 || w.SubmitErrors != 0 || w.CommitErrors != 0 || w.ProposalConflicts != 0 {
+		t.Fatalf("fault counters nonzero in fault-free run: %+v", w)
+	}
+	if w.Latency.N != w.Committed {
+		t.Fatalf("latency samples %d, commits %d", w.Latency.N, w.Committed)
+	}
+	if len(w.Orgs) != rep.Orgs {
+		t.Fatalf("per-org breakdown has %d orgs, topology %d", len(w.Orgs), rep.Orgs)
+	}
+	var sub, com int
+	for _, ow := range w.Orgs {
+		sub += ow.Submitted
+		com += ow.Committed
+	}
+	if sub != w.Submitted || com != w.Committed {
+		t.Fatalf("per-org breakdown does not sum to totals: %+v", w)
+	}
+	if !strings.Contains(rep.String(), "workload: ") {
+		t.Fatal("report misses the workload section")
+	}
+}
+
+// TestOrgOutageStarvesEndorsement pins the fault leg of
+// txload-org-outage-under-load: while the victim organization is down its
+// clients' proposals must fail (their only endorsers are crashed), and the
+// in-flight backlog still resolves once the org recommits the chain — no
+// pending transaction leaks.
+func TestOrgOutageStarvesEndorsement(t *testing.T) {
+	rep, err := RunNamed("txload-org-outage-under-load", Options{Peers: 20, Seed: 42, Variant: harness.VariantEnhanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rep.Workload
+	if w == nil {
+		t.Fatal("no workload report")
+	}
+	if w.EndorseErrors == 0 {
+		t.Fatalf("victim org endorsed through its own outage: %+v", w)
+	}
+	if w.Submitted != w.Committed+w.Conflicts {
+		t.Fatalf("outage leaked pending transactions: %d submitted, %d committed + %d conflicts",
+			w.Submitted, w.Committed, w.Conflicts)
+	}
+	victim := w.Orgs[len(w.Orgs)-1]
+	healthy := w.Orgs[0]
+	if victim.EndorseErrors == 0 || healthy.EndorseErrors != 0 {
+		t.Fatalf("endorse errors on the wrong org: victim %+v, healthy %+v", victim, healthy)
+	}
+	if victim.Committed == 0 {
+		t.Fatal("victim org never resumed committing after restart")
+	}
+}
+
+// TestWorkloadScriptValidation covers the scripting error paths: a premade
+// chain and the workload plane cannot coexist (they would collide on block
+// numbers), and the window actions demand a workload config.
+func TestWorkloadScriptValidation(t *testing.T) {
+	opt := Options{Peers: 6, Seed: 1}
+	_, err := Run(Scenario{
+		Name:     "bad-both",
+		Blocks:   3,
+		Warmup:   time.Second,
+		Tail:     time.Second,
+		Workload: &workload.Config{},
+	}, opt)
+	if err == nil || !strings.Contains(err.Error(), "Blocks") {
+		t.Fatalf("Blocks+Workload accepted: %v", err)
+	}
+	_, err = Run(Scenario{
+		Name:   "bad-start",
+		Blocks: 3,
+		Warmup: time.Second,
+		Tail:   time.Second,
+		Events: []Event{{At: time.Second, Action: StartWorkload{}}},
+	}, opt)
+	if err == nil {
+		t.Fatal("StartWorkload without Workload accepted")
+	}
+	_, err = Run(Scenario{
+		Name:     "bad-config",
+		Warmup:   time.Second,
+		Tail:     time.Second,
+		Workload: &workload.Config{ZipfS: 0.5},
+		Events:   []Event{{At: time.Second, Action: StartWorkload{}}},
+	}, opt)
+	if err == nil || !strings.Contains(err.Error(), "ZipfS") {
+		t.Fatalf("invalid ZipfS accepted: %v", err)
+	}
+}

@@ -1,0 +1,650 @@
+// Package workload is the deterministic transaction workload plane: it
+// drives simulated client transactions through the full
+// execute-order-validate pipeline (endorse → order → gossip → validate →
+// commit) of a harness.Network, on the same discrete-event engine as the
+// dissemination it loads. Arrival models cover open-loop fixed-rate and
+// Poisson processes and a closed loop with think time; key selection is
+// uniform or Zipf-skewed over a configurable keyspace; clients populate
+// each organization and endorse against their own organization's endorsing
+// peers; validation-time conflicts can be retried a bounded number of
+// times. Everything draws from named engine streams, so installing the
+// plane perturbs no pre-existing random stream and the same seed reproduces
+// the same run byte for byte.
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fabricgossip/internal/chaincode"
+	"fabricgossip/internal/client"
+	"fabricgossip/internal/crypto"
+	"fabricgossip/internal/endorse"
+	"fabricgossip/internal/gossip"
+	"fabricgossip/internal/harness"
+	"fabricgossip/internal/ledger"
+	"fabricgossip/internal/metrics"
+	"fabricgossip/internal/msp"
+	"fabricgossip/internal/order"
+	"fabricgossip/internal/peer"
+	"fabricgossip/internal/sim"
+	"fabricgossip/internal/transport"
+	"fabricgossip/internal/wire"
+)
+
+// Arrival selects the workload's arrival model.
+type Arrival string
+
+const (
+	// ArrivalFixed is an open loop at a fixed per-client rate.
+	ArrivalFixed Arrival = "fixed"
+	// ArrivalPoisson is an open loop with exponential inter-arrival times
+	// at the configured mean rate per client.
+	ArrivalPoisson Arrival = "poisson"
+	// ArrivalClosed is a closed loop: each client keeps one transaction in
+	// flight and thinks for Think between completions.
+	ArrivalClosed Arrival = "closed"
+)
+
+// Config parameterizes the workload plane.
+type Config struct {
+	// ClientsPerOrg is the client population of each organization
+	// (default 2).
+	ClientsPerOrg int
+	// Rate is the per-client transaction rate in tx/s for the open-loop
+	// models (default 5).
+	Rate float64
+	// Arrival selects the arrival model (default ArrivalFixed).
+	Arrival Arrival
+	// Think is the closed-loop think time between a completion and the
+	// next submission (default 200 ms).
+	Think time.Duration
+
+	// Keys is the keyspace size clients pick from (default 64).
+	Keys int
+	// ZipfS, when > 1, skews key selection with a Zipf(s) distribution
+	// over the keyspace — the hot-key contention knob. Zero or anything
+	// <= 1 selects keys uniformly.
+	ZipfS float64
+
+	// RetryMax is how many times a transaction invalidated by an MVCC
+	// conflict is re-endorsed and resubmitted (default 0: conflicted
+	// transactions are not resent, as in the paper's §V-D accounting).
+	RetryMax int
+
+	// EndorsersPerOrg is how many of each organization's lowest-indexed
+	// peers endorse its clients' proposals (default 1). PolicyRequired is
+	// the N of the N-of-M validation policy over all endorsers (default 1).
+	EndorsersPerOrg int
+	PolicyRequired  int
+
+	// ValidationPerTx is the modelled per-transaction validation cost on
+	// every peer (default 2 ms — scaled down from the paper's 50 ms so
+	// thousand-peer runs stay fast; Table II keeps the calibrated value).
+	ValidationPerTx time.Duration
+	// MaxTxPerBlock and BatchTimeout parameterize block cutting (defaults
+	// 50 and 1 s). OrdererDelay is the solo consenter's commit latency
+	// (default 5 ms).
+	MaxTxPerBlock int
+	BatchTimeout  time.Duration
+	OrdererDelay  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClientsPerOrg == 0 {
+		c.ClientsPerOrg = 2
+	}
+	if c.Rate == 0 {
+		c.Rate = 5
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalFixed
+	}
+	if c.Think == 0 {
+		c.Think = 200 * time.Millisecond
+	}
+	if c.Keys == 0 {
+		c.Keys = 64
+	}
+	if c.EndorsersPerOrg == 0 {
+		c.EndorsersPerOrg = 1
+	}
+	if c.PolicyRequired == 0 {
+		c.PolicyRequired = 1
+	}
+	if c.ValidationPerTx == 0 {
+		c.ValidationPerTx = 2 * time.Millisecond
+	}
+	if c.MaxTxPerBlock == 0 {
+		c.MaxTxPerBlock = 50
+	}
+	if c.BatchTimeout == 0 {
+		c.BatchTimeout = time.Second
+	}
+	if c.OrdererDelay == 0 {
+		c.OrdererDelay = 5 * time.Millisecond
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch c.Arrival {
+	case ArrivalFixed, ArrivalPoisson, ArrivalClosed:
+	default:
+		return fmt.Errorf("workload: unknown arrival model %q", c.Arrival)
+	}
+	if c.Rate <= 0 {
+		return errors.New("workload: rate must be positive")
+	}
+	if c.ZipfS != 0 && c.ZipfS <= 1 {
+		return errors.New("workload: ZipfS must be > 1 (or 0 for uniform)")
+	}
+	return nil
+}
+
+// pendingTx tracks one submitted transaction until its issuing
+// organization resolves it (first commit of its block by any org member).
+type pendingTx struct {
+	client   *planeClient
+	submitAt time.Duration
+	retries  int
+	key      string
+}
+
+// Plane is an installed workload plane over one harness.Network. Install
+// wires it; Start and Stop bound the submission window; Stats snapshots
+// the outcome counters.
+type Plane struct {
+	cfg     Config
+	net     *harness.Network
+	engine  *sim.Engine
+	service *order.Service
+	checker ledger.PolicyChecker
+
+	// peers is the validation pipeline per global peer index, rebuilt on
+	// restart via the network's core hook. endorsers maps an endorsing
+	// peer's global index to its (equally rebuilt) endorser; endorserIdx
+	// lists each organization's endorsing peers.
+	peers       []*peer.Peer
+	endorsers   map[int]*endorse.Endorser
+	endorserIDs map[int]*msp.Identity
+	signers     map[int]*crypto.Signer
+	endorserIdx [][]int
+
+	clients []*planeClient
+
+	running bool
+	// pending maps a submitted transaction's ID to its tracking record.
+	// Looked up only by key — never iterated — so it cannot perturb
+	// determinism.
+	pending map[crypto.Digest]*pendingTx
+	// blockTxs records each cut block's transaction IDs at deliver time so
+	// a peer's CommitResult (block number + per-index codes) can be mapped
+	// back to transactions.
+	blockTxs map[uint64][]crypto.Digest
+	// orgNext is the next block number each organization has yet to
+	// resolve: the first member to commit it processes the outcomes,
+	// later members skip.
+	orgNext []uint64
+
+	stats []orgCounters
+}
+
+// orgCounters accumulates one organization's resolution outcomes.
+type orgCounters struct {
+	committed int
+	conflicts int
+	retries   int
+	latencies []time.Duration
+}
+
+// planeClient is one simulated client: an identity, its own endpoint, its
+// own random stream and key sampler, driving the shared client.Client
+// state machine.
+type planeClient struct {
+	p        *Plane
+	org      int
+	ep       wire.NodeID
+	cl       *client.Client
+	rng      *sim.Rand
+	zipf     *rand.Zipf
+	inFlight bool // closed loop only
+	// seq numbers the client's proposals; its encoding rides in the
+	// transaction payload as Fabric's nonce would. Without it, two
+	// in-flight increments of the same key by the same client against the
+	// same state version would collide on the content-derived transaction
+	// ID and the later one would shadow the earlier in the pending map.
+	seq uint64
+}
+
+// Install wires a workload plane into a built (but not necessarily
+// started) network: per-peer validation pipelines over the existing gossip
+// cores, per-org endorsing peers, an ordering service behind the network's
+// orderer endpoint, and per-org client populations on their own transport
+// endpoints. Must be called before the network starts and before any
+// restart event fires.
+func Install(n *harness.Network, cfg Config) (*Plane, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &Plane{
+		cfg:         cfg,
+		net:         n,
+		engine:      n.Engine,
+		peers:       make([]*peer.Peer, n.TotalPeers()),
+		endorsers:   make(map[int]*endorse.Endorser),
+		endorserIDs: make(map[int]*msp.Identity),
+		signers:     make(map[int]*crypto.Signer),
+		endorserIdx: make([][]int, len(n.Orgs)),
+		pending:     make(map[crypto.Digest]*pendingTx),
+		blockTxs:    make(map[uint64][]crypto.Digest),
+		orgNext:     make([]uint64, len(n.Orgs)),
+		stats:       make([]orgCounters, len(n.Orgs)),
+	}
+
+	// Identities: one MSP enrolls the orderer and every endorsing peer.
+	// The id stream is private to the plane, so installing it leaves every
+	// pre-existing engine stream untouched.
+	idRng := rand.New(rand.NewSource(sim.StreamSeed(n.Params.Seed, "workload/msp")))
+	provider, err := msp.NewProvider(idRng)
+	if err != nil {
+		return nil, err
+	}
+	ordererID, ordererSigner, err := provider.Enroll(msp.RoleOrderer, "ordererOrg", "orderer0", idRng)
+	if err != nil {
+		return nil, err
+	}
+	var policyIDs []*msp.Identity
+	for o, d := range n.Orgs {
+		k := cfg.EndorsersPerOrg
+		if k > d.Size() {
+			k = d.Size()
+		}
+		for j := 0; j < k; j++ {
+			g := d.Lo + j
+			id, signer, err := provider.Enroll(msp.RolePeer,
+				fmt.Sprintf("org%d", o), fmt.Sprintf("peer%d", g), idRng)
+			if err != nil {
+				return nil, err
+			}
+			p.endorserIDs[g] = id
+			p.signers[g] = signer
+			p.endorserIdx[o] = append(p.endorserIdx[o], g)
+			policyIDs = append(policyIDs, id)
+		}
+	}
+	policy := endorse.NewPolicy(cfg.PolicyRequired, policyIDs...)
+	// One shared checker across every peer: the verdict cache (keyed by
+	// transaction ID, bounded) is what lets N peers validate the same
+	// transactions without N times the Ed25519 cost.
+	p.checker = policy.Checker()
+
+	// Validation pipelines over the existing cores, and again for every
+	// core a Restart rebuilds. Orderer-signature verification runs on
+	// endorsing peers only (one verify per block per org instead of per
+	// peer — the cost knob that keeps thousand-peer runs tractable).
+	for g := range n.Cores {
+		p.buildPeer(g, n.Cores[g], ordererID.Key)
+	}
+	n.AddCoreHook(func(global int, core *gossip.Core) {
+		p.buildPeer(global, core, ordererID.Key)
+	})
+
+	// The ordering service lives behind the network's orderer endpoint:
+	// Broadcast arrives as SubmitTx messages, cut blocks enter the
+	// network's existing deliver/redeliver stream via Append.
+	p.service = order.NewService(
+		order.Config{MaxTxPerBlock: cfg.MaxTxPerBlock, BatchTimeout: cfg.BatchTimeout},
+		n.Engine,
+		order.NewSolo(n.Engine, cfg.OrdererDelay),
+		ordererSigner,
+		p.onCut,
+	)
+	n.Orderer.SetHandler(func(_ wire.NodeID, msg wire.Message) {
+		if st, ok := msg.(*wire.SubmitTx); ok {
+			_ = p.service.Broadcast(st.Tx)
+		}
+	})
+
+	// Client populations: each client gets its own endpoint (appended
+	// after the orderer — dense ids keep traffic accounting amortized), a
+	// WAN site co-located with its organization when the network is
+	// WAN-separated, and its own named random stream.
+	for o := range n.Orgs {
+		for j := 0; j < cfg.ClientsPerOrg; j++ {
+			ep := n.Net.AddNode()
+			if n.Params.WANDelay > 0 {
+				n.Net.SetNodeSite(ep.ID(), o)
+			}
+			c := &planeClient{
+				p:   p,
+				org: o,
+				ep:  ep.ID(),
+				rng: n.Engine.Rand(fmt.Sprintf("workload/org%d/client%d", o, j)),
+			}
+			if cfg.ZipfS > 1 {
+				c.zipf = rand.NewZipf(c.rng.Rand, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+			}
+			name := fmt.Sprintf("org%d-client%d", o, j)
+			cl, err := client.NewWithSource(name, p.endorserSource(o), p.submitter(ep))
+			if err != nil {
+				return nil, err
+			}
+			c.cl = cl
+			p.clients = append(p.clients, c)
+		}
+	}
+	return p, nil
+}
+
+// buildPeer (re)builds the validation pipeline for one global peer index
+// over the given core, and — for endorsing peers — a fresh endorser bound
+// to the new pipeline's state database.
+func (p *Plane) buildPeer(global int, core *gossip.Core, ordererKey crypto.PublicKey) {
+	cfg := peer.Config{ValidationPerTx: p.cfg.ValidationPerTx}
+	if _, isEndorser := p.endorserIDs[global]; isEndorser {
+		cfg.OrdererKey = ordererKey
+	}
+	pr := peer.New(core, p.checker, p.engine, cfg)
+	pr.OnCommitResult(p.resolver(global))
+	p.peers[global] = pr
+	if id, ok := p.endorserIDs[global]; ok {
+		e := endorse.NewEndorser(id, p.signers[global], pr.State())
+		e.Install(chaincode.Counter{})
+		p.endorsers[global] = e
+	}
+}
+
+// endorserSource yields an organization's currently live endorsing peers.
+func (p *Plane) endorserSource(org int) client.EndorserSource {
+	return func() []*endorse.Endorser {
+		var out []*endorse.Endorser
+		for _, g := range p.endorserIdx[org] {
+			if !p.net.Crashed(g) {
+				out = append(out, p.endorsers[g])
+			}
+		}
+		return out
+	}
+}
+
+// submitter sends an assembled transaction from the client's endpoint to
+// the ordering service. The simulated transport drops messages to crashed
+// or partitioned-away nodes silently (bytes leave the NIC either way), so
+// reachability is checked explicitly — a Broadcast the orderer can never
+// receive is a submit error the client must count.
+func (p *Plane) submitter(ep *transport.SimEndpoint) client.Submitter {
+	return func(tx *ledger.Transaction) error {
+		if p.net.OrdererCrashed() || !p.net.Net.Reachable(ep.ID(), p.net.Orderer.ID()) {
+			return errors.New("workload: ordering service unreachable")
+		}
+		return ep.Send(p.net.Orderer.ID(), &wire.SubmitTx{Tx: tx})
+	}
+}
+
+// onCut receives each block the ordering service cuts: record its
+// transaction ids for resolution, then hand it to the network's deliver
+// stream.
+func (p *Plane) onCut(b *ledger.Block) {
+	ids := make([]crypto.Digest, len(b.Txs))
+	for i, tx := range b.Txs {
+		ids[i] = tx.ID
+	}
+	p.blockTxs[b.Num] = ids
+	p.net.Append(b)
+}
+
+// resolver returns the commit-result hook for one peer: the first member
+// of an organization to commit a block resolves its transactions for that
+// organization's issuing clients.
+func (p *Plane) resolver(global int) func(ledger.CommitResult) {
+	org := p.net.OrgOf(global)
+	return func(res ledger.CommitResult) {
+		if res.BlockNum != p.orgNext[org] {
+			return // already resolved by a faster member (or a stale peer)
+		}
+		p.orgNext[org]++
+		ids := p.blockTxs[res.BlockNum]
+		for i, code := range res.Codes {
+			if i >= len(ids) {
+				break
+			}
+			p.resolve(org, ids[i], code)
+		}
+	}
+}
+
+// resolve settles one transaction outcome observed by the given
+// organization. Only the issuing organization's observation counts — each
+// org resolves every block, but a transaction is tracked by exactly one
+// pending record held by its issuing client.
+func (p *Plane) resolve(org int, id crypto.Digest, code ledger.ValidationCode) {
+	pt, ok := p.pending[id]
+	if !ok || pt.client.org != org {
+		return
+	}
+	delete(p.pending, id)
+	st := &p.stats[org]
+	switch code {
+	case ledger.CodeValid:
+		st.committed++
+		st.latencies = append(st.latencies, p.engine.Now()-pt.submitAt)
+	default: // MVCC conflict or endorsement failure
+		st.conflicts++
+		if code == ledger.CodeMVCCConflict && pt.retries < p.cfg.RetryMax && p.running {
+			st.retries++
+			pt.client.invoke(pt.key, pt.retries+1)
+			return
+		}
+	}
+	if p.cfg.Arrival == ArrivalClosed {
+		pt.client.completed()
+	}
+}
+
+// Start opens the submission window: every client begins its arrival
+// process. Safe to call from an engine callback.
+func (p *Plane) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	for _, c := range p.clients {
+		c.start()
+	}
+}
+
+// Stop closes the submission window: open-loop arrivals cease and closed
+// loops do not re-arm. In-flight transactions still resolve and count.
+func (p *Plane) Stop() { p.running = false }
+
+// ClientNodes returns the node ids of an organization's client endpoints,
+// so partition-style faults can keep clients on their organization's side.
+func (p *Plane) ClientNodes(org int) []wire.NodeID {
+	var out []wire.NodeID
+	for _, c := range p.clients {
+		if c.org == org {
+			out = append(out, c.ep)
+		}
+	}
+	return out
+}
+
+// start arms the client's first arrival.
+func (c *planeClient) start() {
+	switch c.p.cfg.Arrival {
+	case ArrivalClosed:
+		c.fire()
+	case ArrivalPoisson:
+		c.p.engine.After(time.Duration(c.rng.Exp(float64(time.Second)/c.p.cfg.Rate)), c.fire)
+	default:
+		c.p.engine.After(time.Duration(float64(time.Second)/c.p.cfg.Rate), c.fire)
+	}
+}
+
+// fire is one arrival: submit a transaction and, for open loops, schedule
+// the next arrival. All stop checks happen at fire time so a Stop between
+// schedule and fire consumes no random draw.
+func (c *planeClient) fire() {
+	if !c.p.running {
+		return
+	}
+	if c.p.cfg.Arrival != ArrivalClosed {
+		c.start() // next arrival first: the draw order is fixed per client
+	} else if c.inFlight {
+		return
+	}
+	c.invoke(c.key(), 0)
+}
+
+// key draws the next key: Zipf-skewed over the keyspace when configured,
+// uniform otherwise.
+func (c *planeClient) key() string {
+	var i uint64
+	if c.zipf != nil {
+		i = c.zipf.Uint64()
+	} else {
+		i = uint64(c.rng.Intn(c.p.cfg.Keys))
+	}
+	return fmt.Sprintf("key-%04d", i)
+}
+
+// invoke endorses and submits one counter increment. retries is how many
+// conflict retries this attempt chain has already consumed.
+func (c *planeClient) invoke(key string, retries int) {
+	if c.p.cfg.Arrival == ArrivalClosed {
+		c.inFlight = true
+	}
+	c.seq++
+	var nonce [8]byte
+	binary.BigEndian.PutUint64(nonce[:], c.seq)
+	tx, err := c.cl.Invoke("counter", []string{"incr", key}, nonce[:])
+	if err != nil {
+		// Counted by the client's own stats (endorse/conflict/submit).
+		c.completed()
+		return
+	}
+	c.p.pending[tx.ID] = &pendingTx{
+		client:   c,
+		submitAt: c.p.engine.Now(),
+		retries:  retries,
+		key:      key,
+	}
+}
+
+// completed re-arms a closed-loop client after a terminal outcome.
+func (c *planeClient) completed() {
+	if c.p.cfg.Arrival != ArrivalClosed {
+		return
+	}
+	c.inFlight = false
+	if !c.p.running {
+		return
+	}
+	c.p.engine.After(c.p.cfg.Think, func() {
+		if !c.p.running || c.inFlight {
+			return
+		}
+		c.invoke(c.key(), 0)
+	})
+}
+
+// OrgStats is one organization's workload outcome.
+type OrgStats struct {
+	Org       int
+	Submitted int
+	Committed int
+	Conflicts int
+	Retries   int
+
+	ProposalConflicts int
+	EndorseErrors     int
+	SubmitErrors      int
+	CommitErrors      uint64
+
+	// Latency summarizes submit-to-commit latency: submission to the
+	// first commit of the transaction's block within the issuing
+	// organization.
+	Latency metrics.Summary
+}
+
+// Stats is the plane-wide workload outcome.
+type Stats struct {
+	Orgs []OrgStats
+
+	Submitted int
+	Committed int
+	Conflicts int
+	Retries   int
+
+	ProposalConflicts int
+	EndorseErrors     int
+	SubmitErrors      int
+	CommitErrors      uint64
+
+	// OrderedTx is the ordering service's transaction count; BlocksCut,
+	// CutBySize and CutByTimeout describe its block cutting.
+	OrderedTx    uint64
+	BlocksCut    uint64
+	CutBySize    uint64
+	CutByTimeout uint64
+
+	Latency metrics.Summary
+}
+
+// ConflictRate is the fraction of resolved transactions invalidated by
+// validation (MVCC conflicts and endorsement failures).
+func (s Stats) ConflictRate() float64 {
+	total := s.Committed + s.Conflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Conflicts) / float64(total)
+}
+
+// Stats snapshots the plane's counters. Call after the engine drained.
+func (p *Plane) Stats() Stats {
+	var out Stats
+	var all []time.Duration
+	for o := range p.stats {
+		st := &p.stats[o]
+		os := OrgStats{
+			Org:       o,
+			Committed: st.committed,
+			Conflicts: st.conflicts,
+			Retries:   st.retries,
+			Latency:   metrics.Summarize(metrics.NewDistribution(st.latencies)),
+		}
+		for _, c := range p.clients {
+			if c.org != o {
+				continue
+			}
+			cs := c.cl.Stats()
+			os.Submitted += cs.Submitted
+			os.ProposalConflicts += cs.ProposalConflicts
+			os.EndorseErrors += cs.EndorseErrors
+			os.SubmitErrors += cs.SubmitErrors
+		}
+		for _, g := range p.net.Orgs[o].Peers {
+			os.CommitErrors += p.peers[g].Stats().CommitErrors
+		}
+		all = append(all, st.latencies...)
+		out.Submitted += os.Submitted
+		out.Committed += os.Committed
+		out.Conflicts += os.Conflicts
+		out.Retries += os.Retries
+		out.ProposalConflicts += os.ProposalConflicts
+		out.EndorseErrors += os.EndorseErrors
+		out.SubmitErrors += os.SubmitErrors
+		out.CommitErrors += os.CommitErrors
+		out.Orgs = append(out.Orgs, os)
+	}
+	out.Latency = metrics.Summarize(metrics.NewDistribution(all))
+	out.OrderedTx, out.CutBySize, out.CutByTimeout = p.service.Stats()
+	out.BlocksCut = p.service.Height()
+	return out
+}
