@@ -454,6 +454,47 @@ func BenchmarkScenarioTxloadHotkeyContention(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioConsenterFailover tracks the Raft ordering cluster's
+// failover path (consenter-minority-loss at 2 orgs x 20 peers: one of
+// three consenters crashes under transaction load). Beyond the usual event
+// fingerprint it exports the cluster's health metrics: election_ms (total
+// leaderless time — growth means elections got slower or more frequent)
+// and deliver_gap_ms (the widest pause any organization saw between
+// first-time deliveries — the client-visible cost of a failover) — both
+// gated by cmd/benchdiff.
+func BenchmarkScenarioConsenterFailover(b *testing.B) {
+	var events uint64
+	var electionMs, gapMs float64
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunNamed("consenter-minority-loss", scenario.Options{
+			Peers: 40, Orgs: 2, Variant: harness.VariantEnhanced, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CaughtUp != rep.Survivors {
+			b.Fatalf("%d of %d survivors caught up", rep.CaughtUp, rep.Survivors)
+		}
+		w := rep.Workload
+		if w == nil || w.Committed == 0 {
+			b.Fatalf("no transactions committed: %+v", w)
+		}
+		if w.Submitted != w.Committed+w.Conflicts {
+			b.Fatalf("accounting leak: %d submitted, %d committed + %d conflicts",
+				w.Submitted, w.Committed, w.Conflicts)
+		}
+		events += rep.EngineEvents
+		electionMs = float64(rep.Leaderless) / 1e6
+		gapMs = float64(rep.DeliverGap) / 1e6
+	}
+	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	reportMetric(b, electionMs, "election_ms")
+	reportMetric(b, gapMs, "deliver_gap_ms")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		reportMetric(b, float64(events)/secs, "events_per_s")
+	}
+}
+
 // BenchmarkMultiOrgDissemination measures the fault-free Figure 1 shape on
 // harness.Network directly: 4 orgs x 25 peers, per-org epidemics over a
 // shared LAN, reporting the aggregate p99.9 first-reception latency.

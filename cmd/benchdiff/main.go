@@ -65,6 +65,8 @@ var gatedUnits = map[string]gateMode{
 	"conflicts_enh":         gateEither,
 	"conflict_rate":         gateEither,
 	"commit_tail_ms":        gateIncrease,
+	"election_ms":           gateIncrease,
+	"deliver_gap_ms":        gateIncrease,
 }
 
 type gateMode int

@@ -36,6 +36,7 @@ func main() {
 	orgSizes := flag.String("org-sizes", "", "explicit per-org peer counts, e.g. 50,30,20 (overrides -peers/-orgs; asymmetric consortiums)")
 	variant := flag.String("variant", "enhanced", "protocol: original, enhanced or both")
 	seed := flag.Int64("seed", 1, "root random seed")
+	consenters := flag.Int("consenters", 0, "ordering-cluster size override: run the scenario with this many Raft consenters (0 keeps the scenario's own setting)")
 	check := flag.Bool("check", false, "run each scenario twice and verify identical fingerprints")
 	trace := flag.Bool("trace", false, "print the run's event trace")
 	list := flag.Bool("list", false, "list scenario names and exit")
@@ -81,7 +82,7 @@ func main() {
 
 	for _, n := range names {
 		for _, v := range variants {
-			opt := scenario.Options{Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed}
+			opt := scenario.Options{Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed, Consenters: *consenters}
 			start := time.Now()
 			rep, err := scenario.RunNamed(n, opt)
 			if err != nil {

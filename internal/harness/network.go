@@ -9,6 +9,7 @@ import (
 	"fabricgossip/internal/gossip/original"
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/raft"
 	"fabricgossip/internal/sim"
 	"fabricgossip/internal/transport"
 	"fabricgossip/internal/wire"
@@ -73,6 +74,24 @@ type NetworkParams struct {
 	// transport's O(1)-per-send site assignment. Intra-org traffic stays
 	// on the LAN.
 	WANDelay time.Duration
+
+	// Consenters runs the ordering service as a Raft cluster of this many
+	// consenter nodes instead of the single crashable orderer endpoint.
+	// Zero (the default) keeps the legacy single-orderer model untouched —
+	// config-gated exactly like the statesync and membership extractions.
+	// With Consenters > 0 the Orderer endpoint is not created: the chain
+	// is replicated through the Raft log (each consenter appends it by
+	// applying the same committed entries) and only the current Raft
+	// leader serves deliver streams to org leader peers, rewinding each
+	// stream on leadership change via the existing deliver-rewind
+	// machinery. Orderer-stall anchor recovery needs no changes: peers
+	// key stall detection to DeliverBlock receipt, which in cluster mode
+	// is exactly leader silence.
+	Consenters int
+	// ConsenterSpread, with WANDelay, scatters consenters round-robin
+	// across the organizations' WAN sites instead of co-locating them all
+	// on the ordering site — the WAN-separated consenter deployment.
+	ConsenterSpread bool
 }
 
 func (p NetworkParams) withDefaults() NetworkParams {
@@ -142,12 +161,16 @@ type Network struct {
 	Traffic *netmodel.Traffic
 	Orgs    []*OrgDomain
 	// Cores is indexed by global peer index.
-	Cores   []*gossip.Core
+	Cores []*gossip.Core
+	// Orderer is the legacy single ordering endpoint; nil when the
+	// ordering service runs as a consenter cluster (Params.Consenters > 0).
 	Orderer *transport.SimEndpoint
 
-	tune      func(self wire.NodeID, cfg *gossip.Config)
-	onCore    []func(global int, c *gossip.Core)
-	onDeliver func(org, peer int, b *ledger.Block, redelivery bool)
+	tune        func(self wire.NodeID, cfg *gossip.Config)
+	onCore      []func(global int, c *gossip.Core)
+	onDeliver   func(org, peer int, b *ledger.Block, redelivery bool)
+	onSubmitTx  func(consenter int, tx *ledger.Transaction)
+	onConsenter func(consenter int, s raft.State, term uint64)
 
 	eps         []*transport.SimEndpoint
 	crashed     []bool
@@ -162,6 +185,15 @@ type Network struct {
 	lastLead  []int
 	highWater []int
 	pump      sim.Timer
+
+	// cluster is the replicated ordering service (nil in legacy mode).
+	cluster *consenterCluster
+
+	// Per-org deliver-gap tracking: time of the last first-time delivery
+	// and the widest observed gap between consecutive ones — the ordering
+	// outage as an org experiences it (elections, crashes, partitions).
+	lastDeliverAt []time.Duration
+	maxDeliverGap []time.Duration
 }
 
 // NetworkOption tweaks network construction.
@@ -269,15 +301,22 @@ func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
 			n.Cores[g] = n.buildCore(g)
 		}
 	}
-	n.Orderer = n.Net.AddNode()
+	if p.Consenters > 0 {
+		n.buildCluster(p.Consenters)
+	} else {
+		n.Orderer = n.Net.AddNode()
+	}
 	if p.WANDelay > 0 {
 		n.applyWAN(p.WANDelay)
 	}
 	n.nextIdx = make([]int, len(n.Orgs))
 	n.highWater = make([]int, len(n.Orgs))
 	n.lastLead = make([]int, len(n.Orgs))
+	n.lastDeliverAt = make([]time.Duration, len(n.Orgs))
+	n.maxDeliverGap = make([]time.Duration, len(n.Orgs))
 	for i := range n.lastLead {
 		n.lastLead[i] = -1
+		n.lastDeliverAt[i] = -1
 	}
 	return n, nil
 }
@@ -347,7 +386,18 @@ func (n *Network) applyWAN(d time.Duration) {
 	for g := range n.Cores {
 		n.Net.SetNodeSite(wire.NodeID(g), n.orgOf[g])
 	}
-	n.Net.SetNodeSite(n.Orderer.ID(), len(n.Orgs))
+	if n.Orderer != nil {
+		n.Net.SetNodeSite(n.Orderer.ID(), len(n.Orgs))
+	}
+	if n.cluster != nil {
+		for i, ep := range n.cluster.eps {
+			site := len(n.Orgs)
+			if n.Params.ConsenterSpread {
+				site = i % len(n.Orgs)
+			}
+			n.Net.SetNodeSite(ep.ID(), site)
+		}
+	}
 	n.Net.SetSiteDelay(d)
 }
 
@@ -370,11 +420,17 @@ func (n *Network) TotalPeers() int { return len(n.Cores) }
 // OrgOf returns the organization index owning the given global peer index.
 func (n *Network) OrgOf(global int) int { return n.orgOf[global] }
 
-// StartAll starts every peer's core and arms the ordering service's
-// redelivery timer.
+// StartAll starts every peer's core, the consenter cluster (if any), and
+// arms the ordering service's redelivery timer.
 func (n *Network) StartAll() {
 	for _, c := range n.Cores {
 		c.Start()
+	}
+	if n.cluster != nil && !n.cluster.started {
+		n.cluster.started = true
+		for _, node := range n.cluster.nodes {
+			node.Start()
+		}
 	}
 	if n.pump == nil {
 		n.pump = n.Engine.Every(n.Params.RedeliverInterval, n.pumpAll)
@@ -386,6 +442,14 @@ func (n *Network) StopAll() {
 	for g, c := range n.Cores {
 		if !n.crashed[g] {
 			c.Stop()
+		}
+	}
+	if n.cluster != nil {
+		for i, node := range n.cluster.nodes {
+			if !n.cluster.down[i] {
+				node.Stop()
+			}
+			n.cluster.shims[i].Stop()
 		}
 	}
 	if n.pump != nil {
@@ -427,13 +491,21 @@ func (n *Network) Restart(global int) *gossip.Core {
 // Crashed reports whether the peer at the given global index is crashed.
 func (n *Network) Crashed(global int) bool { return n.crashed[global] }
 
-// CrashOrderer fails the ordering service: its endpoint goes silent, every
+// CrashOrderer fails the whole ordering service: in legacy mode the single
+// orderer endpoint goes silent; in cluster mode every consenter crashes (a
+// total ordering outage — use CrashConsenter for partial faults). Every
 // organization's deliver stream dies with it, and no blocks reach any
 // leader until RestartOrderer. With AnchorRecovery enabled, organizations
 // that fall behind can still catch up through remote anchor peers — the
 // paper-external scenario this harness models after Fabric's deliver
 // fallback. No-op if already crashed.
 func (n *Network) CrashOrderer() {
+	if n.cluster != nil {
+		for i := range n.cluster.nodes {
+			n.CrashConsenter(i)
+		}
+		return
+	}
 	if n.ordererDown {
 		return
 	}
@@ -444,10 +516,22 @@ func (n *Network) CrashOrderer() {
 	}
 }
 
-// RestartOrderer revives a crashed ordering service; its chain state is
-// durable, so the next pump resumes each organization's stream (rewinding
-// to the current leader's height). No-op if not crashed.
+// RestartOrderer revives a crashed ordering service. Chain state survives
+// the restart in both modes, but through different mechanisms: the legacy
+// orderer's chain slice models a durable ledger, so the next pump resumes
+// each organization's stream exactly where the chain left off (rewinding
+// to the current leader's height) — TestRestartOrdererChainDurability pins
+// this down. In cluster mode every consenter restarts and rejoins by Raft
+// log replay — term, vote, and log are modelled durable; only role is
+// volatile (see raft.Node.Stop) — rather than from fresh state. No-op if
+// not crashed.
 func (n *Network) RestartOrderer() {
+	if n.cluster != nil {
+		for i := range n.cluster.nodes {
+			n.RestartConsenter(i)
+		}
+		return
+	}
 	if !n.ordererDown {
 		return
 	}
@@ -456,8 +540,19 @@ func (n *Network) RestartOrderer() {
 	n.pumpAll()
 }
 
-// OrdererCrashed reports whether the ordering service is currently down.
-func (n *Network) OrdererCrashed() bool { return n.ordererDown }
+// OrdererCrashed reports whether the ordering service is entirely down: the
+// legacy orderer crashed, or (cluster mode) no consenter is live.
+func (n *Network) OrdererCrashed() bool {
+	if n.cluster != nil {
+		for i := range n.cluster.down {
+			if !n.cluster.down[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return n.ordererDown
+}
 
 // LiveCount returns the number of non-crashed peers across the network.
 func (n *Network) LiveCount() int {
@@ -483,10 +578,22 @@ func (n *Network) OrgLeader(org int) int {
 	return -1
 }
 
-// Append hands a freshly cut block to the ordering service, which streams
-// it (and any per-org backlog) to each organization's leader immediately.
+// Append hands a freshly cut block to the ordering service. In legacy mode
+// it lands on the chain and streams to each organization's leader
+// immediately. In cluster mode the block is an ordering input, not an
+// ordering output: it is submitted through every consenter's Raft shim and
+// joins the chain only when the replicated log commits it (the shims retry
+// through elections forever, so an injected block may be delayed by a
+// leaderless window but never lost while a quorum eventually exists).
 // Blocks must be appended in increasing, gap-free order.
 func (n *Network) Append(b *ledger.Block) {
+	if n.cluster != nil {
+		data := encodeBlockEntry(b)
+		for _, shim := range n.cluster.shims {
+			_ = shim.Submit(data)
+		}
+		return
+	}
 	n.chain = append(n.chain, b)
 	n.pumpAll()
 }
@@ -500,19 +607,50 @@ func (n *Network) pumpAll() {
 	}
 }
 
+// deliverSource returns the endpoint currently serving deliver streams and
+// how much chain prefix it may serve: the single orderer over the whole
+// chain in legacy mode, or — cluster mode — the current Raft leader over
+// the prefix it has itself applied (a freshly elected leader mid-replay
+// must not stream blocks it has not reached). A nil endpoint means the
+// ordering service is silent: orderer crashed, or no consenter currently
+// leads (election in progress, quorum lost).
+func (n *Network) deliverSource() (*transport.SimEndpoint, int) {
+	if n.cluster == nil {
+		if n.ordererDown {
+			return nil, 0
+		}
+		return n.Orderer, len(n.chain)
+	}
+	l := n.cluster.leader
+	if l < 0 || n.cluster.down[l] {
+		return nil, 0
+	}
+	limit := n.cluster.height[l]
+	if limit > len(n.chain) {
+		limit = len(n.chain)
+	}
+	return n.cluster.eps[l], limit
+}
+
 // pumpOrg advances one organization's deliver stream: it streams the
-// undelivered chain suffix to the lowest-id live peer the orderer can
-// currently reach (a partition can leave the elected leader on the far
+// undelivered chain suffix to the lowest-id live peer the serving endpoint
+// can currently reach (a partition can leave the elected leader on the far
 // side, in which case the orderer serves the leader of its own side). When
-// the stream target changes — failover to another peer, or a restarted
-// leader reopening its session — the stream rewinds to the new leader's own
+// the stream target changes — failover to another peer, a restarted leader
+// reopening its session, or (cluster mode) a consenter leadership change
+// resetting every session — the stream rewinds to the new leader's own
 // ledger height, exactly how Fabric leaders pull blocks from the ordering
 // service starting at their current height.
 func (n *Network) pumpOrg(org int) {
+	src, limit := n.deliverSource()
+	if src == nil {
+		n.lastLead[org] = -1
+		return
+	}
 	d := n.Orgs[org]
 	target := -1
 	for g := d.Lo; g < d.Hi; g++ {
-		if !n.crashed[g] && n.Net.Reachable(n.Orderer.ID(), wire.NodeID(g)) {
+		if !n.crashed[g] && n.Net.Reachable(src.ID(), wire.NodeID(g)) {
 			target = g
 			break
 		}
@@ -530,13 +668,20 @@ func (n *Network) pumpOrg(org int) {
 		}
 		n.nextIdx[org] = pos
 	}
-	for sent := 0; n.nextIdx[org] < len(n.chain) && sent < n.Params.RedeliverBatch; sent++ {
+	for sent := 0; n.nextIdx[org] < limit && sent < n.Params.RedeliverBatch; sent++ {
 		b := n.chain[n.nextIdx[org]]
 		redelivery := n.nextIdx[org] < n.highWater[org]
-		_ = n.Orderer.Send(wire.NodeID(target), &wire.DeliverBlock{Block: b})
+		_ = src.Send(wire.NodeID(target), &wire.DeliverBlock{Block: b})
 		n.nextIdx[org]++
 		if n.nextIdx[org] > n.highWater[org] {
 			n.highWater[org] = n.nextIdx[org]
+			now := n.Engine.Now()
+			if last := n.lastDeliverAt[org]; last >= 0 {
+				if gap := now - last; gap > n.maxDeliverGap[org] {
+					n.maxDeliverGap[org] = gap
+				}
+			}
+			n.lastDeliverAt[org] = now
 		}
 		if n.onDeliver != nil {
 			n.onDeliver(org, target, b, redelivery)

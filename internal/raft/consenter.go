@@ -5,31 +5,59 @@ import (
 	"time"
 
 	"fabricgossip/internal/sim"
+	"fabricgossip/internal/wire"
 )
 
 // Consenter adapts a Raft node to the ordering service's Consenter
-// interface with at-least-once submission semantics: every submitted
-// payload is tracked until it is observed in the committed stream, and
-// re-proposed if it has not committed within a sweep interval (covering
-// lost forwards to a crashed leader and leaderless windows). This mirrors
-// the Kafka producer semantics of the paper's deployment; exactly-once is
-// not required because the downstream validation phase is idempotent
-// (duplicate transactions fail MVCC, duplicate time-to-cut markers are
-// ignored by the block cutter).
+// interface with reliable submission and exactly-once delivery:
+//
+//   - Every submitted payload is buffered until it is observed in the
+//     committed stream. Node.Propose on a non-leader forwards to the known
+//     leader, but during an election there is no leader to forward to
+//     (ErrNotLeader) and a forward racing a leadership change can land on a
+//     node that must drop it — so the buffer, not the caller, owns
+//     redelivery: pending payloads are re-proposed the moment a leader
+//     becomes known (Node.OnLeaderChange) and again on a periodic sweep
+//     (covering a leader that crashed after accepting but before
+//     committing).
+//   - Re-proposal can place a payload in the log twice. By default the
+//     duplicates are delivered as-is — at-least-once, absorbed by MVCC
+//     validation downstream. SetDedup opts into exactly-once delivery over
+//     a bounded window of recently applied payloads, for callers whose
+//     payloads are content-unique (distinct submissions always differ in
+//     bytes). The window is driven purely by the (identical) apply stream,
+//     so every consenter in the cluster suppresses the same duplicates and
+//     cuts the same blocks.
+//
+// Retry scanning and re-proposal follow submission order, keeping the
+// shim's behavior a pure function of the schedule — a requirement on the
+// deterministic sim engine.
 type Consenter struct {
 	node  *Node
 	sched sim.Scheduler
 
 	mu       sync.Mutex
 	commitFn func(data []byte)
-	pending  map[string]time.Duration // payload -> submission time
+	// pending maps payload -> last proposal time; order keeps the pending
+	// keys in submission order (entries whose key has left the map are
+	// skipped and compacted on sweep).
+	pending  map[string]time.Duration
+	order    []string
 	sweeping bool
 	stopped  bool
+
+	// seen is the exactly-once window over applied payloads: a FIFO set of
+	// the last dedupWindow entries. dedupWindow 0 (the default) disables
+	// deduplication.
+	seen        map[string]struct{}
+	seenQ       []string
+	dedupWindow int
 
 	// sweepInterval is how often unacknowledged payloads are re-proposed.
 	sweepInterval time.Duration
 	// maxAge drops payloads that failed to commit for this long (clients
-	// resubmit at their level).
+	// resubmit at their level). Zero or negative retries forever — the
+	// harness's mode, where a lost entry would wedge the chain.
 	maxAge time.Duration
 }
 
@@ -40,14 +68,45 @@ func NewConsenter(node *Node, sched sim.Scheduler) *Consenter {
 		node:          node,
 		sched:         sched,
 		pending:       make(map[string]time.Duration),
+		seen:          make(map[string]struct{}),
 		sweepInterval: 250 * time.Millisecond,
 		maxAge:        30 * time.Second,
 	}
+	node.OnLeaderChange(func(_ wire.NodeID, known bool) {
+		if known {
+			c.flush()
+		}
+	})
 	return c
 }
 
 // Node returns the wrapped Raft node.
 func (c *Consenter) Node() *Node { return c.node }
+
+// SetRetry tunes the redelivery sweep: interval between re-proposals and
+// the age past which an uncommitted payload is dropped (maxAge <= 0 never
+// drops — required when the payloads are harness chain blocks that must
+// eventually commit).
+func (c *Consenter) SetRetry(interval, maxAge time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if interval > 0 {
+		c.sweepInterval = interval
+	}
+	c.maxAge = maxAge
+}
+
+// SetDedup opts into exactly-once delivery: committed payloads seen within
+// the last window applies are suppressed as duplicates. Only valid when
+// distinct submissions are guaranteed distinct bytes (a nonce, a block
+// number); identical re-submissions of the same content — e.g. a client
+// re-endorsing an unchanged transaction after a conflict — would be
+// swallowed. Zero disables (the default).
+func (c *Consenter) SetDedup(window int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dedupWindow = window
+}
 
 // Stop halts the retry sweep.
 func (c *Consenter) Stop() {
@@ -56,14 +115,28 @@ func (c *Consenter) Stop() {
 	c.stopped = true
 }
 
-// OnCommit implements order.Consenter.
+// OnCommit implements order.Consenter. Committed entries are delivered in
+// log order, exactly once across the dedup window.
 func (c *Consenter) OnCommit(fn func(data []byte)) {
 	c.mu.Lock()
 	c.commitFn = fn
 	c.mu.Unlock()
 	c.node.OnApply(func(data []byte) {
+		key := string(data)
 		c.mu.Lock()
-		delete(c.pending, string(data))
+		delete(c.pending, key)
+		if c.dedupWindow > 0 {
+			if _, dup := c.seen[key]; dup {
+				c.mu.Unlock()
+				return // a re-proposed copy: already delivered downstream
+			}
+			c.seen[key] = struct{}{}
+			c.seenQ = append(c.seenQ, key)
+			if len(c.seenQ) > c.dedupWindow {
+				delete(c.seen, c.seenQ[0])
+				c.seenQ = c.seenQ[1:]
+			}
+		}
 		cb := c.commitFn
 		c.mu.Unlock()
 		if cb != nil {
@@ -74,20 +147,42 @@ func (c *Consenter) OnCommit(fn func(data []byte)) {
 
 // Submit implements order.Consenter.
 func (c *Consenter) Submit(data []byte) error {
+	key := string(data)
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()
 		return nil
 	}
-	c.pending[string(data)] = c.sched.Now()
+	if _, exists := c.pending[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.pending[key] = c.sched.Now()
 	if !c.sweeping {
 		c.sweeping = true
 		c.armSweepLocked()
 	}
 	c.mu.Unlock()
-	// Best-effort immediate proposal; the sweep covers failures.
+	// Best-effort immediate proposal; flush-on-leader and the sweep cover
+	// elections and crashed leaders.
 	_ = c.node.Propose(data)
 	return nil
+}
+
+// flush re-proposes every pending payload in submission order — called the
+// moment a leader becomes known, so envelopes buffered through an election
+// reach the new leader without waiting out a sweep interval.
+func (c *Consenter) flush() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	now := c.sched.Now()
+	retry := c.collectPendingLocked(now, false)
+	c.mu.Unlock()
+	for _, data := range retry {
+		_ = c.node.Propose(data)
+	}
 }
 
 func (c *Consenter) armSweepLocked() {
@@ -101,21 +196,7 @@ func (c *Consenter) sweep() {
 		return
 	}
 	now := c.sched.Now()
-	var retry [][]byte
-	for key, at := range c.pending {
-		age := now - at
-		if age > c.maxAge {
-			delete(c.pending, key)
-			continue
-		}
-		if age < c.sweepInterval {
-			continue // freshly submitted: the first proposal is in flight
-		}
-		// Re-proposing resets the age so a slow-but-successful commit is
-		// not re-proposed again on the very next sweep.
-		c.pending[key] = now
-		retry = append(retry, []byte(key))
-	}
+	retry := c.collectPendingLocked(now, true)
 	if len(c.pending) > 0 {
 		c.armSweepLocked()
 	} else {
@@ -125,4 +206,37 @@ func (c *Consenter) sweep() {
 	for _, data := range retry {
 		_ = c.node.Propose(data)
 	}
+}
+
+// collectPendingLocked walks the submission-ordered pending queue,
+// compacting entries that have committed, expiring those past maxAge
+// (sweeps only), and returning the payloads due for re-proposal. Age
+// gating applies on sweeps only: a flush re-proposes everything — its
+// trigger (a new leader) is exactly the moment in-flight proposals may
+// have died.
+func (c *Consenter) collectPendingLocked(now time.Duration, ageGate bool) [][]byte {
+	var retry [][]byte
+	kept := c.order[:0]
+	for _, key := range c.order {
+		at, ok := c.pending[key]
+		if !ok {
+			continue // committed since: compact
+		}
+		age := now - at
+		if ageGate && c.maxAge > 0 && age > c.maxAge {
+			delete(c.pending, key)
+			continue
+		}
+		if ageGate && age < c.sweepInterval {
+			kept = append(kept, key)
+			continue // freshly proposed: give the in-flight copy time
+		}
+		// Re-proposing resets the age so a slow-but-successful commit is
+		// not re-proposed again on the very next sweep.
+		c.pending[key] = now
+		retry = append(retry, []byte(key))
+		kept = append(kept, key)
+	}
+	c.order = kept
+	return retry
 }

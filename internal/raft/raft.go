@@ -99,6 +99,15 @@ type Node struct {
 	votes       map[wire.NodeID]bool
 	nextIndex   map[wire.NodeID]uint64
 	matchIndex  map[wire.NodeID]uint64
+	// inflight marks followers with an unanswered AppendEntries. Proposal
+	// and response-driven sends skip those followers, so replication keeps
+	// at most one append in flight per follower (each response triggers at
+	// most one resend to its sender); without the bound a saturated
+	// cluster's append/response traffic feeds on itself and the message
+	// population grows without limit. The heartbeat path overrides the
+	// bound, so a lost append or response wedges a follower for at most
+	// one heartbeat interval.
+	inflight map[wire.NodeID]bool
 
 	electionTimer  sim.Timer
 	heartbeatTimer sim.Timer
@@ -107,6 +116,12 @@ type Node struct {
 	applyFn func(data []byte)
 	// onStateChange is a test/diagnostic hook.
 	onStateChange func(State, uint64)
+	// onLeaderChange observes this node's leader view; notifications are
+	// delivered asynchronously (After(0)) so the hook may call back into
+	// the node (e.g. to flush buffered proposals to a new leader).
+	onLeaderChange func(leader wire.NodeID, known bool)
+	notifiedLeader wire.NodeID
+	notifiedKnown  bool
 }
 
 // New creates a node and installs its message handler on the endpoint. The
@@ -121,6 +136,7 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand) 
 		votes:      make(map[wire.NodeID]bool),
 		nextIndex:  make(map[wire.NodeID]uint64),
 		matchIndex: make(map[wire.NodeID]uint64),
+		inflight:   make(map[wire.NodeID]bool),
 	}
 	ep.SetHandler(n.handle)
 	return n
@@ -133,14 +149,43 @@ func (n *Node) OnApply(fn func(data []byte)) { n.applyFn = fn }
 // OnStateChange installs a hook observing role transitions.
 func (n *Node) OnStateChange(fn func(State, uint64)) { n.onStateChange = fn }
 
-// Start arms the election timeout.
+// OnLeaderChange installs a hook observing this node's view of the current
+// leader: (leader, true) when one is known, (0, false) in leaderless
+// windows. Notifications are asynchronous, so the hook may Propose.
+func (n *Node) OnLeaderChange(fn func(leader wire.NodeID, known bool)) { n.onLeaderChange = fn }
+
+// Start arms the election timeout. Calling it on a stopped node restarts
+// it: Raft roles are volatile, so a restarted node — even an ex-leader —
+// rejoins as a follower, keeping its (modelled-durable) term, vote and log.
+// The cluster's leader then repairs it by replaying the missed log suffix
+// through ordinary AppendEntries.
 func (n *Node) Start() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.stopped = false
+	demoted := n.state != Follower
+	if demoted {
+		n.state = Follower
+	}
+	n.hasLead = false
+	if n.heartbeatTimer != nil {
+		n.heartbeatTimer.Stop()
+		n.heartbeatTimer = nil
+	}
 	n.resetElectionTimerLocked()
+	n.noteLeaderLocked()
+	term := n.term
+	n.mu.Unlock()
+	if demoted && n.onStateChange != nil {
+		n.onStateChange(Follower, term)
+	}
 }
 
-// Stop halts all timers.
+// Stop halts all timers and silences the node until the next Start: a
+// stopped node neither sends nor reacts to messages (the harness pairs it
+// with silencing the endpoint). In-memory term, vote and log survive —
+// modelling a crashed orderer whose WAL is durable. Wiping them instead
+// would let a restarted node double-vote in a term and break election
+// safety.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -184,7 +229,7 @@ func (n *Node) Propose(data []byte) error {
 		apply := n.collectApplyLocked()
 		n.mu.Unlock()
 		n.runApplies(apply)
-		n.broadcastAppends()
+		n.broadcastAppends(false)
 		return nil
 	}
 	leader, known := n.leader, n.hasLead
@@ -221,12 +266,31 @@ func (n *Node) send(to wire.NodeID, msg wire.Message) {
 
 // --- role transitions (callers hold mu) ---
 
+// noteLeaderLocked schedules an OnLeaderChange notification if the
+// (leader, known) view moved since the last one. Asynchronous delivery
+// keeps the hook free to call back into the node.
+func (n *Node) noteLeaderLocked() {
+	if n.onLeaderChange == nil {
+		return
+	}
+	if n.hasLead == n.notifiedKnown && (!n.hasLead || n.leader == n.notifiedLeader) {
+		return
+	}
+	n.notifiedKnown, n.notifiedLeader = n.hasLead, n.leader
+	leader, known := n.leader, n.hasLead
+	n.sched.After(0, func() { n.onLeaderChange(leader, known) })
+}
+
 func (n *Node) becomeFollowerLocked(term uint64) {
 	prev := n.state
 	n.state = Follower
 	if term > n.term {
 		n.term = term
 		n.voted = false
+		// The old leader pointer belongs to a stale term: forwarding
+		// proposals to it would silently drop them mid-election.
+		n.hasLead = false
+		n.noteLeaderLocked()
 	}
 	if n.heartbeatTimer != nil {
 		n.heartbeatTimer.Stop()
@@ -265,6 +329,7 @@ func (n *Node) electionTimeout() {
 	n.voted = true
 	n.votedFor = n.cfg.ID
 	n.hasLead = false
+	n.noteLeaderLocked()
 	n.votes = map[wire.NodeID]bool{n.cfg.ID: true}
 	term := n.term
 	lastIdx := n.lastIndexLocked()
@@ -297,10 +362,12 @@ func (n *Node) becomeLeaderLocked() {
 	n.state = Leader
 	n.leader = n.cfg.ID
 	n.hasLead = true
+	n.noteLeaderLocked()
 	last := n.lastIndexLocked()
 	for _, p := range n.cfg.Peers {
 		n.nextIndex[p] = last + 1
 		n.matchIndex[p] = 0
+		delete(n.inflight, p)
 	}
 	n.matchIndex[n.cfg.ID] = last
 	if n.electionTimer != nil {
@@ -312,7 +379,7 @@ func (n *Node) becomeLeaderLocked() {
 	}
 	n.armHeartbeatLocked()
 	// Send the initial empty heartbeats asynchronously.
-	n.sched.After(0, n.broadcastAppends)
+	n.sched.After(0, func() { n.broadcastAppends(true) })
 }
 
 func (n *Node) armHeartbeatLocked() {
@@ -327,12 +394,15 @@ func (n *Node) armHeartbeatLocked() {
 		}
 		n.armHeartbeatLocked()
 		n.mu.Unlock()
-		n.broadcastAppends()
+		n.broadcastAppends(true)
 	})
 }
 
 // broadcastAppends ships log suffixes (or heartbeats) to all followers.
-func (n *Node) broadcastAppends() {
+// Followers with an append already in flight are skipped unless force is
+// set (the heartbeat and leader-emergence paths force, so a lost message
+// never wedges a follower past one heartbeat interval).
+func (n *Node) broadcastAppends(force bool) {
 	n.mu.Lock()
 	if n.state != Leader || n.stopped {
 		n.mu.Unlock()
@@ -347,23 +417,11 @@ func (n *Node) broadcastAppends() {
 		if p == n.cfg.ID {
 			continue
 		}
-		next := n.nextIndex[p]
-		if next == 0 {
-			next = 1
+		if !force && n.inflight[p] {
+			continue
 		}
-		prevIdx := next - 1
-		entries := make([]wire.RaftEntry, 0)
-		for idx := next; idx <= n.lastIndexLocked() && len(entries) < n.cfg.MaxEntriesPerAppend; idx++ {
-			entries = append(entries, n.log[idx-1])
-		}
-		outs = append(outs, out{p, &wire.RaftAppend{
-			Term:         n.term,
-			Leader:       n.cfg.ID,
-			PrevLogIndex: prevIdx,
-			PrevLogTerm:  n.termAtLocked(prevIdx),
-			Entries:      entries,
-			LeaderCommit: n.commitIndex,
-		}})
+		n.inflight[p] = true
+		outs = append(outs, out{p, n.buildAppendLocked(p)})
 	}
 	n.mu.Unlock()
 	for _, o := range outs {
@@ -371,9 +429,56 @@ func (n *Node) broadcastAppends() {
 	}
 }
 
+// sendAppend ships one log suffix (or heartbeat) to a single follower,
+// marking its in-flight slot. The append-response path uses it so each
+// response triggers at most one resend, to its own sender.
+func (n *Node) sendAppend(p wire.NodeID) {
+	n.mu.Lock()
+	if n.state != Leader || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.inflight[p] = true
+	msg := n.buildAppendLocked(p)
+	n.mu.Unlock()
+	n.send(p, msg)
+}
+
+func (n *Node) buildAppendLocked(p wire.NodeID) *wire.RaftAppend {
+	next := n.nextIndex[p]
+	if next == 0 {
+		next = 1
+	}
+	prevIdx := next - 1
+	entries := make([]wire.RaftEntry, 0)
+	for idx := next; idx <= n.lastIndexLocked() && len(entries) < n.cfg.MaxEntriesPerAppend; idx++ {
+		entries = append(entries, n.log[idx-1])
+	}
+	return &wire.RaftAppend{
+		Term:         n.term,
+		Leader:       n.cfg.ID,
+		PrevLogIndex: prevIdx,
+		PrevLogTerm:  n.termAtLocked(prevIdx),
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	}
+}
+
 // --- message handling ---
 
+// Handle feeds one incoming message into the node. New installs it as the
+// endpoint's handler; hosts that multiplex the endpoint (the harness's
+// consenter endpoints also accept client Broadcast traffic) demux and call
+// it directly.
+func (n *Node) Handle(from wire.NodeID, msg wire.Message) { n.handle(from, msg) }
+
 func (n *Node) handle(from wire.NodeID, msg wire.Message) {
+	n.mu.Lock()
+	stopped := n.stopped
+	n.mu.Unlock()
+	if stopped {
+		return // a crashed node must not vote, append or respond
+	}
 	switch m := msg.(type) {
 	case *wire.RaftVoteRequest:
 		n.handleVoteRequest(from, m)
@@ -445,6 +550,7 @@ func (n *Node) handleAppend(from wire.NodeID, m *wire.RaftAppend) {
 	}
 	n.leader = m.Leader
 	n.hasLead = true
+	n.noteLeaderLocked()
 
 	// Consistency check.
 	if m.PrevLogIndex > n.lastIndexLocked() || n.termAtLocked(m.PrevLogIndex) != m.PrevLogTerm {
@@ -489,6 +595,7 @@ func (n *Node) handleAppend(from wire.NodeID, m *wire.RaftAppend) {
 
 func (n *Node) handleAppendResponse(from wire.NodeID, m *wire.RaftAppendResponse) {
 	n.mu.Lock()
+	delete(n.inflight, from)
 	if m.Term > n.term {
 		n.becomeFollowerLocked(m.Term)
 		n.mu.Unlock()
@@ -523,7 +630,7 @@ func (n *Node) handleAppendResponse(from wire.NodeID, m *wire.RaftAppendResponse
 
 	n.runApplies(apply)
 	if resend {
-		n.broadcastAppends()
+		n.sendAppend(from)
 	}
 }
 

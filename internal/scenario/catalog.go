@@ -521,4 +521,119 @@ func init() {
 			}
 		},
 	})
+	register(Def{
+		Name: "consenter-minority-loss",
+		Description: "one of three ordering consenters crashes under a " +
+			"steady transaction load: a minority loss keeps the Raft quorum, so " +
+			"ordering continues (after an election if the victim led) and every " +
+			"accepted transaction still resolves — submitted equals committed " +
+			"plus conflicts with zero drift",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Warmup:     time.Second,
+				Tail:       30 * time.Second,
+				Consenters: 3,
+				Workload: &workload.Config{
+					ClientsPerOrg: 2,
+					Rate:          5,
+					Arrival:       workload.ArrivalPoisson,
+					Keys:          64,
+				},
+				Events: []Event{
+					{At: time.Second, Action: StartWorkload{}},
+					{At: 3 * time.Second, Action: CrashConsenter{Consenter: 2}},
+					{At: 8 * time.Second, Action: StopWorkload{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "consenter-majority-loss-and-heal",
+		Description: "two of three ordering consenters crash mid-run: the " +
+			"survivor cannot elect itself (no quorum), ordering halts and the " +
+			"deliver gap grows until both victims restart and rejoin by log " +
+			"replay — then the buffered backlog orders, streams, and every peer " +
+			"catches up in full",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: time.Second,
+				Warmup:        time.Second,
+				Tail:          40 * time.Second,
+				Consenters:    3,
+				Events: []Event{
+					{At: 2500 * time.Millisecond, Action: CrashConsenter{Consenter: 1}},
+					{At: 2600 * time.Millisecond, Action: CrashConsenter{Consenter: 2}},
+					{At: 8 * time.Second, Action: RestartConsenter{Consenter: 1}},
+					{At: 8100 * time.Millisecond, Action: RestartConsenter{Consenter: 2}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "consenter-wan-separated",
+		Description: "the three consenters are spread across the " +
+			"organizations' WAN sites; a partition isolates one consenter, the " +
+			"remaining two keep (or re-establish) a WAN-crossing quorum and " +
+			"ordering continues at inter-site latency until the heal reunites " +
+			"the cluster",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Blocks:          10,
+				BlockInterval:   time.Second,
+				Warmup:          time.Second,
+				Tail:            35 * time.Second,
+				Consenters:      3,
+				ConsenterSpread: true,
+				WANDelay:        20 * time.Millisecond,
+				Events: []Event{
+					{At: 3 * time.Second, Action: IsolateConsenters{Consenters: []int{2}}},
+					{At: 8 * time.Second, Action: HealPartition{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "consenter-election-under-txload",
+		Description: "the ordering cluster's leader crashes under " +
+			"transaction load with anchor recovery armed: the election closes " +
+			"well inside the orderer-stall threshold, so it adds nothing to the " +
+			"anchor-probe count (the nonzero floor is membership heartbeat " +
+			"flap — a peer that transiently believes it leads was never a " +
+			"deliver-stream target, so its stall clock reads expired; the " +
+			"with/without-election comparison is pinned by test), and " +
+			"in-flight transactions survive the leadership change with " +
+			"accounting intact. The load runs to near the end of the run so " +
+			"the election is the only ordering silence — a long post-workload " +
+			"tail would itself trip the stall detector and muddy the probe " +
+			"count",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Warmup: time.Second,
+				// 5s: enough post-workload room for the last block to reach
+				// every peer (stragglers need a recovery cycle), but the
+				// end-of-run ordering silence stays under the 5s
+				// orderer-stall threshold, so the tail itself cannot fire
+				// anchor probes.
+				Tail:           5 * time.Second,
+				Consenters:     3,
+				AnchorRecovery: true,
+				Workload: &workload.Config{
+					ClientsPerOrg: 2,
+					Rate:          5,
+					Arrival:       workload.ArrivalPoisson,
+					Keys:          64,
+				},
+				Events: []Event{
+					{At: time.Second, Action: StartWorkload{}},
+					{At: 4 * time.Second, Action: CrashConsenterLeader{}},
+					{At: 26 * time.Second, Action: StopWorkload{}},
+				},
+			}
+		},
+	})
 }

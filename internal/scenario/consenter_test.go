@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance bar for the ordering cluster: with one of three
+// consenters crashed the remaining majority keeps ordering, the workload's
+// books balance exactly (every submitted transaction either commits or
+// conflicts — nothing is lost in the failover), and every surviving peer
+// ends caught up.
+func TestConsenterMinorityLossSustainsCommits(t *testing.T) {
+	rep, err := RunNamed("consenter-minority-loss", Options{Peers: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consenters != 3 {
+		t.Fatalf("consenters = %d, want 3", rep.Consenters)
+	}
+	w := rep.Workload
+	if w == nil {
+		t.Fatal("no workload stats")
+	}
+	if w.Committed == 0 {
+		t.Fatal("no transactions committed with a minority of consenters down")
+	}
+	if w.Submitted != w.Committed+w.Conflicts {
+		t.Fatalf("accounting drift: %d submitted != %d committed + %d conflicts",
+			w.Submitted, w.Committed, w.Conflicts)
+	}
+	if rep.CaughtUp != rep.Survivors || rep.PendingRecoveries != 0 {
+		t.Fatalf("%d/%d caught up, %d pending — minority loss must not stall delivery",
+			rep.CaughtUp, rep.Survivors, rep.PendingRecoveries)
+	}
+	if rep.OrderViolations != 0 {
+		t.Fatalf("%d order violations", rep.OrderViolations)
+	}
+}
+
+// Losing two of three consenters halts ordering outright — the cluster
+// must go leaderless for essentially the whole outage window — and the
+// heal must elect a leader again and drain the entire backlog: every
+// injected block reaches every surviving peer.
+func TestConsenterMajorityLossHaltsThenHeals(t *testing.T) {
+	rep, err := RunNamed("consenter-majority-loss-and-heal", Options{Peers: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash at ~2.6s, restarts at ~8s: the cluster cannot have a quorum in
+	// between, so the leaderless total must cover most of that window.
+	if rep.Leaderless < 4*time.Second {
+		t.Fatalf("leaderless %v, want > 4s — the majority loss did not halt ordering", rep.Leaderless)
+	}
+	if rep.DeliverGap < 4*time.Second {
+		t.Fatalf("deliver gap %v, want > 4s — deliveries continued through the halt", rep.DeliverGap)
+	}
+	if rep.BlocksInjected != 10 {
+		t.Fatalf("blocks injected = %d, want the full 10 (backlog must drain after the heal)",
+			rep.BlocksInjected)
+	}
+	if rep.CaughtUp != rep.Survivors || rep.PendingRecoveries != 0 {
+		t.Fatalf("%d/%d caught up, %d pending — backlog did not fully resolve",
+			rep.CaughtUp, rep.Survivors, rep.PendingRecoveries)
+	}
+	if rep.OrderViolations != 0 {
+		t.Fatalf("%d order violations", rep.OrderViolations)
+	}
+}
+
+// The anchor-probe experiment: does a Raft election masquerade as an
+// orderer outage and trip cross-org anchor recovery? Run the
+// election-under-txload entry across a handful of seeds twice — once as
+// shipped (leader crashed at 4s) and once with the crash removed — and
+// compare total anchor-probe counts. The election closes in well under
+// the 5s orderer-stall threshold, so it must contribute nothing. Both
+// arms DO probe a little — membership heartbeats go to a random fanout,
+// so a peer occasionally loses sight of its org leader, briefly believes
+// it leads, and (never having been a deliver-stream target) reads its
+// stall clock as expired. That flap noise predates the ordering cluster
+// and is seed-dependent but election-independent (the two arms' per-seed
+// counts fully interleave), so the assertion pins the seed-summed
+// difference: a genuine stall misfire would add a probe per org leader
+// per 2s anchor tick for the ~22s each run continues past the election —
+// tens of probes per seed, far outside the noise band.
+func TestConsenterElectionDoesNotTripAnchorRecovery(t *testing.T) {
+	def, err := Lookup("consenter-election-under-txload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := Uniform(2, 10)
+	sc := def.Build(top)
+	sc.Name = def.Name
+
+	var control Scenario
+	control = sc
+	control.Events = nil
+	for _, ev := range sc.Events {
+		if _, ok := ev.Action.(CrashConsenterLeader); ok {
+			continue
+		}
+		control.Events = append(control.Events, ev)
+	}
+
+	var withProbes, ctrlProbes uint64
+	for seed := int64(1); seed <= 5; seed++ {
+		opt := Options{Peers: 20, Orgs: 2, Seed: seed}
+		withCrash, err := Run(sc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := Run(control, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withCrash.Elections != 2 {
+			t.Fatalf("seed %d with crash: %d elections, want the failover election on top of the initial one",
+				seed, withCrash.Elections)
+		}
+		if ctrl.Elections != 1 {
+			t.Fatalf("seed %d control: %d elections, want exactly the initial one", seed, ctrl.Elections)
+		}
+		if withCrash.Leaderless >= 5*time.Second {
+			t.Fatalf("seed %d with crash: leaderless %v reached the orderer-stall threshold — the premise is void",
+				seed, withCrash.Leaderless)
+		}
+		if w := withCrash.Workload; w.Submitted != w.Committed+w.Conflicts {
+			t.Fatalf("seed %d: accounting drift across the election: %d != %d + %d",
+				seed, w.Submitted, w.Committed, w.Conflicts)
+		}
+		withProbes += withCrash.AnchorProbes
+		ctrlProbes += ctrl.AnchorProbes
+	}
+	t.Logf("anchor probes over 5 seeds: with election %d, control %d", withProbes, ctrlProbes)
+	if withProbes > ctrlProbes+30 {
+		t.Fatalf("with election %d probes vs control %d over 5 seeds — the election tripped anchor recovery",
+			withProbes, ctrlProbes)
+	}
+}

@@ -109,6 +109,23 @@ type Report struct {
 	ViewCompleteness  float64
 	LeaderConvergence time.Duration
 
+	// Consenters is the ordering cluster's size (zero for the legacy
+	// single orderer; the ordering-cluster report line — and its
+	// contribution to the fingerprint — exists only when it is set, so
+	// pre-existing fingerprints are unaffected). Elections counts leader
+	// emergences (the initial election included); Leaderless is the total
+	// time the cluster had no leader (election_ms); DeliverGap is the
+	// widest gap between consecutive first-time block deliveries any
+	// organization observed (deliver_gap_ms); AnchorProbes counts
+	// cross-org anchor probes fired by org leaders — the spurious-recovery
+	// question: an election shorter than the orderer-stall threshold must
+	// leave it at zero.
+	Consenters   int
+	Elections    int
+	Leaderless   time.Duration
+	DeliverGap   time.Duration
+	AnchorProbes uint64
+
 	// Workload is the transaction workload plane's outcome (nil unless
 	// the scenario set a Workload config; the workload report lines — and
 	// their contribution to the fingerprint — exist only then, so
@@ -140,6 +157,10 @@ func (r *Report) String() string {
 	if r.ViewSamples > 0 {
 		fmt.Fprintf(&b, "  membership view: completeness %.3f, leader convergence %v (%d samples)\n",
 			r.ViewCompleteness, r.LeaderConvergence, r.ViewSamples)
+	}
+	if r.Consenters > 0 {
+		fmt.Fprintf(&b, "  ordering cluster: %d consenters, %d elections, leaderless %v, deliver gap %v, %d anchor probes\n",
+			r.Consenters, r.Elections, r.Leaderless, r.DeliverGap, r.AnchorProbes)
 	}
 	if r.Workload != nil {
 		w := r.Workload

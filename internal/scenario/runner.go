@@ -8,6 +8,7 @@ import (
 	"fabricgossip/internal/harness"
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/metrics"
+	"fabricgossip/internal/raft"
 	"fabricgossip/internal/wire"
 	"fabricgossip/internal/workload"
 )
@@ -36,6 +37,11 @@ type Options struct {
 	// bandwidth overhead is dominated by block bodies).
 	TxPerBlock int
 	TxPayload  int
+	// Consenters, when > 0, overrides the scenario's ordering-service
+	// shape: any catalog entry replays against a Raft consenter cluster
+	// of this size instead of the single orderer (cmd/scenarios
+	// -consenters). Zero inherits the scenario's own Consenters setting.
+	Consenters int
 }
 
 func (o Options) withDefaults() Options {
@@ -209,6 +215,23 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 				ev.Action, ev.At, top.Total())
 		}
 	}
+	consenters := sc.Consenters
+	if opt.Consenters > 0 {
+		consenters = opt.Consenters
+	}
+	for _, ev := range sc.Events {
+		idxs, needs := actionConsenters(ev.Action)
+		if needs && consenters == 0 {
+			return nil, fmt.Errorf("scenario: event %q at %v needs a consenter cluster (Consenters > 0)",
+				ev.Action, ev.At)
+		}
+		for _, c := range idxs {
+			if c < 0 || c >= consenters {
+				return nil, fmt.Errorf("scenario: event %q at %v names consenter %d, outside [0, %d)",
+					ev.Action, ev.At, c, consenters)
+			}
+		}
+	}
 
 	r := &runner{
 		sc:         sc,
@@ -247,11 +270,14 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		Variant: opt.Variant,
 		Orgs:    specs,
 		Bucket:  time.Second,
-		// The recovery-plane extensions are scenario-scripted: anchors and
-		// WAN separation only exist when the scenario asks for them, so
-		// every pre-existing script runs byte-identically.
-		AnchorRecovery: sc.AnchorRecovery,
-		WANDelay:       sc.WANDelay,
+		// The recovery-plane extensions are scenario-scripted: anchors,
+		// WAN separation and the consenter cluster only exist when the
+		// scenario (or Options) asks for them, so every pre-existing
+		// script runs byte-identically.
+		AnchorRecovery:  sc.AnchorRecovery,
+		WANDelay:        sc.WANDelay,
+		Consenters:      consenters,
+		ConsenterSpread: sc.ConsenterSpread,
 	},
 		// Fault handling wants faster membership and recovery turnarounds
 		// than the paper's fault-free 10 s defaults.
@@ -275,6 +301,11 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		}),
 		harness.WithNetworkCoreHook(r.instrument),
 		harness.WithDeliverHook(r.onDeliver),
+		harness.WithConsenterHook(func(c int, s raft.State, term uint64) {
+			if s == raft.Leader {
+				r.tracef("consenter %d elected leader (term %d)", c, term)
+			}
+		}),
 	)
 	if err != nil {
 		return nil, err
@@ -350,6 +381,22 @@ func actionPeers(a Action) []int {
 		return a.Peers
 	}
 	return nil
+}
+
+// actionConsenters returns the consenter indices an action addresses and
+// whether the action requires a consenter cluster at all.
+func actionConsenters(a Action) (idxs []int, needs bool) {
+	switch a := a.(type) {
+	case CrashConsenter:
+		return []int{a.Consenter}, true
+	case RestartConsenter:
+		return []int{a.Consenter}, true
+	case CrashConsenterLeader:
+		return nil, true
+	case IsolateConsenters:
+		return a.Consenters, true
+	}
+	return nil, false
 }
 
 // actionOrgs returns the organization indices an action addresses.
@@ -448,16 +495,17 @@ func (r *runner) restart(i int) {
 	r.net.Restart(i)
 }
 
-// partition cuts peers [0, split) plus the orderer from peers [split, n).
-// Range validation happened in Run. Workload clients are not listed, so
-// they land in group 0 with the orderer (transport semantics): submissions
-// keep flowing, but endorsement against peers on the far side fails.
+// partition cuts peers [0, split) plus the ordering service (the orderer,
+// or every consenter) from peers [split, n). Range validation happened in
+// Run. Workload clients are not listed, so they land in group 0 with the
+// ordering service (transport semantics): submissions keep flowing, but
+// endorsement against peers on the far side fails.
 func (r *runner) partition(split int) {
 	sideA := make([]wire.NodeID, 0, split+1)
 	for i := 0; i < split; i++ {
 		sideA = append(sideA, wire.NodeID(i))
 	}
-	sideA = append(sideA, r.net.Orderer.ID())
+	sideA = append(sideA, r.net.OrderingNodeIDs()...)
 	sideB := make([]wire.NodeID, 0, r.top.Total()-split)
 	for i := split; i < r.top.Total(); i++ {
 		sideB = append(sideB, wire.NodeID(i))
@@ -491,9 +539,38 @@ func (r *runner) isolateOrgs(orgs []int) {
 			main = append(main, ids...)
 		}
 	}
-	main = append(main, r.net.Orderer.ID())
+	main = append(main, r.net.OrderingNodeIDs()...)
 	groups[0] = main
 	r.net.Net.Partition(groups...)
+}
+
+// isolateConsenters cuts the listed consenters (one group, together) from
+// everything else: the remaining consenters, every peer, and every
+// workload client stay in the main group.
+func (r *runner) isolateConsenters(idxs []int) {
+	cut := make(map[int]bool, len(idxs))
+	isolated := make([]wire.NodeID, 0, len(idxs))
+	for _, c := range idxs {
+		if !cut[c] {
+			cut[c] = true
+			isolated = append(isolated, r.net.ConsenterID(c))
+		}
+	}
+	main := make([]wire.NodeID, 0, r.top.Total())
+	for i := 0; i < r.top.Total(); i++ {
+		main = append(main, wire.NodeID(i))
+	}
+	for c := 0; c < r.net.Consenters(); c++ {
+		if !cut[c] {
+			main = append(main, r.net.ConsenterID(c))
+		}
+	}
+	if r.plane != nil {
+		for o := 0; o < r.top.Orgs(); o++ {
+			main = append(main, r.plane.ClientNodes(o)...)
+		}
+	}
+	r.net.Net.Partition(main, isolated)
 }
 
 // viewSampleInterval is the membership sampler's period.
@@ -636,6 +713,14 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		rep.CaughtUp += or.CaughtUp
 		rep.PendingRecoveries += or.PendingRecoveries
 		rep.OrgReports = append(rep.OrgReports, or)
+	}
+	if k := r.net.Consenters(); k > 0 {
+		rep.Consenters = k
+		rep.Elections, rep.Leaderless = r.net.ElectionStats()
+		rep.DeliverGap = r.net.MaxDeliverGap()
+		for _, c := range r.net.Cores {
+			rep.AnchorProbes += c.StateSyncStats().AnchorProbes
+		}
 	}
 	if r.plane != nil {
 		w := r.plane.Stats()

@@ -85,6 +85,19 @@ type Scenario struct {
 	// latency. Zero keeps the single shared LAN.
 	WANDelay time.Duration
 
+	// Consenters runs the ordering service as a Raft cluster of this many
+	// consenter nodes (harness.NetworkParams.Consenters): leader elections,
+	// minority loss and WAN-separated consenters become scriptable via the
+	// consenter actions below, and the report grows an ordering-cluster
+	// section (election count, leaderless time, deliver gap, anchor
+	// probes). Zero (the default) keeps the legacy single orderer, so
+	// pre-existing scripts replay byte-identically. Options.Consenters
+	// overrides it per run.
+	Consenters int
+	// ConsenterSpread, with WANDelay, scatters the consenters across the
+	// organizations' WAN sites instead of one shared ordering site.
+	ConsenterSpread bool
+
 	// Workload, when set, installs the transaction workload plane
 	// (internal/workload): client populations drive endorsed transactions
 	// through the full execute-order-validate pipeline, with blocks cut by
@@ -222,6 +235,51 @@ type RestartOrderer struct{}
 func (a RestartOrderer) apply(r *runner) { r.net.RestartOrderer() }
 
 func (a RestartOrderer) String() string { return "restart orderer" }
+
+// CrashConsenter fails one ordering-cluster consenter (requires
+// Scenario/Options Consenters > 0): its Raft node stops and its endpoint
+// goes silent. Crashing a minority leaves ordering live (after an election
+// if the leader died); crashing a majority halts ordering entirely until
+// enough consenters restart.
+type CrashConsenter struct{ Consenter int }
+
+func (a CrashConsenter) apply(r *runner) { r.net.CrashConsenter(a.Consenter) }
+
+func (a CrashConsenter) String() string { return fmt.Sprintf("crash consenter %d", a.Consenter) }
+
+// RestartConsenter revives a crashed consenter: it rejoins as a follower
+// and catches up by Raft log replay from its durable log.
+type RestartConsenter struct{ Consenter int }
+
+func (a RestartConsenter) apply(r *runner) { r.net.RestartConsenter(a.Consenter) }
+
+func (a RestartConsenter) String() string { return fmt.Sprintf("restart consenter %d", a.Consenter) }
+
+// CrashConsenterLeader fails whichever consenter currently leads the
+// ordering cluster — the forced-election fault. No-op while no consenter
+// leads (already mid-election).
+type CrashConsenterLeader struct{}
+
+func (a CrashConsenterLeader) apply(r *runner) {
+	if l := r.net.ConsenterLeader(); l >= 0 {
+		r.tracef("consenter leader is %d", l)
+		r.net.CrashConsenter(l)
+	}
+}
+
+func (a CrashConsenterLeader) String() string { return "crash consenter leader" }
+
+// IsolateConsenters partitions the listed consenters (together, as one
+// group) from the rest of the network: peers, clients and the remaining
+// consenters stay connected. Isolating a minority forces the majority side
+// to re-elect if the leader was cut off; heal with HealPartition.
+type IsolateConsenters struct{ Consenters []int }
+
+func (a IsolateConsenters) apply(r *runner) { r.isolateConsenters(a.Consenters) }
+
+func (a IsolateConsenters) String() string {
+	return fmt.Sprintf("isolate consenters %v", a.Consenters)
+}
 
 // RestartPeers revives the listed peers with fresh cores and empty block
 // stores: the rejoin-with-catchup path through state info + recovery.

@@ -158,11 +158,16 @@ type pendingTx struct {
 // wires it; Start and Stop bound the submission window; Stats snapshots
 // the outcome counters.
 type Plane struct {
-	cfg     Config
-	net     *harness.Network
-	engine  *sim.Engine
-	service *order.Service
-	checker ledger.PolicyChecker
+	cfg    Config
+	net    *harness.Network
+	engine *sim.Engine
+	// service is the legacy solo ordering service; services holds one
+	// replicated instance per consenter when the network runs a cluster
+	// (each fed by its consenter's identical Raft apply stream, so all
+	// cut identical blocks). Exactly one of the two is populated.
+	service  *order.Service
+	services []*order.Service
+	checker  ledger.PolicyChecker
 
 	// peers is the validation pipeline per global peer index, rebuilt on
 	// restart via the network's core hook. endorsers maps an endorsing
@@ -294,21 +299,34 @@ func Install(n *harness.Network, cfg Config) (*Plane, error) {
 		p.buildPeer(global, core, ordererID.Key)
 	})
 
-	// The ordering service lives behind the network's orderer endpoint:
-	// Broadcast arrives as SubmitTx messages, cut blocks enter the
-	// network's existing deliver/redeliver stream via Append.
-	p.service = order.NewService(
-		order.Config{MaxTxPerBlock: cfg.MaxTxPerBlock, BatchTimeout: cfg.BatchTimeout},
-		n.Engine,
-		order.NewSolo(n.Engine, cfg.OrdererDelay),
-		ordererSigner,
-		p.onCut,
-	)
-	n.Orderer.SetHandler(func(_ wire.NodeID, msg wire.Message) {
-		if st, ok := msg.(*wire.SubmitTx); ok {
-			_ = p.service.Broadcast(st.Tx)
+	// The ordering service lives behind the network's ordering
+	// endpoint(s): Broadcast arrives as SubmitTx messages, cut blocks
+	// enter the network's existing deliver/redeliver stream. Legacy mode
+	// is one solo service behind the orderer endpoint; cluster mode hosts
+	// one service per consenter, each cutting blocks from its consenter's
+	// Raft apply stream — identical streams, identical signer, identical
+	// blocks — with the network delivering only the leader's cuts.
+	oCfg := order.Config{MaxTxPerBlock: cfg.MaxTxPerBlock, BatchTimeout: cfg.BatchTimeout}
+	if k := n.Consenters(); k > 0 {
+		p.services = make([]*order.Service, k)
+		for i := 0; i < k; i++ {
+			i := i
+			p.services[i] = order.NewService(oCfg, n.Engine,
+				&clusterConsenter{net: n, idx: i}, ordererSigner,
+				func(b *ledger.Block) { p.onClusterCut(i, b) })
 		}
-	})
+		n.SetSubmitHandler(func(consenter int, tx *ledger.Transaction) {
+			_ = p.services[consenter].Broadcast(tx)
+		})
+	} else {
+		p.service = order.NewService(oCfg, n.Engine,
+			order.NewSolo(n.Engine, cfg.OrdererDelay), ordererSigner, p.onCut)
+		n.Orderer.SetHandler(func(_ wire.NodeID, msg wire.Message) {
+			if st, ok := msg.(*wire.SubmitTx); ok {
+				_ = p.service.Broadcast(st.Tx)
+			}
+		})
+	}
 
 	// Client populations: each client gets its own endpoint (appended
 	// after the orderer — dense ids keep traffic accounting amortized), a
@@ -375,14 +393,26 @@ func (p *Plane) endorserSource(org int) client.EndorserSource {
 // submitter sends an assembled transaction from the client's endpoint to
 // the ordering service. The simulated transport drops messages to crashed
 // or partitioned-away nodes silently (bytes leave the NIC either way), so
-// reachability is checked explicitly — a Broadcast the orderer can never
-// receive is a submit error the client must count.
+// reachability is checked explicitly — a Broadcast no ordering node can
+// receive is a submit error the client must count. Against a consenter
+// cluster the envelope goes to every live reachable consenter (modelled
+// client failover; the consenter shims deduplicate on apply), so a counted
+// submission survives any election or crash that leaves one recipient
+// alive — the submitted == committed + conflicts invariant holds across
+// leadership changes.
 func (p *Plane) submitter(ep *transport.SimEndpoint) client.Submitter {
 	return func(tx *ledger.Transaction) error {
-		if p.net.OrdererCrashed() || !p.net.Net.Reachable(ep.ID(), p.net.Orderer.ID()) {
+		targets := p.net.SubmitTargets(ep.ID())
+		if len(targets) == 0 {
 			return errors.New("workload: ordering service unreachable")
 		}
-		return ep.Send(p.net.Orderer.ID(), &wire.SubmitTx{Tx: tx})
+		if len(targets) == 1 {
+			return ep.Send(targets[0], &wire.SubmitTx{Tx: tx})
+		}
+		for _, t := range targets {
+			_ = ep.Send(t, &wire.SubmitTx{Tx: tx})
+		}
+		return nil
 	}
 }
 
@@ -396,6 +426,37 @@ func (p *Plane) onCut(b *ledger.Block) {
 	}
 	p.blockTxs[b.Num] = ids
 	p.net.Append(b)
+}
+
+// onClusterCut receives a block cut by one consenter's service replica.
+// Every replica cuts the identical block from the identical apply stream,
+// so the tracking record is first-cut-wins; the network's deliver plane
+// gates on the current leader's own cut height.
+func (p *Plane) onClusterCut(consenter int, b *ledger.Block) {
+	if _, seen := p.blockTxs[b.Num]; !seen {
+		ids := make([]crypto.Digest, len(b.Txs))
+		for i, tx := range b.Txs {
+			ids[i] = tx.ID
+		}
+		p.blockTxs[b.Num] = ids
+	}
+	p.net.OfferBlock(consenter, b)
+}
+
+// clusterConsenter adapts one harness consenter slot to order.Consenter:
+// submissions go through the consenter's reliable Raft shim, the committed
+// stream is the consenter's non-block apply feed.
+type clusterConsenter struct {
+	net *harness.Network
+	idx int
+}
+
+func (c *clusterConsenter) Submit(data []byte) error {
+	return c.net.SubmitEntry(c.idx, data)
+}
+
+func (c *clusterConsenter) OnCommit(fn func(data []byte)) {
+	c.net.SetConsenterStream(c.idx, fn)
 }
 
 // resolver returns the commit-result hook for one peer: the first member
@@ -644,7 +705,18 @@ func (p *Plane) Stats() Stats {
 		out.Orgs = append(out.Orgs, os)
 	}
 	out.Latency = metrics.Summarize(metrics.NewDistribution(all))
-	out.OrderedTx, out.CutBySize, out.CutByTimeout = p.service.Stats()
-	out.BlocksCut = p.service.Height()
+	svc := p.service
+	if svc == nil {
+		// Cluster mode: report the most advanced replica (replicas only
+		// differ by how far through the shared apply stream they are —
+		// crashed consenters lag until log replay catches them up).
+		for _, s := range p.services {
+			if svc == nil || s.Height() > svc.Height() {
+				svc = s
+			}
+		}
+	}
+	out.OrderedTx, out.CutBySize, out.CutByTimeout = svc.Stats()
+	out.BlocksCut = svc.Height()
 	return out
 }
