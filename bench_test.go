@@ -29,6 +29,7 @@ import (
 
 	"fabricgossip/internal/analysis"
 	"fabricgossip/internal/gossip"
+	"fabricgossip/internal/gossip/enhanced"
 	"fabricgossip/internal/gossip/original"
 	"fabricgossip/internal/harness"
 	"fabricgossip/internal/ledger"
@@ -495,6 +496,68 @@ func BenchmarkScenarioConsenterFailover(b *testing.B) {
 	}
 }
 
+// --- 10k-peer benchmark tier (sharded parallel engine) ---
+
+// benchScenario10k runs one of the sharded-* catalog entries at 10
+// organizations x 1000 peers, in the requested engine mode. sim_events is
+// deterministic per mode (the two modes are distinct fingerprint lineages,
+// so their event counts differ slightly and each benchmark gates its own);
+// events_per_s is the wall-clock trajectory, reported but never gated. On a
+// single-core runner the sharded engine still wins (~1.5x on
+// crash-restart) because per-shard event queues stay ~10x shallower than
+// the sequential global heap; multi-core runners add genuine parallelism
+// on top.
+func benchScenario10k(b *testing.B, name string, mode scenario.ShardMode) {
+	b.Helper()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunNamed(name, scenario.Options{
+			Peers: 10000, Orgs: 10, Variant: harness.VariantEnhanced,
+			Seed: int64(i + 1), Sharding: mode,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CaughtUp != rep.Survivors {
+			b.Fatalf("%d of %d survivors caught up", rep.CaughtUp, rep.Survivors)
+		}
+		if wantSharded := mode != scenario.ShardOff; rep.Sharded != wantSharded {
+			b.Fatalf("sharded=%v, want %v", rep.Sharded, wantSharded)
+		}
+		events += rep.EngineEvents
+	}
+	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		reportMetric(b, float64(events)/secs, "events_per_s")
+	}
+}
+
+// BenchmarkScenarioShardedCrashRestart10k is the sharded engine's headline
+// scale run: crash-restart with catch-up across 10 orgs x 1000 peers, one
+// event loop per organization plus one for the ordering service.
+func BenchmarkScenarioShardedCrashRestart10k(b *testing.B) {
+	benchScenario10k(b, "sharded-crash-restart", scenario.ShardAuto)
+}
+
+// BenchmarkScenarioSequentialCrashRestart10k is the same workload forced
+// onto the sequential engine — the denominator for the sharded speedup.
+func BenchmarkScenarioSequentialCrashRestart10k(b *testing.B) {
+	benchScenario10k(b, "sharded-crash-restart", scenario.ShardOff)
+}
+
+// BenchmarkScenarioShardedMembership10k runs SWIM membership convergence
+// (piggybacked dissemination, probe-based suspicion, view shuffling) at
+// 10 orgs x 1000 peers on the sharded engine.
+func BenchmarkScenarioShardedMembership10k(b *testing.B) {
+	benchScenario10k(b, "sharded-view-convergence", scenario.ShardAuto)
+}
+
+// BenchmarkScenarioSequentialMembership10k is the sequential denominator
+// for the membership convergence scale run.
+func BenchmarkScenarioSequentialMembership10k(b *testing.B) {
+	benchScenario10k(b, "sharded-view-convergence", scenario.ShardOff)
+}
+
 // BenchmarkMultiOrgDissemination measures the fault-free Figure 1 shape on
 // harness.Network directly: 4 orgs x 25 peers, per-org epidemics over a
 // shared LAN, reporting the aggregate p99.9 first-reception latency.
@@ -578,6 +641,53 @@ func BenchmarkHotPathDeliveryAllocs(b *testing.B) {
 	}
 	if delivered == 0 {
 		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkEnhancedPushEnvelopeAllocs locks the pooled-envelope contract
+// of the enhanced push path: a leader push draws its wire.Data envelope
+// from the protocol's free list with the reference count preset to the
+// fan-out, the transport releases it as deliveries terminate, and at steady
+// state the whole push — envelope, send, dispatch, handler — allocates
+// nothing. The warmup lets the first epidemic run to TTL exhaustion on both
+// peers, so the measured cycles are pure re-pushes of a seen block: no
+// epidemic state grows and every envelope comes back to the pool. The
+// allocs_op metric is gated by cmd/benchdiff.
+func BenchmarkEnhancedPushEnvelopeAllocs(b *testing.B) {
+	eng := sim.NewEngine(1)
+	model := netmodel.Model{PropMin: time.Microsecond, PropMax: 2 * time.Microsecond}
+	net := transport.NewSimNetwork(eng, model, netmodel.NewSimTraffic(time.Hour))
+	leaderEP := net.AddNode()
+	followerEP := net.AddNode()
+	peers := []wire.NodeID{leaderEP.ID(), followerEP.ID()}
+	ecfg := enhanced.Config{Fout: 3, TTL: 9, TTLDirect: 2, FLeaderOut: 1,
+		UseDigests: true, RequestTimeout: 250 * time.Millisecond}
+	quietCore := func(ep *transport.SimEndpoint, proto gossip.Protocol) *gossip.Core {
+		cfg := gossip.DefaultConfig(ep.ID(), peers)
+		cfg.StateInfoInterval = 0
+		cfg.AliveInterval = 0
+		cfg.RecoveryInterval = 0
+		cfg.SuspectTimeout = time.Hour
+		core := gossip.New(cfg, ep, eng, eng.Rand("gossip/"+ep.ID().String()), proto)
+		core.Start()
+		return core
+	}
+	leader := enhanced.New(ecfg)
+	quietCore(leaderEP, leader)
+	quietCore(followerEP, enhanced.New(ecfg))
+	blk := harness.BuildChain(1, 10, 512, 1)[0]
+	cycle := func() {
+		leader.OnOrdererBlock(blk)
+		eng.RunFor(10 * time.Microsecond)
+	}
+	for i := 0; i < 500; i++ {
+		cycle() // run the epidemic to TTL exhaustion, warm the free lists
+	}
+	reportMetric(b, testing.AllocsPerRun(2000, cycle), "allocs_op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
 	}
 }
 

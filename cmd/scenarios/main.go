@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -37,9 +39,12 @@ func main() {
 	variant := flag.String("variant", "enhanced", "protocol: original, enhanced or both")
 	seed := flag.Int64("seed", 1, "root random seed")
 	consenters := flag.Int("consenters", 0, "ordering-cluster size override: run the scenario with this many Raft consenters (0 keeps the scenario's own setting)")
+	shards := flag.String("shards", "auto", "sharded engine: auto (scenario decides), on, or off")
 	check := flag.Bool("check", false, "run each scenario twice and verify identical fingerprints")
 	trace := flag.Bool("trace", false, "print the run's event trace")
 	list := flag.Bool("list", false, "list scenario names and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -79,10 +84,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sharding, err := parseShards(*shards)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	for _, n := range names {
 		for _, v := range variants {
-			opt := scenario.Options{Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed, Consenters: *consenters}
+			opt := scenario.Options{Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed, Consenters: *consenters, Sharding: sharding}
 			start := time.Now()
 			rep, err := scenario.RunNamed(n, opt)
 			if err != nil {
@@ -90,6 +124,11 @@ func main() {
 			}
 			wall := time.Since(start).Round(time.Millisecond)
 			fmt.Println(rep)
+			mode := "sequential"
+			if rep.Sharded {
+				mode = "sharded"
+			}
+			fmt.Printf("  engine: %s, peak pending %d events\n", mode, rep.PeakPending)
 			fmt.Printf("  fingerprint: %s (wall %v)\n", rep.Fingerprint()[:16], wall)
 			if *check {
 				rep2, err := scenario.RunNamed(n, opt)
@@ -124,6 +163,18 @@ func parseOrgSizes(s string) ([]int, error) {
 		sizes = append(sizes, n)
 	}
 	return sizes, nil
+}
+
+func parseShards(s string) (scenario.ShardMode, error) {
+	switch s {
+	case "auto":
+		return scenario.ShardAuto, nil
+	case "on":
+		return scenario.ShardOn, nil
+	case "off":
+		return scenario.ShardOff, nil
+	}
+	return scenario.ShardAuto, fmt.Errorf("scenarios: unknown -shards %q (want auto, on or off)", s)
 }
 
 func parseVariants(s string) ([]harness.Variant, error) {

@@ -144,6 +144,16 @@ type Protocol struct {
 	digestSpreads []wire.BlockOffer
 	reuse         bool
 
+	// dataPool/digestPool recycle outbound envelopes on the simulated
+	// runtime: an envelope is drawn with its reference count preset to the
+	// fan-out and returns to the free list when the transport terminates
+	// its last delivery (see wire.Releasable). This kills the last per-
+	// spread heap churn of the push path. The TCP runtime allocates plain
+	// envelopes instead — its transport encodes rather than retains them,
+	// so there is no release point.
+	dataPool   wire.DataPool
+	digestPool wire.PushDigestPool
+
 	stopped bool
 }
 
@@ -193,10 +203,33 @@ func (p *Protocol) OnOrdererBlock(b *ledger.Block) {
 	p.mu.Lock()
 	p.markSeen(b.Num, 0)
 	p.mu.Unlock()
-	msg := &wire.Data{Block: b, Counter: 0}
-	for _, t := range p.sample(p.cfg.FLeaderOut) {
+	targets := p.sample(p.cfg.FLeaderOut)
+	if len(targets) == 0 {
+		return
+	}
+	msg := p.newData(b, 0, len(targets))
+	for _, t := range targets {
 		p.c.Send(t, msg)
 	}
+}
+
+// newData returns an outbound body envelope good for refs deliveries:
+// pooled on the simulated runtime, freshly allocated on the TCP runtime.
+// refs must be fixed before the first send — the transport may release
+// mid-loop when a copy drops.
+func (p *Protocol) newData(b *ledger.Block, counter uint32, refs int) *wire.Data {
+	if p.reuse {
+		return p.dataPool.Get(b, counter, refs)
+	}
+	return &wire.Data{Block: b, Counter: counter}
+}
+
+// newDigest is newData for digest envelopes; the caller appends Offers.
+func (p *Protocol) newDigest(refs int) *wire.PushDigest {
+	if p.reuse {
+		return p.digestPool.Get(refs)
+	}
+	return &wire.PushDigest{}
 }
 
 // Handle implements gossip.Protocol.
@@ -223,7 +256,7 @@ func (p *Protocol) OnBlockStored(b *ledger.Block) {
 	delete(p.pendingServes, b.Num)
 	p.mu.Unlock()
 	for _, s := range serves {
-		p.c.Send(s.to, &wire.Data{Block: b, Counter: s.counter})
+		p.c.Send(s.to, p.newData(b, s.counter, 1))
 	}
 	p.pruneBelow(p.c.Height())
 }
@@ -320,7 +353,7 @@ func (p *Protocol) handleRequest(from wire.NodeID, m *wire.PushRequest) {
 			continue
 		}
 		p.mu.Unlock()
-		p.c.Send(from, &wire.Data{Block: b, Counter: counter})
+		p.c.Send(from, p.newData(b, counter, 1))
 	}
 }
 
@@ -404,12 +437,16 @@ func (p *Protocol) flushSpread() {
 
 // forward ships one pair to the given targets, directly or as a digest.
 func (p *Protocol) forward(o wire.BlockOffer, targets []wire.NodeID) {
+	if len(targets) == 0 {
+		return
+	}
 	num, next := o.Num, o.Counter
 	if p.cfg.UseDigests && next > p.cfg.TTLDirect {
 		p.mu.Lock()
 		p.lastOffered[num] = next
 		p.mu.Unlock()
-		msg := &wire.PushDigest{Offers: []wire.BlockOffer{{Num: num, Counter: next}}}
+		msg := p.newDigest(len(targets))
+		msg.Offers = append(msg.Offers, wire.BlockOffer{Num: num, Counter: next})
 		for _, t := range targets {
 			p.c.Send(t, msg)
 		}
@@ -421,7 +458,7 @@ func (p *Protocol) forward(o wire.BlockOffer, targets []wire.NodeID) {
 	if b == nil {
 		return
 	}
-	msg := &wire.Data{Block: b, Counter: next}
+	msg := p.newData(b, next, len(targets))
 	for _, t := range targets {
 		p.c.Send(t, msg)
 	}

@@ -82,6 +82,9 @@ func (n *Network) buildCluster(k int) {
 	for i := 0; i < k; i++ {
 		c.eps[i] = n.Net.AddNode()
 		ids[i] = c.eps[i].ID()
+		if n.se != nil {
+			n.Net.SetNodeShard(c.eps[i].ID(), len(n.Orgs))
+		}
 	}
 	c.nodes = make([]*raft.Node, k)
 	c.shims = make([]*raft.Consenter, k)
@@ -91,9 +94,9 @@ func (n *Network) buildCluster(k int) {
 	c.stream = make([]func([]byte), k)
 	for i := 0; i < k; i++ {
 		i := i
-		node := raft.New(raft.DefaultConfig(ids[i], ids), c.eps[i], n.Engine,
-			n.Engine.Rand(fmt.Sprintf("raft/consenter%d", i)))
-		shim := raft.NewConsenter(node, n.Engine)
+		node := raft.New(raft.DefaultConfig(ids[i], ids), c.eps[i], n.ordEngine,
+			n.ordEngine.Rand(fmt.Sprintf("raft/consenter%d", i)))
+		shim := raft.NewConsenter(node, n.ordEngine)
 		// Never age out: a dropped premade block would wedge the chain,
 		// and workload accounting requires every accepted envelope to
 		// eventually resolve.
@@ -143,16 +146,16 @@ func (n *Network) onConsenterState(i int, s raft.State, term uint64) {
 		}
 		c.electionCount++
 		if c.leader < 0 {
-			c.leaderlessTotal += n.Engine.Now() - c.leaderLostAt
+			c.leaderlessTotal += n.ordEngine.Now() - c.leaderLostAt
 		}
 		c.leader = i
 		n.resetDeliverSessions()
-		n.pumpAll()
+		n.requestPump()
 	case c.leader == i:
 		// The serving leader lost its role (higher term observed, or a
 		// restart demotion): deliver streams go silent until a successor.
 		c.leader = -1
-		c.leaderLostAt = n.Engine.Now()
+		c.leaderLostAt = n.ordEngine.Now()
 		n.resetDeliverSessions()
 	}
 }
@@ -207,7 +210,7 @@ func (n *Network) offerBlock(i int, b *ledger.Block) {
 		}
 	}
 	if i == c.leader {
-		n.pumpAll()
+		n.requestPump()
 	}
 }
 
@@ -278,7 +281,7 @@ func (n *Network) CrashConsenter(i int) {
 	n.Net.SetNodeDown(c.eps[i].ID(), true)
 	if c.leader == i {
 		c.leader = -1
-		c.leaderLostAt = n.Engine.Now()
+		c.leaderLostAt = n.ordEngine.Now()
 		n.resetDeliverSessions()
 	}
 }
@@ -349,7 +352,7 @@ func (n *Network) ElectionStats() (count int, leaderless time.Duration) {
 	c := n.cluster
 	leaderless = c.leaderlessTotal
 	if c.leader < 0 {
-		leaderless += n.Engine.Now() - c.leaderLostAt
+		leaderless += n.ordEngine.Now() - c.leaderLostAt
 	}
 	return c.electionCount, leaderless
 }

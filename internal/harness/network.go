@@ -92,6 +92,18 @@ type NetworkParams struct {
 	// across the organizations' WAN sites instead of co-locating them all
 	// on the ordering site — the WAN-separated consenter deployment.
 	ConsenterSpread bool
+
+	// Sharded partitions the simulation into one engine per organization
+	// plus one for the ordering service, run in conservative lock-step
+	// windows (sim.ShardedEngine). Organizations are already isolated
+	// gossip domains, so the only cross-shard traffic is ordering
+	// delivery, client submission, and anchor/statesync recovery — all of
+	// which carry at least the derived lookahead of simulated latency.
+	// Deterministic for a given seed regardless of GOMAXPROCS, but a
+	// *different* deterministic lineage than the sequential engine: the
+	// two cannot interleave same-instant events identically, so sharded
+	// fingerprints are compared sharded-to-sharded.
+	Sharded bool
 }
 
 func (p NetworkParams) withDefaults() NetworkParams {
@@ -125,6 +137,23 @@ func (p NetworkParams) withDefaults() NetworkParams {
 	return p
 }
 
+// lookahead derives the sharded engine's conservative window width: a lower
+// bound on the simulated latency of every cross-shard message. The LAN
+// model's minimum propagation delay floors every send (Model.Delay starts
+// there and only adds), and when WANDelay separates the organizations onto
+// sites, every cross-shard pair additionally crosses a site boundary —
+// *except* under ConsenterSpread, which co-locates each consenter with one
+// organization's site, keeping some cross-shard pairs on the LAN floor.
+// Per-link and per-node extra delays only ever add latency, so they never
+// lower the bound.
+func (p NetworkParams) lookahead() time.Duration {
+	la := netmodel.LAN().PropMin
+	if p.WANDelay > 0 && !(p.Consenters > 0 && p.ConsenterSpread) {
+		la += p.WANDelay
+	}
+	return la
+}
+
 // OrgDomain is one organization inside a Network: a contiguous range of
 // global peer indices forming an isolated gossip domain (Fabric does not
 // gossip data blocks across organizations, paper §III-A).
@@ -155,7 +184,13 @@ func (d *OrgDomain) Size() int { return d.Hi - d.Lo }
 // is the last node, and the fault surface (Crash, Restart, partitions via
 // Net) operates on global indices.
 type Network struct {
-	Params  NetworkParams
+	Params NetworkParams
+	// Engine is the engine scenario/control code schedules on. Sequential
+	// mode: the one engine running everything. Sharded mode: the
+	// coordinator's control engine — its events fire at window barriers
+	// with every shard quiescent, so existing At/Every call sites (fault
+	// actions, block injections, the redelivery pump, samplers) need no
+	// changes to become barrier-hosted.
 	Engine  *sim.Engine
 	Net     *transport.SimNetwork
 	Traffic *netmodel.Traffic
@@ -188,6 +223,18 @@ type Network struct {
 
 	// cluster is the replicated ordering service (nil in legacy mode).
 	cluster *consenterCluster
+
+	// Sharded-mode state (nil/zero in sequential mode). ordEngine is the
+	// engine the ordering service (legacy orderer timers, raft nodes,
+	// order services) runs on: the ordering shard's engine, or Engine
+	// sequentially. pumpWanted coalesces mid-window pump requests (a
+	// consenter committing a block cannot touch other shards' peers until
+	// the next barrier).
+	se            *sim.ShardedEngine
+	ordEngine     *sim.Engine
+	shardTraffics []*netmodel.Traffic
+	trafficMerged bool
+	pumpWanted    bool
 
 	// Per-org deliver-gap tracking: time of the last first-time delivery
 	// and the widest observed gap between consecutive ones — the ordering
@@ -237,15 +284,35 @@ func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
 	if len(p.Orgs) == 0 {
 		return nil, fmt.Errorf("harness: network needs at least one organization")
 	}
-	n := &Network{
-		Params: p,
-		Engine: sim.NewEngine(p.Seed),
+	n := &Network{Params: p}
+	if p.Sharded {
+		if la := p.lookahead(); la > 0 {
+			// One shard per organization plus one for the ordering service.
+			n.se = sim.NewShardedEngine(p.Seed, len(p.Orgs)+1, la)
+		}
+		// Safe fallback: a non-positive lookahead admits no parallel
+		// window, so the network silently runs sequentially.
+	}
+	if n.se != nil {
+		n.Engine = n.se.Control()
+		n.ordEngine = n.se.Shard(len(p.Orgs))
+	} else {
+		n.Engine = sim.NewEngine(p.Seed)
+		n.ordEngine = n.Engine
 	}
 	for _, opt := range opts {
 		opt(n)
 	}
 	n.Traffic = netmodel.NewSimTraffic(p.Bucket)
 	n.Net = transport.NewSimNetwork(n.Engine, netmodel.LAN(), n.Traffic)
+	if n.se != nil {
+		n.shardTraffics = make([]*netmodel.Traffic, n.se.NumShards())
+		for i := range n.shardTraffics {
+			n.shardTraffics[i] = netmodel.NewSimTraffic(p.Bucket)
+		}
+		n.Net.EnableSharding(n.se, n.shardTraffics)
+		n.se.OnBarrier(n.drainPump)
+	}
 	// The ordering service delivers over a reliable stream: uniform loss
 	// must not swallow a block before it enters an organization.
 	n.Net.SetLossExempt(wire.TypeDeliverBlock, true)
@@ -298,6 +365,9 @@ func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
 		for g := d.Lo; g < d.Hi; g++ {
 			n.orgOf[g] = d.Index
 			n.eps[g] = n.Net.AddNode()
+			if n.se != nil {
+				n.Net.SetNodeShard(n.eps[g].ID(), d.Index)
+			}
 			n.Cores[g] = n.buildCore(g)
 		}
 	}
@@ -305,6 +375,9 @@ func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
 		n.buildCluster(p.Consenters)
 	} else {
 		n.Orderer = n.Net.AddNode()
+		if n.se != nil {
+			n.Net.SetNodeShard(n.Orderer.ID(), len(n.Orgs))
+		}
 	}
 	if p.WANDelay > 0 {
 		n.applyWAN(p.WANDelay)
@@ -343,7 +416,10 @@ func (n *Network) buildCore(global int) *gossip.Core {
 	default:
 		proto = enhanced.New(d.enhanced)
 	}
-	core := gossip.New(cfg, ep, n.Engine, n.Engine.Rand("gossip"), proto)
+	// Each org's cores run on the org's engine: the shard engine in sharded
+	// mode (with the shard's own "gossip" stream), the one engine otherwise.
+	eng := n.OrgEngine(d.Index)
+	core := gossip.New(cfg, ep, eng, eng.Rand("gossip"), proto)
 	for _, hook := range n.onCore {
 		hook(global, core)
 	}
@@ -419,6 +495,105 @@ func (n *Network) TotalPeers() int { return len(n.Cores) }
 
 // OrgOf returns the organization index owning the given global peer index.
 func (n *Network) OrgOf(global int) int { return n.orgOf[global] }
+
+// Sharded returns the conservative coordinator, or nil when the network
+// runs on the single sequential engine.
+func (n *Network) Sharded() *sim.ShardedEngine { return n.se }
+
+// OrgEngine returns the engine the organization's peers run on: its shard
+// engine, or the one sequential engine.
+func (n *Network) OrgEngine(org int) *sim.Engine {
+	if n.se != nil {
+		return n.se.Shard(org)
+	}
+	return n.Engine
+}
+
+// EngineFor returns the engine the peer at the given global index runs on.
+func (n *Network) EngineFor(global int) *sim.Engine {
+	return n.OrgEngine(n.orgOf[global])
+}
+
+// OrdererEngine returns the engine the ordering service runs on: the
+// ordering shard's engine, or the one sequential engine.
+func (n *Network) OrdererEngine() *sim.Engine { return n.ordEngine }
+
+// RunUntil drives the simulation to time t, through the coordinator's
+// lock-step windows in sharded mode.
+func (n *Network) RunUntil(t time.Duration) {
+	if n.se != nil {
+		n.se.RunUntil(t)
+		return
+	}
+	n.Engine.RunUntil(t)
+}
+
+// ExecutedEvents returns the total simulation events run across all engines.
+func (n *Network) ExecutedEvents() uint64 {
+	if n.se != nil {
+		return n.se.Executed()
+	}
+	return n.Engine.Executed()
+}
+
+// PeakPending returns the event queues' high-water mark (the largest single
+// engine's, in sharded mode).
+func (n *Network) PeakPending() int {
+	if n.se != nil {
+		return n.se.PeakPending()
+	}
+	return n.Engine.PeakPending()
+}
+
+// TrafficView returns the network-wide traffic accounting: the live
+// accountant sequentially, or the per-shard accountants merged on first use
+// in sharded mode (a post-run reporting accessor there — traffic recorded
+// after the first call is not folded in).
+func (n *Network) TrafficView() *netmodel.Traffic {
+	if n.se != nil && !n.trafficMerged {
+		n.trafficMerged = true
+		for _, t := range n.shardTraffics {
+			n.Traffic.Merge(t)
+		}
+	}
+	return n.Traffic
+}
+
+// AddClientNode attaches a workload client endpoint homed in the given
+// organization: it joins the org's WAN site (when sites are active) and the
+// org's shard (when sharded), so client traffic to the ordering service is
+// cross-site and cross-shard exactly like the org's peers'.
+func (n *Network) AddClientNode(org int) *transport.SimEndpoint {
+	ep := n.Net.AddNode()
+	if n.Params.WANDelay > 0 {
+		n.Net.SetNodeSite(ep.ID(), org)
+	}
+	if n.se != nil {
+		n.Net.SetNodeShard(ep.ID(), org)
+	}
+	return ep
+}
+
+// requestPump triggers ordering redelivery. Sequentially it pumps inline —
+// the legacy behavior, fingerprint-pinned. In sharded mode a pump touches
+// every organization's leader state, so mid-window requests (a consenter
+// applying a committed block, an election resolving) coalesce into one pump
+// at the next barrier, where all shards are quiescent.
+func (n *Network) requestPump() {
+	if n.se == nil {
+		n.pumpAll()
+		return
+	}
+	n.pumpWanted = true
+}
+
+// drainPump is the coordinator barrier hook behind requestPump.
+func (n *Network) drainPump() {
+	if n.pumpWanted {
+		n.pumpWanted = false
+		n.pumpAll()
+	}
+}
 
 // StartAll starts every peer's core, the consenter cluster (if any), and
 // arms the ordering service's redelivery timer.
@@ -595,7 +770,7 @@ func (n *Network) Append(b *ledger.Block) {
 		return
 	}
 	n.chain = append(n.chain, b)
-	n.pumpAll()
+	n.requestPump()
 }
 
 // ChainLength returns how many blocks the ordering service has cut.

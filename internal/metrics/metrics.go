@@ -220,27 +220,26 @@ func (r *LatencyRecorder) All() *Distribution {
 }
 
 // GroupedLatency partitions latency observations by an integer group key —
-// the organization index in multi-org networks — while also pooling every
-// observation into an aggregate view. Scenario reports use it to summarize
-// each organization's epidemic independently (the paper's Fig. 1 shape:
-// per-org gossip domains) next to the network-wide distribution.
+// the organization index in multi-org networks. Scenario reports use it to
+// summarize each organization's epidemic independently (the paper's Fig. 1
+// shape: per-org gossip domains) next to the network-wide distribution,
+// which All assembles by merging the groups on demand. Keeping the
+// aggregate virtual (instead of a live recorder every Record also feeds)
+// lets each group take writes from its own shard of a sharded simulation
+// with no shared state; call EnsureGroups up front so the group map itself
+// is never mutated concurrently.
 type GroupedLatency struct {
 	groups map[int]*LatencyRecorder
-	all    *LatencyRecorder
 }
 
 // NewGroupedLatency returns an empty grouped recorder.
 func NewGroupedLatency() *GroupedLatency {
-	return &GroupedLatency{
-		groups: make(map[int]*LatencyRecorder),
-		all:    NewLatencyRecorder(),
-	}
+	return &GroupedLatency{groups: make(map[int]*LatencyRecorder)}
 }
 
-// Record adds one observation to the group's recorder and the aggregate.
+// Record adds one observation to the group's recorder.
 func (g *GroupedLatency) Record(group int, block uint64, peer wire.NodeID, latency time.Duration) {
 	g.Group(group).Record(block, peer, latency)
-	g.all.Record(block, peer, latency)
 }
 
 // Group returns the recorder for one group, creating it on first use.
@@ -253,8 +252,30 @@ func (g *GroupedLatency) Group(group int) *LatencyRecorder {
 	return r
 }
 
-// All returns the aggregate recorder pooling every group's observations.
-func (g *GroupedLatency) All() *LatencyRecorder { return g.all }
+// EnsureGroups pre-creates recorders for groups [0, n), so writers on
+// different goroutines (one per group) never grow the map concurrently.
+func (g *GroupedLatency) EnsureGroups(n int) {
+	for i := 0; i < n; i++ {
+		g.Group(i)
+	}
+}
+
+// All returns an aggregate recorder pooling every group's observations,
+// merged in ascending group order at call time.
+func (g *GroupedLatency) All() *LatencyRecorder {
+	out := NewLatencyRecorder()
+	for _, k := range g.Groups() {
+		r := g.groups[k]
+		for peer, s := range r.perPeer {
+			out.perPeer[peer] = append(out.perPeer[peer], s...)
+		}
+		for blk, s := range r.perBlock {
+			out.perBlock[blk] = append(out.perBlock[blk], s...)
+		}
+		out.count += r.count
+	}
+	return out
+}
 
 // Groups returns the group keys observed so far, in ascending order.
 func (g *GroupedLatency) Groups() []int {
@@ -284,6 +305,10 @@ func (r *RecoveryRecorder) Record(latency time.Duration) {
 
 // Count returns the number of recorded recoveries.
 func (r *RecoveryRecorder) Count() int { return len(r.samples) }
+
+// Samples returns the raw observations, for merging recorders that took
+// writes on separate goroutines. Callers must not mutate the slice.
+func (r *RecoveryRecorder) Samples() []time.Duration { return r.samples }
 
 // Distribution returns the recovery-latency distribution.
 func (r *RecoveryRecorder) Distribution() *Distribution {

@@ -80,6 +80,47 @@ func (t *Traffic) unlock() {
 // Bucket returns the aggregation width.
 func (t *Traffic) Bucket() time.Duration { return t.bucket }
 
+// Merge folds other's accounting into t. The sharded runtime keeps one
+// accountant per shard (so Record stays lock-free inside windows) and merges
+// them into a single view for reporting. other must be quiescent.
+func (t *Traffic) Merge(other *Traffic) {
+	t.lock()
+	defer t.unlock()
+	for node, b := range other.in {
+		for idx, v := range b {
+			if v != 0 {
+				t.in = bumpNode(t.in, node, idx, v)
+			}
+		}
+	}
+	for node, b := range other.out {
+		for idx, v := range b {
+			if v != 0 {
+				t.out = bumpNode(t.out, node, idx, v)
+			}
+		}
+	}
+	for id, b := range other.inBig {
+		for idx, v := range b {
+			if v != 0 {
+				t.inBig = bumpBig(t.inBig, id, idx, v)
+			}
+		}
+	}
+	for id, b := range other.outBig {
+		for idx, v := range b {
+			if v != 0 {
+				t.outBig = bumpBig(t.outBig, id, idx, v)
+			}
+		}
+	}
+	for mt := range other.count {
+		t.count[mt] += other.count[mt]
+		t.bytes[mt] += other.bytes[mt]
+	}
+	t.total += other.total
+}
+
 // Record accounts one message of the given type and size sent from -> to
 // at virtual/wall time at.
 func (t *Traffic) Record(from, to wire.NodeID, mt wire.MsgType, size int, at time.Duration) {

@@ -636,4 +636,84 @@ func init() {
 			}
 		},
 	})
+
+	// --- sharded parallel engine entries (per-org shards, lock-step
+	// windows). Each separates the organizations onto WAN sites: the 25 ms
+	// inter-site latency floor becomes the conservative lookahead, so
+	// shards run long windows between barriers instead of thrashing on the
+	// LAN's 150 µs propagation floor. ---
+
+	register(Def{
+		Name: "sharded-crash-restart",
+		Description: "the crash-restart fault script on the sharded parallel " +
+			"engine: each WAN-separated organization runs on its own event loop, " +
+			"synchronized in conservative lookahead windows, with a " +
+			"deterministic, GOMAXPROCS-independent fingerprint — the 10k-peer " +
+			"benchmark tier's crash workload",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			n := top.Total()
+			k := max(1, n/10)
+			return Scenario{
+				Blocks:        10,
+				BlockInterval: 300 * time.Millisecond,
+				Warmup:        time.Second,
+				Tail:          30 * time.Second,
+				WANDelay:      25 * time.Millisecond,
+				Sharded:       true,
+				Events: []Event{
+					{At: 1500 * time.Millisecond, Action: CrashPeers{Peers: span(1, 1+k)}},
+					{At: 4 * time.Second, Action: RestartAll{}},
+				},
+			}
+		},
+	})
+	register(Def{
+		Name: "sharded-view-convergence",
+		Description: "membership convergence under the SWIM extensions on the " +
+			"sharded parallel engine: every organization's piggybacked events, " +
+			"suspicion probes and view shuffles run shard-local, and the " +
+			"convergence measurement samples at coordinator barriers — the " +
+			"10k-peer benchmark tier's membership workload",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Blocks:            6,
+				BlockInterval:     500 * time.Millisecond,
+				Warmup:            time.Second,
+				Tail:              40 * time.Second,
+				WANDelay:          25 * time.Millisecond,
+				Sharded:           true,
+				SwimMembership:    true,
+				MeasureMembership: true,
+			}
+		},
+	})
+	register(Def{
+		Name: "sharded-txload-steady",
+		Description: "the steady Poisson transaction workload on the sharded " +
+			"parallel engine: clients and validation run on their organization's " +
+			"shard, the ordering service on its own, and only endorsed " +
+			"submissions and block deliveries cross shards — the full " +
+			"execute-order-validate pipeline under parallel simulation",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Warmup:   time.Second,
+				Tail:     25 * time.Second,
+				WANDelay: 25 * time.Millisecond,
+				Sharded:  true,
+				Workload: &workload.Config{
+					ClientsPerOrg: 2,
+					Rate:          5,
+					Arrival:       workload.ArrivalPoisson,
+					Keys:          64,
+				},
+				Events: []Event{
+					{At: time.Second, Action: StartWorkload{}},
+					{At: 6 * time.Second, Action: StopWorkload{}},
+				},
+			}
+		},
+	})
 }

@@ -132,8 +132,19 @@ type Report struct {
 	// pre-existing fingerprints are unaffected).
 	Workload *workload.Stats
 
-	// EngineEvents is the number of discrete events the engine executed.
+	// EngineEvents is the number of discrete events the engine executed
+	// (summed across shards, in sharded mode).
 	EngineEvents uint64
+
+	// Sharded reports whether the run actually used the sharded parallel
+	// engine (a Sharded request falls back sequential when the latency
+	// model leaves no lookahead window). PeakPending is the event queues'
+	// high-water mark — the largest any single engine's pending set grew.
+	// Both are excluded from String — and therefore from Fingerprint —
+	// like SyncBytes: Sharded is config echo and PeakPending a capacity
+	// diagnostic, so neither moves pre-existing fingerprints.
+	Sharded     bool
+	PeakPending int
 
 	// OrgReports breaks the run down per organization, in org order.
 	OrgReports []OrgReport

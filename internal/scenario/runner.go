@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"fabricgossip/internal/gossip"
@@ -42,7 +43,24 @@ type Options struct {
 	// of this size instead of the single orderer (cmd/scenarios
 	// -consenters). Zero inherits the scenario's own Consenters setting.
 	Consenters int
+	// Sharding overrides the scenario's Sharded flag per run
+	// (cmd/scenarios -shards): ShardOn forces the sharded parallel
+	// engine, ShardOff forces the sequential one, ShardAuto (the zero
+	// value) inherits the scenario's own setting.
+	Sharding ShardMode
 }
+
+// ShardMode is the per-run sharding override.
+type ShardMode int
+
+const (
+	// ShardAuto inherits the scenario's Sharded flag.
+	ShardAuto ShardMode = iota
+	// ShardOn forces the sharded parallel engine.
+	ShardOn
+	// ShardOff forces the sequential engine.
+	ShardOff
+)
 
 func (o Options) withDefaults() Options {
 	if o.Peers == 0 {
@@ -99,11 +117,23 @@ type runner struct {
 	net   *harness.Network
 	plane *workload.Plane // nil unless sc.Workload is set
 
-	rec     *metrics.RecoveryRecorder
+	// sharded reports whether the network actually runs the sharded
+	// engine (the request may fall back sequential on zero lookahead).
+	sharded bool
+
+	// orgRecs and lat take writes from commit/reception hooks, which run
+	// on each organization's own shard of a sharded network — so both are
+	// partitioned per org (the network-wide views merge at report time).
 	orgRecs []*metrics.RecoveryRecorder
 	lat     *metrics.GroupedLatency
 
-	trace    []string
+	// traces holds per-engine-context trace buffers: index o for org o,
+	// then one for the ordering engine, then one for the control engine
+	// (fault actions, deliveries). Sequentially there is a single buffer
+	// and the report keeps exact emission order — fingerprint-pinned; a
+	// sharded run merges buffers by (time, buffer, position), which is
+	// deterministic regardless of window interleaving.
+	traces   [][]traceEntry
 	injected int               // distinct blocks delivered to at least one org
 	seen     map[uint64]bool   // blocks counted in injected
 	orgSeen  []map[uint64]bool // per-org delivered blocks
@@ -111,13 +141,16 @@ type runner struct {
 	// (its leader's reception); later receptions record deltas against it.
 	orgStart []map[uint64]time.Duration
 
-	// Per-peer measurement state, reset when a peer restarts.
+	// Per-peer measurement state, reset when a peer restarts. Written by
+	// the peer's own shard (commit hooks) or at coordinator barriers
+	// (fault actions), never both at once.
 	lastCommit []int64 // last in-order committed block, -1 if none
 	restartAt  []time.Duration
 	recovering []bool
 
-	transitions     int
-	orderViolations int
+	// Per-org counters (shard-local writers), summed at report time.
+	transitions     []int
+	orderViolations []int
 
 	// Membership-view sampling state (MeasureMembership only). liveBuf and
 	// actualBuf are the sampler's reusable scratch; convergedAt is the
@@ -128,6 +161,13 @@ type runner struct {
 	convergedAt time.Duration
 	liveBuf     []wire.NodeID
 	actualBuf   []wire.NodeID
+}
+
+// traceEntry is one trace line before prefix formatting, tagged with its
+// virtual time for the sharded merge.
+type traceEntry struct {
+	at   time.Duration
+	line string
 }
 
 // RunNamed instantiates the named catalog scenario for opt's topology and
@@ -233,20 +273,30 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		}
 	}
 
-	r := &runner{
-		sc:         sc,
-		opt:        opt,
-		top:        top,
-		rec:        metrics.NewRecoveryRecorder(),
-		orgRecs:    make([]*metrics.RecoveryRecorder, top.Orgs()),
-		lat:        metrics.NewGroupedLatency(),
-		seen:       make(map[uint64]bool),
-		orgSeen:    make([]map[uint64]bool, top.Orgs()),
-		orgStart:   make([]map[uint64]time.Duration, top.Orgs()),
-		lastCommit: make([]int64, top.Total()),
-		restartAt:  make([]time.Duration, top.Total()),
-		recovering: make([]bool, top.Total()),
+	sharded := sc.Sharded
+	switch opt.Sharding {
+	case ShardOn:
+		sharded = true
+	case ShardOff:
+		sharded = false
 	}
+
+	r := &runner{
+		sc:              sc,
+		opt:             opt,
+		top:             top,
+		orgRecs:         make([]*metrics.RecoveryRecorder, top.Orgs()),
+		lat:             metrics.NewGroupedLatency(),
+		seen:            make(map[uint64]bool),
+		orgSeen:         make([]map[uint64]bool, top.Orgs()),
+		orgStart:        make([]map[uint64]time.Duration, top.Orgs()),
+		lastCommit:      make([]int64, top.Total()),
+		restartAt:       make([]time.Duration, top.Total()),
+		recovering:      make([]bool, top.Total()),
+		transitions:     make([]int, top.Orgs()),
+		orderViolations: make([]int, top.Orgs()),
+	}
+	r.lat.EnsureGroups(top.Orgs())
 	for o := 0; o < top.Orgs(); o++ {
 		r.orgRecs[o] = metrics.NewRecoveryRecorder()
 		r.orgSeen[o] = make(map[uint64]bool)
@@ -278,6 +328,7 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		WANDelay:        sc.WANDelay,
 		Consenters:      consenters,
 		ConsenterSpread: sc.ConsenterSpread,
+		Sharded:         sharded,
 	},
 		// Fault handling wants faster membership and recovery turnarounds
 		// than the paper's fault-free 10 s defaults.
@@ -303,7 +354,7 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		harness.WithDeliverHook(r.onDeliver),
 		harness.WithConsenterHook(func(c int, s raft.State, term uint64) {
 			if s == raft.Leader {
-				r.tracef("consenter %d elected leader (term %d)", c, term)
+				r.ordTracef("consenter %d elected leader (term %d)", c, term)
 			}
 		}),
 	)
@@ -311,6 +362,14 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		return nil, err
 	}
 	r.net = net
+	// The request may fall back sequential (no usable lookahead window);
+	// trace buffering follows what the network actually runs.
+	r.sharded = net.Sharded() != nil
+	nbuf := 1
+	if r.sharded {
+		nbuf = top.Orgs() + 2
+	}
+	r.traces = make([][]traceEntry, nbuf)
 	engine := net.Engine
 
 	// The workload plane must install before the cores start (its
@@ -362,7 +421,7 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		})
 	}
 
-	engine.RunUntil(sc.End())
+	net.RunUntil(sc.End())
 	net.StopAll()
 
 	return r.report(blocks), nil
@@ -447,15 +506,14 @@ func (r *runner) instrument(i int, core *gossip.Core) {
 	org := r.top.OrgOf(i)
 	core.OnCommit(func(b *ledger.Block) {
 		if int64(b.Num) != r.lastCommit[i]+1 {
-			r.orderViolations++
+			r.orderViolations[org]++
 		}
 		r.lastCommit[i] = int64(b.Num)
 		if r.recovering[i] && b.Num+1 >= uint64(r.injected) {
-			lat := r.net.Engine.Now() - r.restartAt[i]
-			r.rec.Record(lat)
+			lat := r.net.EngineFor(i).Now() - r.restartAt[i]
 			r.orgRecs[org].Record(lat)
 			r.recovering[i] = false
-			r.tracef("peer %d caught up to height %d, %v after restart", i, b.Num+1, lat)
+			r.orgTracef(org, "peer %d caught up to height %d, %v after restart", i, b.Num+1, lat)
 		}
 	})
 	core.OnFirstReception(func(b *ledger.Block, at time.Duration) {
@@ -471,7 +529,7 @@ func (r *runner) instrument(i int, core *gossip.Core) {
 		}
 	})
 	core.OnPeerStateChange(func(wire.NodeID, bool, time.Duration) {
-		r.transitions++
+		r.transitions[org]++
 	})
 }
 
@@ -641,30 +699,107 @@ func (r *runner) sampleViews() {
 	}
 }
 
+// tracef records a trace line from the control context: fault actions,
+// block deliveries, setup — everything that runs on the control engine (at
+// coordinator barriers, when sharded).
 func (r *runner) tracef(format string, args ...any) {
-	at := r.net.Engine.Now()
-	r.trace = append(r.trace, fmt.Sprintf("[%10v] %s", at, fmt.Sprintf(format, args...)))
+	r.traceTo(len(r.traces)-1, r.net.Engine.Now(), format, args...)
+}
+
+// orgTracef records a trace line from an organization's engine context —
+// its own shard's goroutine, mid-window, when sharded.
+func (r *runner) orgTracef(org int, format string, args ...any) {
+	buf := len(r.traces) - 1
+	if r.sharded {
+		buf = org
+	}
+	r.traceTo(buf, r.net.OrgEngine(org).Now(), format, args...)
+}
+
+// ordTracef records a trace line from the ordering engine's context (the
+// consenter cluster's shard, when sharded).
+func (r *runner) ordTracef(format string, args ...any) {
+	buf := len(r.traces) - 1
+	if r.sharded {
+		buf = len(r.traces) - 2
+	}
+	r.traceTo(buf, r.net.OrdererEngine().Now(), format, args...)
+}
+
+func (r *runner) traceTo(buf int, at time.Duration, format string, args ...any) {
+	r.traces[buf] = append(r.traces[buf], traceEntry{at: at, line: fmt.Sprintf(format, args...)})
+}
+
+// mergedTrace assembles the final trace. Sequential runs keep the single
+// buffer's exact emission order (fingerprint-pinned); sharded runs merge
+// the per-context buffers by (time, buffer, position) — a total order that
+// does not depend on how windows interleaved across goroutines.
+func (r *runner) mergedTrace() []string {
+	format := func(e traceEntry) string {
+		return fmt.Sprintf("[%10v] %s", e.at, e.line)
+	}
+	if !r.sharded {
+		out := make([]string, len(r.traces[0]))
+		for i, e := range r.traces[0] {
+			out[i] = format(e)
+		}
+		return out
+	}
+	type tagged struct {
+		traceEntry
+		buf, pos int
+	}
+	var all []tagged
+	for b, buf := range r.traces {
+		for p, e := range buf {
+			all = append(all, tagged{e, b, p})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		if all[i].buf != all[j].buf {
+			return all[i].buf < all[j].buf
+		}
+		return all[i].pos < all[j].pos
+	})
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = format(e.traceEntry)
+	}
+	return out
 }
 
 // report assembles the final Report after the engine has drained.
 func (r *runner) report(blocks []*ledger.Block) *Report {
+	tv := r.net.TrafficView()
+	var transitions, violations int
+	var recAll []time.Duration
+	for o := 0; o < r.top.Orgs(); o++ {
+		transitions += r.transitions[o]
+		violations += r.orderViolations[o]
+		recAll = append(recAll, r.orgRecs[o].Samples()...)
+	}
 	rep := &Report{
 		Scenario:       r.sc.Name,
 		Variant:        string(r.opt.Variant),
 		Peers:          r.top.Total(),
 		Orgs:           r.top.Orgs(),
 		Seed:           r.opt.Seed,
+		Sharded:        r.sharded,
 		BlocksInjected: r.injected,
-		Transitions:    r.transitions,
-		EngineEvents:   r.net.Engine.Executed(),
-		TotalBytes:     r.net.Traffic.TotalBytes(),
-		SyncBytes: r.net.Traffic.BytesOf(wire.TypeStateRequest) +
-			r.net.Traffic.BytesOf(wire.TypeStateResponse),
-		SyncMessages: r.net.Traffic.CountOf(wire.TypeStateRequest) +
-			r.net.Traffic.CountOf(wire.TypeStateResponse),
-		Recoveries: metrics.Summarize(r.rec.Distribution()),
+		Transitions:    transitions,
+		EngineEvents:   r.net.ExecutedEvents(),
+		PeakPending:    r.net.PeakPending(),
+		TotalBytes:     tv.TotalBytes(),
+		SyncBytes: tv.BytesOf(wire.TypeStateRequest) +
+			tv.BytesOf(wire.TypeStateResponse),
+		SyncMessages: tv.CountOf(wire.TypeStateRequest) +
+			tv.CountOf(wire.TypeStateResponse),
+		Recoveries: metrics.Summarize(metrics.NewDistribution(recAll)),
 		Latency:    metrics.Summarize(r.lat.All().All()),
-		Trace:      r.trace,
+		Trace:      r.mergedTrace(),
 	}
 	if r.viewSamples > 0 {
 		rep.ViewSamples = r.viewSamples
@@ -691,7 +826,7 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		}
 		var inBytes uint64
 		for _, i := range r.top.OrgSpan(o) {
-			in, _ := r.net.Traffic.NodeTotals(wire.NodeID(i))
+			in, _ := tv.NodeTotals(wire.NodeID(i))
 			inBytes += in
 			if r.net.Crashed(i) {
 				continue
@@ -726,7 +861,7 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		w := r.plane.Stats()
 		rep.Workload = &w
 	}
-	rep.OrderViolations = r.orderViolations
+	rep.OrderViolations = violations
 	if blockBytes > 0 {
 		// Same definition of "ideal" as the per-org lines: every peer —
 		// leaders included, their copy arrives from the orderer and is in

@@ -54,6 +54,10 @@ type Engine struct {
 	// messages reuses a working set of event structs the size of its peak
 	// in-flight count.
 	free []*event
+	// peakPending is the high-water mark of the event queue, a capacity
+	// diagnostic for drain spikes (scenario reports surface it outside the
+	// fingerprint).
+	peakPending int
 }
 
 // NewEngine returns an engine whose random streams derive from seed.
@@ -77,6 +81,36 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Executed returns the total number of events run since creation.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// PeakPending returns the queue's high-water mark: the largest number of
+// events that were ever simultaneously pending.
+func (e *Engine) PeakPending() int { return e.peakPending }
+
+// notePeak updates the queue high-water mark after a push.
+func (e *Engine) notePeak() {
+	if n := len(e.queue); n > e.peakPending {
+		e.peakPending = n
+	}
+}
+
+// NextEventAt returns the timestamp of the earliest pending event, or false
+// when the queue is empty. The sharded coordinator uses it to clip windows
+// to the next barrier-hosted event and to skip empty windows entirely.
+func (e *Engine) NextEventAt() (time.Duration, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// advanceTo moves the clock forward to t without executing anything (the
+// sharded coordinator's idle hop). Events already queued at or before t are
+// untouched and fire — at their recorded timestamps — in the next window.
+func (e *Engine) advanceTo(t time.Duration) {
+	if e.now < t {
+		e.now = t
+	}
+}
+
 // After schedules fn to run at Now()+d. Negative delays are clamped to zero,
 // so the event fires after all events already scheduled for the current
 // instant.
@@ -90,6 +124,7 @@ func (e *Engine) After(d time.Duration, fn func()) Timer {
 	ev := &event{e: e, at: e.now + d, seq: e.seq, fn: fn}
 	e.seq++
 	e.queue.push(ev)
+	e.notePeak()
 	return ev
 }
 
@@ -140,6 +175,15 @@ func (e *Engine) AfterMsg(d time.Duration, h DeliveryHandler, from, to uint64, m
 	ev.to = to
 	ev.msg = msg
 	e.queue.push(ev)
+	e.notePeak()
+}
+
+// AtMsg schedules a pooled delivery at an absolute virtual time, clamping
+// past times to the current instant. It is At's counterpart on the AfterMsg
+// path; the sharded coordinator uses it to requeue cross-shard deliveries at
+// their original timestamps.
+func (e *Engine) AtMsg(t time.Duration, h DeliveryHandler, from, to uint64, msg any) {
+	e.AfterMsg(t-e.now, h, from, to, msg)
 }
 
 // Every schedules fn at now+interval, now+2*interval, ... until the returned
@@ -267,6 +311,7 @@ func (p *periodic) rearm() {
 	p.e.seq++
 	ev.fn = p.tickFn
 	p.e.queue.push(ev)
+	p.e.notePeak()
 }
 
 func (p *periodic) tick() {
@@ -327,6 +372,7 @@ func (q *eventQueue) popMin() *event {
 		q.siftDown(0)
 	}
 	ev.index = -1
+	q.maybeShrink()
 	return ev
 }
 
@@ -346,6 +392,28 @@ func (q *eventQueue) remove(i int) {
 		}
 	}
 	ev.index = -1
+	q.maybeShrink()
+}
+
+// shrinkMinCap is the smallest backing-array capacity maybeShrink bothers
+// reclaiming. Below it the queue costs nothing worth a copy.
+const shrinkMinCap = 1024
+
+// maybeShrink reallocates the backing array when occupancy falls to a
+// quarter of capacity or less, returning the memory of drain spikes: a fault
+// scenario can balloon the queue into the millions of pending deliveries and
+// then idle at a few thousand timers for the rest of the run. The copy
+// preserves slot order, so event indices stay valid, and the new capacity
+// (2x the live count) keeps the shrink amortized — it cannot re-trigger
+// until the queue halves again.
+func (q *eventQueue) maybeShrink() {
+	h := *q
+	if cap(h) < shrinkMinCap || len(h) > cap(h)/4 {
+		return
+	}
+	ns := make(eventQueue, len(h), 2*len(h))
+	copy(ns, h)
+	*q = ns
 }
 
 func (q eventQueue) siftUp(i int) {

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shardTracer records (time, tag) observations per shard so parallel windows
+// never share a slice; merge() produces a canonical ordering for comparison.
+type shardTracer struct {
+	mu   sync.Mutex
+	logs [][]string
+}
+
+func newShardTracer(n int) *shardTracer {
+	return &shardTracer{logs: make([][]string, n)}
+}
+
+func (tr *shardTracer) record(shard int, at time.Duration, tag string) {
+	tr.logs[shard] = append(tr.logs[shard], fmt.Sprintf("%v %s", at, tag))
+}
+
+func (tr *shardTracer) merged() string {
+	var all []string
+	for i, l := range tr.logs {
+		for j, line := range l {
+			// Tag with (shard, position) so the sort is total and stable
+			// across runs: per-shard order is the determinism contract.
+			all = append(all, fmt.Sprintf("%s [s%d #%04d]", line, i, j))
+		}
+	}
+	sort.Strings(all)
+	return strings.Join(all, "\n")
+}
+
+// pingPong builds a 2-shard workload where each shard schedules local events
+// and bounces cross-shard messages with latency >= lookahead, then returns
+// the merged trace.
+func pingPong(t *testing.T, parallel bool) string {
+	t.Helper()
+	const lookahead = 10 * time.Millisecond
+	se := NewShardedEngine(7, 2, lookahead)
+	se.SetParallel(parallel)
+	tr := newShardTracer(2)
+
+	var bounce DeliveryHandler
+	bounce = func(from, to uint64, msg any) {
+		n := msg.(int)
+		dst := int(to)
+		eng := se.Shard(dst)
+		tr.record(dst, eng.Now(), fmt.Sprintf("recv %d", n))
+		if n <= 0 {
+			return
+		}
+		// Reply with a jittered cross-shard latency >= lookahead.
+		d := lookahead + time.Duration(eng.Rand("jitter").Intn(5000))*time.Microsecond
+		se.SendCross(dst, int(from), eng.Now()+d, bounce, to, from, n-1)
+	}
+
+	for s := 0; s < 2; s++ {
+		s := s
+		eng := se.Shard(s)
+		// Local chatter: a periodic timer plus a burst of one-shot events.
+		eng.Every(3*time.Millisecond, func() {
+			tr.record(s, eng.Now(), "tick")
+		})
+		for i := 0; i < 4; i++ {
+			i := i
+			eng.After(time.Duration(i)*7*time.Millisecond, func() {
+				tr.record(s, eng.Now(), fmt.Sprintf("local %d", i))
+			})
+		}
+	}
+	// Seed two independent ping-pong chains, one starting on each shard.
+	se.SendCross(0, 1, lookahead, bounce, 0, 1, 8)
+	se.SendCross(1, 0, lookahead+time.Millisecond, bounce, 1, 0, 8)
+
+	se.RunUntil(200 * time.Millisecond)
+	return tr.merged()
+}
+
+func TestShardedSerialAndParallelWindowsAgree(t *testing.T) {
+	serial := pingPong(t, false)
+	parallel := pingPong(t, true)
+	if serial != parallel {
+		t.Fatalf("serial and parallel window execution diverged:\nserial:\n%s\n\nparallel:\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "recv 0") {
+		t.Fatalf("ping-pong chain did not complete:\n%s", serial)
+	}
+}
+
+func TestShardedControlEventsFireAtBarriers(t *testing.T) {
+	const lookahead = 10 * time.Millisecond
+	se := NewShardedEngine(3, 2, lookahead)
+	se.SetParallel(false)
+
+	// A shard event inside the control event's window must run before it:
+	// windows are clipped at control timestamps.
+	var order []string
+	se.Shard(0).After(14*time.Millisecond, func() {
+		order = append(order, "shard@14ms")
+	})
+	se.Control().At(15*time.Millisecond, func() {
+		order = append(order, fmt.Sprintf("control@%v", se.Control().Now()))
+	})
+	se.Shard(1).After(16*time.Millisecond, func() {
+		order = append(order, "shard@16ms")
+	})
+	se.RunUntil(30 * time.Millisecond)
+
+	want := []string{"shard@14ms", "control@15ms", "shard@16ms"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+func TestShardedBarrierHooksSeeQuiescentShards(t *testing.T) {
+	const lookahead = 5 * time.Millisecond
+	se := NewShardedEngine(11, 2, lookahead)
+	se.SetParallel(true)
+
+	var executed int
+	se.Shard(0).Every(time.Millisecond, func() { executed++ })
+	var samples []int
+	se.OnBarrier(func() {
+		// Hooks run with all shards joined: reading shard state here must
+		// be race-free (the -race CI run covers this path) and clocks must
+		// agree with the barrier time.
+		if got, want := se.Shard(0).Now(), se.Now(); got != want {
+			t.Errorf("shard clock %v != barrier time %v", got, want)
+		}
+		samples = append(samples, executed)
+	})
+	se.RunUntil(20 * time.Millisecond)
+
+	if executed != 20 {
+		t.Fatalf("periodic ran %d times, want 20", executed)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i] < samples[i-1] {
+			t.Fatalf("barrier samples not monotonic: %v", samples)
+		}
+	}
+}
+
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	const lookahead = 10 * time.Millisecond
+	se := NewShardedEngine(5, 2, lookahead)
+	se.SetParallel(false) // propagate the panic to RunUntil's caller
+
+	se.Shard(0).After(2*time.Millisecond, func() {
+		// A cross-shard message due inside the current window: faster than
+		// the declared lookahead, must refuse loudly instead of reordering.
+		se.SendCross(0, 1, se.Shard(0).Now()+time.Millisecond,
+			func(from, to uint64, msg any) {}, 0, 1, nil)
+	})
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sub-lookahead cross-shard send did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "lookahead") {
+			t.Fatalf("panic does not explain the lookahead violation: %v", r)
+		}
+	}()
+	se.RunUntil(20 * time.Millisecond)
+}
+
+func TestShardedIdleHopSkipsEmptyWindows(t *testing.T) {
+	const lookahead = time.Millisecond
+	se := NewShardedEngine(9, 2, lookahead)
+	se.SetParallel(false)
+
+	fired := false
+	se.Shard(1).After(10*time.Second, func() { fired = true })
+	barriers := 0
+	se.OnBarrier(func() { barriers++ })
+	se.RunUntil(10 * time.Second)
+
+	if !fired {
+		t.Fatal("distant event did not fire")
+	}
+	// Without the hop this run would take 10M one-millisecond windows.
+	if barriers > 10 {
+		t.Fatalf("idle run crossed %d barriers, expected a handful", barriers)
+	}
+}
+
+func TestShardedSeedsAreIndependent(t *testing.T) {
+	se := NewShardedEngine(42, 3, time.Millisecond)
+	seen := map[int64]bool{se.Control().Seed(): true}
+	for i := 0; i < 3; i++ {
+		s := se.Shard(i).Seed()
+		if seen[s] {
+			t.Fatalf("duplicate shard seed %d", s)
+		}
+		seen[s] = true
+	}
+	if se.Control().Seed() != 42 {
+		t.Fatalf("control seed %d, want root seed 42", se.Control().Seed())
+	}
+}
+
+func TestEventQueueShrinksAfterDrainSpike(t *testing.T) {
+	e := NewEngine(1)
+	const spike = 100000
+	for i := 0; i < spike; i++ {
+		e.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	if e.PeakPending() != spike {
+		t.Fatalf("peak pending %d, want %d", e.PeakPending(), spike)
+	}
+	e.Run()
+	// Steady state after the drain: a small working set again.
+	for i := 0; i < 100; i++ {
+		e.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	if c := cap(e.queue); c > 4*shrinkMinCap {
+		t.Fatalf("queue capacity %d after drain spike, want it shrunk", c)
+	}
+	if e.PeakPending() != spike {
+		t.Fatalf("peak pending %d lost after drain, want %d", e.PeakPending(), spike)
+	}
+}
+
+func TestAtMsgSchedulesAtAbsoluteTime(t *testing.T) {
+	e := NewEngine(1)
+	var at []time.Duration
+	h := func(from, to uint64, msg any) { at = append(at, e.Now()) }
+	e.AtMsg(5*time.Millisecond, h, 0, 1, nil)
+	e.AtMsg(2*time.Millisecond, h, 0, 1, nil)
+	e.RunUntil(3 * time.Millisecond)
+	e.AtMsg(time.Millisecond, h, 0, 1, nil) // past: clamps to now
+	e.Run()
+	if len(at) != 3 || at[0] != 2*time.Millisecond || at[1] != 3*time.Millisecond || at[2] != 5*time.Millisecond {
+		t.Fatalf("AtMsg fire times %v", at)
+	}
+}

@@ -46,6 +46,19 @@ type SimNetwork struct {
 	// deliverFn is the deliver method bound once at construction so that
 	// per-message scheduling through sim.Engine.AfterMsg captures nothing.
 	deliverFn sim.DeliveryHandler
+
+	// Sharded mode (EnableSharding): each send runs on the *sender's* shard
+	// engine — its clock, its "transport" random stream, its traffic
+	// accountant — and same-shard deliveries schedule directly while
+	// cross-shard ones go through the coordinator's inboxes. The fault maps
+	// above are then written only at window barriers (every shard
+	// quiescent) and read concurrently during windows, which is safe
+	// without locks.
+	se           *sim.ShardedEngine
+	shardOf      []int // dense by NodeID; -1 = unassigned
+	shardEng     []*sim.Engine
+	shardRng     []*sim.Rand
+	shardTraffic []*netmodel.Traffic
 }
 
 // NewSimNetwork creates a simulated network. traffic may be nil to skip
@@ -75,6 +88,47 @@ func (n *SimNetwork) AddNode() *SimEndpoint {
 
 // Size returns the number of attached endpoints.
 func (n *SimNetwork) Size() int { return len(n.nodes) }
+
+// EnableSharding switches the network into sharded mode: sends draw delays
+// from the sender's shard engine and record into the shard's traffic
+// accountant (one per shard, merged for reporting), and deliveries crossing
+// a shard boundary are routed through the coordinator's conservative
+// inboxes. Every node must subsequently be assigned a shard with
+// SetNodeShard. traffics must have one accountant per shard (or be nil to
+// skip accounting).
+func (n *SimNetwork) EnableSharding(se *sim.ShardedEngine, traffics []*netmodel.Traffic) {
+	if traffics != nil && len(traffics) != se.NumShards() {
+		panic(fmt.Sprintf("transport: %d traffic accountants for %d shards", len(traffics), se.NumShards()))
+	}
+	n.se = se
+	n.shardTraffic = traffics
+	n.shardEng = make([]*sim.Engine, se.NumShards())
+	n.shardRng = make([]*sim.Rand, se.NumShards())
+	for i := range n.shardEng {
+		n.shardEng[i] = se.Shard(i)
+		n.shardRng[i] = se.Shard(i).Rand("transport")
+	}
+}
+
+// SetNodeShard assigns the node to a shard (sharded mode only). Sends from
+// or to an unassigned node panic: silently guessing a shard would let a
+// message bypass the conservative synchronization.
+func (n *SimNetwork) SetNodeShard(id wire.NodeID, shard int) {
+	for len(n.shardOf) <= int(id) {
+		n.shardOf = append(n.shardOf, -1)
+	}
+	n.shardOf[id] = shard
+}
+
+// shardOfNode returns the node's shard, panicking on unassigned nodes.
+func (n *SimNetwork) shardOfNode(id wire.NodeID) int {
+	if int(id) < len(n.shardOf) {
+		if s := n.shardOf[id]; s >= 0 {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("transport: node %v has no shard assignment", id))
+}
 
 // Engine returns the driving engine.
 func (n *SimNetwork) Engine() *sim.Engine { return n.engine }
@@ -199,7 +253,11 @@ func (n *SimNetwork) Reachable(from, to wire.NodeID) bool {
 // events via the pre-bound deliverFn, and the common no-overrides case
 // skips the linkExtra/nodeExtra lookups entirely.
 func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
+	if n.se != nil {
+		return n.sendSharded(from, to, msg)
+	}
 	if int(to) >= len(n.nodes) {
+		releaseMsg(msg)
 		return fmt.Errorf("transport: unknown destination %v", to)
 	}
 	size := msg.EncodedSize()
@@ -208,9 +266,11 @@ func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 		n.traffic.Record(from, to, msg.Type(), size, n.engine.Now())
 	}
 	if !n.Reachable(from, to) {
+		releaseMsg(msg)
 		return nil // silently lost: crashed endpoint, cut link or partition
 	}
 	if n.dropRate > 0 && !n.lossExempt[msg.Type()] && n.rng.Float64() < n.dropRate {
+		releaseMsg(msg)
 		return nil
 	}
 	delay := n.model.Delay(n.rng, size)
@@ -227,13 +287,67 @@ func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 	return nil
 }
 
+// sendSharded is send on the sharded runtime: the sender's shard engine
+// provides the clock and randomness, and cross-shard deliveries detour
+// through the coordinator so they become visible only at window barriers.
+// The per-shard network model is identical, so a cross-shard hop costs the
+// same simulated latency it would sequentially.
+func (n *SimNetwork) sendSharded(from, to wire.NodeID, msg wire.Message) error {
+	src := n.shardOfNode(from)
+	eng, rng := n.shardEng[src], n.shardRng[src]
+	if int(to) >= len(n.nodes) {
+		releaseMsg(msg)
+		return fmt.Errorf("transport: unknown destination %v", to)
+	}
+	size := msg.EncodedSize()
+	if n.shardTraffic != nil {
+		n.shardTraffic[src].Record(from, to, msg.Type(), size, eng.Now())
+	}
+	if !n.Reachable(from, to) {
+		releaseMsg(msg)
+		return nil
+	}
+	if n.dropRate > 0 && !n.lossExempt[msg.Type()] && rng.Float64() < n.dropRate {
+		releaseMsg(msg)
+		return nil
+	}
+	delay := n.model.Delay(rng, size)
+	if len(n.linkExtra) > 0 {
+		delay += n.linkExtra[[2]wire.NodeID{from, to}]
+	}
+	if len(n.nodeExtra) > 0 {
+		delay += n.nodeExtra[from] + n.nodeExtra[to]
+	}
+	if n.siteDelay > 0 && n.siteOf(from) != n.siteOf(to) {
+		delay += n.siteDelay
+	}
+	if dst := n.shardOfNode(to); dst != src {
+		n.se.SendCross(src, dst, eng.Now()+delay, n.deliverFn, uint64(from), uint64(to), msg)
+	} else {
+		eng.AfterMsg(delay, n.deliverFn, uint64(from), uint64(to), msg)
+	}
+	return nil
+}
+
 // deliver is the AfterMsg handler behind every in-flight message. Fault
 // state is checked at fire time, exactly as the per-message closure used
 // to: a node crashed while the message was in flight still swallows it.
+// Delivery is a terminal point for pooled envelopes, handled or not.
 func (n *SimNetwork) deliver(from, to uint64, msg any) {
 	dst := n.nodes[to]
+	m := msg.(wire.Message)
 	if h := dst.handler; h != nil && !n.downNode[dst.id] {
-		h(wire.NodeID(from), msg.(wire.Message))
+		h(wire.NodeID(from), m)
+	}
+	releaseMsg(m)
+}
+
+// releaseMsg returns a pooled envelope to its free list at a terminal point
+// of one delivery attempt: dropped at send, swallowed at a downed receiver,
+// or fully handled. Non-pooled messages are untouched.
+func releaseMsg(msg wire.Message) {
+	if r, ok := msg.(wire.Releasable); ok {
+		r.Release()
 	}
 }
 

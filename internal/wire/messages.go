@@ -13,6 +13,26 @@ import (
 type Data struct {
 	Block   *ledger.Block
 	Counter uint32
+
+	// pool/refs tie the envelope to a DataPool free list on the simulated
+	// hot path. Unexported and never encoded; literal-built messages leave
+	// pool nil and Release is a no-op.
+	pool *DataPool
+	refs int32
+}
+
+// Release implements Releasable: the envelope returns to its pool when the
+// last outstanding delivery terminates.
+func (m *Data) Release() {
+	if m.pool == nil {
+		return
+	}
+	m.refs--
+	if m.refs == 0 {
+		m.pool.put(m)
+	} else if m.refs < 0 {
+		panic("wire: Data released more times than its reference count")
+	}
 }
 
 // Type implements Message.
@@ -48,6 +68,23 @@ type BlockOffer struct {
 // a PushRequest for the bodies they lack.
 type PushDigest struct {
 	Offers []BlockOffer
+
+	// pool/refs: see Data. Unexported, never encoded.
+	pool *PushDigestPool
+	refs int32
+}
+
+// Release implements Releasable (see Data.Release).
+func (m *PushDigest) Release() {
+	if m.pool == nil {
+		return
+	}
+	m.refs--
+	if m.refs == 0 {
+		m.pool.put(m)
+	} else if m.refs < 0 {
+		panic("wire: PushDigest released more times than its reference count")
+	}
 }
 
 // Type implements Message.

@@ -158,16 +158,21 @@ type pendingTx struct {
 // wires it; Start and Stop bound the submission window; Stats snapshots
 // the outcome counters.
 type Plane struct {
-	cfg    Config
-	net    *harness.Network
-	engine *sim.Engine
+	cfg Config
+	net *harness.Network
 	// service is the legacy solo ordering service; services holds one
 	// replicated instance per consenter when the network runs a cluster
 	// (each fed by its consenter's identical Raft apply stream, so all
-	// cut identical blocks). Exactly one of the two is populated.
+	// cut identical blocks). Exactly one of the two is populated. Both run
+	// on the network's ordering engine — the ordering shard's under a
+	// sharded network.
 	service  *order.Service
 	services []*order.Service
-	checker  ledger.PolicyChecker
+	// checkers holds one policy checker per organization. The verdict
+	// cache is pure memoization over immutable transaction bytes, so
+	// splitting it per org changes no behavior — it exists so each shard's
+	// peers validate against shard-local state only.
+	checkers []ledger.PolicyChecker
 
 	// peers is the validation pipeline per global peer index, rebuilt on
 	// restart via the network's core hook. endorsers maps an endorsing
@@ -182,20 +187,38 @@ type Plane struct {
 	clients []*planeClient
 
 	running bool
-	// pending maps a submitted transaction's ID to its tracking record.
-	// Looked up only by key — never iterated — so it cannot perturb
-	// determinism.
-	pending map[crypto.Digest]*pendingTx
-	// blockTxs records each cut block's transaction IDs at deliver time so
-	// a peer's CommitResult (block number + per-index codes) can be mapped
-	// back to transactions.
-	blockTxs map[uint64][]crypto.Digest
+	// pending maps a submitted transaction's ID to its tracking record,
+	// partitioned by issuing organization: clients insert and resolvers
+	// delete on the same org, so under a sharded network each map is
+	// touched by exactly one shard. Looked up only by key — never
+	// iterated — so it cannot perturb determinism.
+	pending []map[crypto.Digest]*pendingTx
+	// blockTxs records each cut block's transaction IDs so a peer's
+	// CommitResult (block number + per-index codes) can be mapped back to
+	// transactions. One map per organization: blocks are cut on the
+	// ordering engine but resolved on each org's, so sequentially the cut
+	// writes every org's map directly, while a sharded run queues the
+	// record (txSync, ordering-shard-local) and a coordinator barrier
+	// fans it out while every shard is quiescent. Gossip needs at least
+	// one full window to carry the block to any peer, so the fan-out
+	// always lands before the first resolver reads it.
+	blockTxs []map[uint64][]crypto.Digest
+	txSync   []blockRecord
+	// cutSeen dedupes cluster-mode cuts (every consenter replica cuts the
+	// identical block; the first registers it). Ordering-engine-local.
+	cutSeen map[uint64]bool
 	// orgNext is the next block number each organization has yet to
 	// resolve: the first member to commit it processes the outcomes,
 	// later members skip.
 	orgNext []uint64
 
 	stats []orgCounters
+}
+
+// blockRecord is one cut block's transaction ids awaiting barrier fan-out.
+type blockRecord struct {
+	num uint64
+	ids []crypto.Digest
 }
 
 // orgCounters accumulates one organization's resolution outcomes.
@@ -210,10 +233,14 @@ type orgCounters struct {
 // own random stream and key sampler, driving the shared client.Client
 // state machine.
 type planeClient struct {
-	p        *Plane
-	org      int
-	ep       wire.NodeID
-	cl       *client.Client
+	p   *Plane
+	org int
+	ep  wire.NodeID
+	cl  *client.Client
+	// eng is the engine the client runs on — its organization's shard
+	// engine under a sharded network, so arrivals and endorsement stay
+	// shard-local and only the submit hop crosses to the ordering shard.
+	eng      *sim.Engine
 	rng      *sim.Rand
 	zipf     *rand.Zipf
 	inFlight bool // closed loop only
@@ -239,16 +266,24 @@ func Install(n *harness.Network, cfg Config) (*Plane, error) {
 	p := &Plane{
 		cfg:         cfg,
 		net:         n,
-		engine:      n.Engine,
 		peers:       make([]*peer.Peer, n.TotalPeers()),
 		endorsers:   make(map[int]*endorse.Endorser),
 		endorserIDs: make(map[int]*msp.Identity),
 		signers:     make(map[int]*crypto.Signer),
 		endorserIdx: make([][]int, len(n.Orgs)),
-		pending:     make(map[crypto.Digest]*pendingTx),
-		blockTxs:    make(map[uint64][]crypto.Digest),
+		checkers:    make([]ledger.PolicyChecker, len(n.Orgs)),
+		pending:     make([]map[crypto.Digest]*pendingTx, len(n.Orgs)),
+		blockTxs:    make([]map[uint64][]crypto.Digest, len(n.Orgs)),
+		cutSeen:     make(map[uint64]bool),
 		orgNext:     make([]uint64, len(n.Orgs)),
 		stats:       make([]orgCounters, len(n.Orgs)),
+	}
+	for o := range n.Orgs {
+		p.pending[o] = make(map[crypto.Digest]*pendingTx)
+		p.blockTxs[o] = make(map[uint64][]crypto.Digest)
+	}
+	if se := n.Sharded(); se != nil {
+		se.OnBarrier(p.syncBlockTxs)
 	}
 
 	// Identities: one MSP enrolls the orderer and every endorsing peer.
@@ -283,10 +318,12 @@ func Install(n *harness.Network, cfg Config) (*Plane, error) {
 		}
 	}
 	policy := endorse.NewPolicy(cfg.PolicyRequired, policyIDs...)
-	// One shared checker across every peer: the verdict cache (keyed by
-	// transaction ID, bounded) is what lets N peers validate the same
-	// transactions without N times the Ed25519 cost.
-	p.checker = policy.Checker()
+	// One checker per organization: the verdict cache (keyed by
+	// transaction ID, bounded) is what lets an org's N peers validate the
+	// same transactions without N times the Ed25519 cost.
+	for o := range n.Orgs {
+		p.checkers[o] = policy.Checker()
+	}
 
 	// Validation pipelines over the existing cores, and again for every
 	// core a Restart rebuilds. Orderer-signature verification runs on
@@ -307,11 +344,12 @@ func Install(n *harness.Network, cfg Config) (*Plane, error) {
 	// Raft apply stream — identical streams, identical signer, identical
 	// blocks — with the network delivering only the leader's cuts.
 	oCfg := order.Config{MaxTxPerBlock: cfg.MaxTxPerBlock, BatchTimeout: cfg.BatchTimeout}
+	ordEng := n.OrdererEngine()
 	if k := n.Consenters(); k > 0 {
 		p.services = make([]*order.Service, k)
 		for i := 0; i < k; i++ {
 			i := i
-			p.services[i] = order.NewService(oCfg, n.Engine,
+			p.services[i] = order.NewService(oCfg, ordEng,
 				&clusterConsenter{net: n, idx: i}, ordererSigner,
 				func(b *ledger.Block) { p.onClusterCut(i, b) })
 		}
@@ -319,8 +357,8 @@ func Install(n *harness.Network, cfg Config) (*Plane, error) {
 			_ = p.services[consenter].Broadcast(tx)
 		})
 	} else {
-		p.service = order.NewService(oCfg, n.Engine,
-			order.NewSolo(n.Engine, cfg.OrdererDelay), ordererSigner, p.onCut)
+		p.service = order.NewService(oCfg, ordEng,
+			order.NewSolo(ordEng, cfg.OrdererDelay), ordererSigner, p.onCut)
 		n.Orderer.SetHandler(func(_ wire.NodeID, msg wire.Message) {
 			if st, ok := msg.(*wire.SubmitTx); ok {
 				_ = p.service.Broadcast(st.Tx)
@@ -334,15 +372,14 @@ func Install(n *harness.Network, cfg Config) (*Plane, error) {
 	// WAN-separated, and its own named random stream.
 	for o := range n.Orgs {
 		for j := 0; j < cfg.ClientsPerOrg; j++ {
-			ep := n.Net.AddNode()
-			if n.Params.WANDelay > 0 {
-				n.Net.SetNodeSite(ep.ID(), o)
-			}
+			ep := n.AddClientNode(o)
+			eng := n.OrgEngine(o)
 			c := &planeClient{
 				p:   p,
 				org: o,
 				ep:  ep.ID(),
-				rng: n.Engine.Rand(fmt.Sprintf("workload/org%d/client%d", o, j)),
+				eng: eng,
+				rng: eng.Rand(fmt.Sprintf("workload/org%d/client%d", o, j)),
 			}
 			if cfg.ZipfS > 1 {
 				c.zipf = rand.NewZipf(c.rng.Rand, cfg.ZipfS, 1, uint64(cfg.Keys-1))
@@ -367,7 +404,7 @@ func (p *Plane) buildPeer(global int, core *gossip.Core, ordererKey crypto.Publi
 	if _, isEndorser := p.endorserIDs[global]; isEndorser {
 		cfg.OrdererKey = ordererKey
 	}
-	pr := peer.New(core, p.checker, p.engine, cfg)
+	pr := peer.New(core, p.checkers[p.net.OrgOf(global)], p.net.EngineFor(global), cfg)
 	pr.OnCommitResult(p.resolver(global))
 	p.peers[global] = pr
 	if id, ok := p.endorserIDs[global]; ok {
@@ -420,11 +457,7 @@ func (p *Plane) submitter(ep *transport.SimEndpoint) client.Submitter {
 // transaction ids for resolution, then hand it to the network's deliver
 // stream.
 func (p *Plane) onCut(b *ledger.Block) {
-	ids := make([]crypto.Digest, len(b.Txs))
-	for i, tx := range b.Txs {
-		ids[i] = tx.ID
-	}
-	p.blockTxs[b.Num] = ids
+	p.recordBlock(b)
 	p.net.Append(b)
 }
 
@@ -433,14 +466,41 @@ func (p *Plane) onCut(b *ledger.Block) {
 // so the tracking record is first-cut-wins; the network's deliver plane
 // gates on the current leader's own cut height.
 func (p *Plane) onClusterCut(consenter int, b *ledger.Block) {
-	if _, seen := p.blockTxs[b.Num]; !seen {
-		ids := make([]crypto.Digest, len(b.Txs))
-		for i, tx := range b.Txs {
-			ids[i] = tx.ID
-		}
-		p.blockTxs[b.Num] = ids
+	if !p.cutSeen[b.Num] {
+		p.cutSeen[b.Num] = true
+		p.recordBlock(b)
 	}
 	p.net.OfferBlock(consenter, b)
+}
+
+// recordBlock registers a cut block's transaction ids for every
+// organization's resolvers. Sequentially the maps are filled in place; a
+// sharded run queues the record on the ordering shard and syncBlockTxs fans
+// it out at the next coordinator barrier.
+func (p *Plane) recordBlock(b *ledger.Block) {
+	ids := make([]crypto.Digest, len(b.Txs))
+	for i, tx := range b.Txs {
+		ids[i] = tx.ID
+	}
+	if p.net.Sharded() != nil {
+		p.txSync = append(p.txSync, blockRecord{num: b.Num, ids: ids})
+		return
+	}
+	for o := range p.blockTxs {
+		p.blockTxs[o][b.Num] = ids
+	}
+}
+
+// syncBlockTxs is the coordinator barrier hook that publishes
+// ordering-shard block records to every organization's blockTxs map while
+// all shards are quiescent.
+func (p *Plane) syncBlockTxs() {
+	for _, r := range p.txSync {
+		for o := range p.blockTxs {
+			p.blockTxs[o][r.num] = r.ids
+		}
+	}
+	p.txSync = p.txSync[:0]
 }
 
 // clusterConsenter adapts one harness consenter slot to order.Consenter:
@@ -469,7 +529,7 @@ func (p *Plane) resolver(global int) func(ledger.CommitResult) {
 			return // already resolved by a faster member (or a stale peer)
 		}
 		p.orgNext[org]++
-		ids := p.blockTxs[res.BlockNum]
+		ids := p.blockTxs[org][res.BlockNum]
 		for i, code := range res.Codes {
 			if i >= len(ids) {
 				break
@@ -484,16 +544,16 @@ func (p *Plane) resolver(global int) func(ledger.CommitResult) {
 // org resolves every block, but a transaction is tracked by exactly one
 // pending record held by its issuing client.
 func (p *Plane) resolve(org int, id crypto.Digest, code ledger.ValidationCode) {
-	pt, ok := p.pending[id]
+	pt, ok := p.pending[org][id]
 	if !ok || pt.client.org != org {
 		return
 	}
-	delete(p.pending, id)
+	delete(p.pending[org], id)
 	st := &p.stats[org]
 	switch code {
 	case ledger.CodeValid:
 		st.committed++
-		st.latencies = append(st.latencies, p.engine.Now()-pt.submitAt)
+		st.latencies = append(st.latencies, pt.client.eng.Now()-pt.submitAt)
 	default: // MVCC conflict or endorsement failure
 		st.conflicts++
 		if code == ledger.CodeMVCCConflict && pt.retries < p.cfg.RetryMax && p.running {
@@ -508,7 +568,9 @@ func (p *Plane) resolve(org int, id crypto.Digest, code ledger.ValidationCode) {
 }
 
 // Start opens the submission window: every client begins its arrival
-// process. Safe to call from an engine callback.
+// process. Safe to call from an engine callback; under a sharded network
+// it must run from the control engine (scenario actions do), whose events
+// fire at coordinator barriers while every shard is quiescent.
 func (p *Plane) Start() {
 	if p.running {
 		return
@@ -541,9 +603,9 @@ func (c *planeClient) start() {
 	case ArrivalClosed:
 		c.fire()
 	case ArrivalPoisson:
-		c.p.engine.After(time.Duration(c.rng.Exp(float64(time.Second)/c.p.cfg.Rate)), c.fire)
+		c.eng.After(time.Duration(c.rng.Exp(float64(time.Second)/c.p.cfg.Rate)), c.fire)
 	default:
-		c.p.engine.After(time.Duration(float64(time.Second)/c.p.cfg.Rate), c.fire)
+		c.eng.After(time.Duration(float64(time.Second)/c.p.cfg.Rate), c.fire)
 	}
 }
 
@@ -589,9 +651,9 @@ func (c *planeClient) invoke(key string, retries int) {
 		c.completed()
 		return
 	}
-	c.p.pending[tx.ID] = &pendingTx{
+	c.p.pending[c.org][tx.ID] = &pendingTx{
 		client:   c,
-		submitAt: c.p.engine.Now(),
+		submitAt: c.eng.Now(),
 		retries:  retries,
 		key:      key,
 	}
@@ -606,7 +668,7 @@ func (c *planeClient) completed() {
 	if !c.p.running {
 		return
 	}
-	c.p.engine.After(c.p.cfg.Think, func() {
+	c.eng.After(c.p.cfg.Think, func() {
 		if !c.p.running || c.inFlight {
 			return
 		}
