@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -509,10 +510,29 @@ func BenchmarkScenarioConsenterFailover(b *testing.B) {
 // on top.
 func benchScenario10k(b *testing.B, name string, mode scenario.ShardMode) {
 	b.Helper()
+	benchScenarioSharded(b, name, 10000, mode)
+}
+
+// benchScenarioSharded is the scale-tier body shared by the 10k and 100k
+// benchmarks. Beyond the usual event fingerprint it exports bytes_per_peer
+// — the run's heap high-water divided by the peer count, the per-peer
+// memory-footprint contract of the dense-state layout (either-drift gated:
+// growth means per-peer state regressed, a large drop means the baseline
+// went stale). Heap readings are wall-side and jitter a little with GC
+// timing, so the gate tolerance absorbs run-to-run noise; the structural
+// regressions it exists to catch (a reintroduced per-peer map, a leaked
+// per-peer buffer) move the number by integer factors.
+func benchScenarioSharded(b *testing.B, name string, peers int, mode scenario.ShardMode) {
+	b.Helper()
 	var events uint64
+	var heapHigh uint64
 	for i := 0; i < b.N; i++ {
+		// Garbage left by earlier benchmarks in the same process inflates
+		// the heap high-water until the GC happens to run; collect first so
+		// bytes_per_peer measures this run, not the suite's execution order.
+		runtime.GC()
 		rep, err := scenario.RunNamed(name, scenario.Options{
-			Peers: 10000, Orgs: 10, Variant: harness.VariantEnhanced,
+			Peers: peers, Orgs: 10, Variant: harness.VariantEnhanced,
 			Seed: int64(i + 1), Sharding: mode,
 		})
 		if err != nil {
@@ -525,8 +545,10 @@ func benchScenario10k(b *testing.B, name string, mode scenario.ShardMode) {
 			b.Fatalf("sharded=%v, want %v", rep.Sharded, wantSharded)
 		}
 		events += rep.EngineEvents
+		heapHigh = rep.HeapHighWater
 	}
 	reportMetric(b, float64(events)/float64(b.N), "sim_events")
+	reportMetric(b, float64(heapHigh)/float64(peers), "bytes_per_peer")
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		reportMetric(b, float64(events)/secs, "events_per_s")
 	}
@@ -556,6 +578,17 @@ func BenchmarkScenarioShardedMembership10k(b *testing.B) {
 // for the membership convergence scale run.
 func BenchmarkScenarioSequentialMembership10k(b *testing.B) {
 	benchScenario10k(b, "sharded-view-convergence", scenario.ShardOff)
+}
+
+// BenchmarkScenarioShardedCrashRestart100k is the 100k-peer tier: the same
+// crash-restart workload at 10 orgs x 10,000 peers. At this scale the run
+// is dominated by per-peer state, so the benchmark exists primarily to gate
+// bytes_per_peer — the dense index-addressed membership/gossip/statesync
+// tables, the shared per-block encoding cache, and the aggregated workload
+// pool together hold the footprint near 13 KB/peer where the map-based
+// layout needed 40+ KB/peer. Expect a couple of minutes per iteration.
+func BenchmarkScenarioShardedCrashRestart100k(b *testing.B) {
+	benchScenarioSharded(b, "sharded-crash-restart", 100000, scenario.ShardAuto)
 }
 
 // BenchmarkMultiOrgDissemination measures the fault-free Figure 1 shape on

@@ -31,6 +31,11 @@
 //	                       sparse, a rise means the baseline was stale)
 //	leader_convergence_ms  time for every peer's leader belief to settle
 //	                       (increase = regression)
+//	bytes_per_peer         heap high-water divided by peer count on the 10k
+//	                       and 100k scale tiers (either direction fails:
+//	                       growth means per-peer state regressed toward the
+//	                       old map-based layout, a large drop means the
+//	                       baseline went stale and must be re-recorded)
 //
 // Wall-clock-dependent units (events_per_s and anything else) vary with the
 // host, so they are printed for the trajectory but never gated. A gated
@@ -67,6 +72,7 @@ var gatedUnits = map[string]gateMode{
 	"commit_tail_ms":        gateIncrease,
 	"election_ms":           gateIncrease,
 	"deliver_gap_ms":        gateIncrease,
+	"bytes_per_peer":        gateEither,
 }
 
 type gateMode int

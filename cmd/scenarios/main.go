@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "root random seed")
 	consenters := flag.Int("consenters", 0, "ordering-cluster size override: run the scenario with this many Raft consenters (0 keeps the scenario's own setting)")
 	shards := flag.String("shards", "auto", "sharded engine: auto (scenario decides), on, or off")
+	tail := flag.Duration("tail", 0, "override the scenario's post-injection tail (0 keeps its own; shortening it changes the fingerprint lineage — reduced-duration determinism smokes only)")
 	check := flag.Bool("check", false, "run each scenario twice and verify identical fingerprints")
 	trace := flag.Bool("trace", false, "print the run's event trace")
 	list := flag.Bool("list", false, "list scenario names and exit")
@@ -116,7 +117,7 @@ func main() {
 
 	for _, n := range names {
 		for _, v := range variants {
-			opt := scenario.Options{Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed, Consenters: *consenters, Sharding: sharding}
+			opt := scenario.Options{Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed, Consenters: *consenters, Sharding: sharding, Tail: *tail}
 			start := time.Now()
 			rep, err := scenario.RunNamed(n, opt)
 			if err != nil {
@@ -128,7 +129,12 @@ func main() {
 			if rep.Sharded {
 				mode = "sharded"
 			}
-			fmt.Printf("  engine: %s, peak pending %d events\n", mode, rep.PeakPending)
+			fmt.Printf("  engine: %s, peak pending %d events, heap high-water %.1f MB\n",
+				mode, rep.PeakPending, float64(rep.HeapHighWater)/1e6)
+			if rep.Sharded {
+				fmt.Printf("  barriers: %d full, %d elided (adaptive lookahead)\n",
+					rep.BarrierFull, rep.BarrierElided)
+			}
 			fmt.Printf("  fingerprint: %s (wall %v)\n", rep.Fingerprint()[:16], wall)
 			if *check {
 				rep2, err := scenario.RunNamed(n, opt)

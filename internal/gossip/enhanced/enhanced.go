@@ -13,6 +13,7 @@ package enhanced
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -110,6 +111,24 @@ type pendingServe struct {
 	counter uint32
 }
 
+// blockState is one block's epidemic tracking state, stored dense by block
+// number (blocks[i] tracks blockBase+i). Block numbers are small dense
+// integers and Retention bounds how many stay live, so a flat 24-byte slot
+// replaces what used to be an entry in each of four parallel maps — the
+// largest remaining heap term across a 10k-peer organization.
+type blockState struct {
+	// seen is the bitset of observed counters 0..63. TTL is single-digit
+	// for every analytic configuration, so one word covers the whole
+	// epidemic; counters >= 64 spill into the seenHigh side map.
+	seen uint64
+	// requested is when we last asked someone for the body, plus 1ns so
+	// zero means "never asked".
+	requested time.Duration
+	// lastOffered is the counter this peer last offered for the block,
+	// plus one so zero means "never offered".
+	lastOffered uint32
+}
+
 // Protocol is the enhanced disseminator.
 type Protocol struct {
 	cfg Config
@@ -117,15 +136,21 @@ type Protocol struct {
 	mu sync.Mutex
 	c  *gossip.Core
 
-	// seen tracks first receptions of (block, counter) pairs.
-	seen map[uint64]map[uint32]bool
-	// lastOffered records the counter this peer last offered for a block,
-	// so body requests can be served with the matching counter.
-	lastOffered map[uint64]uint32
-	// requested records when we last asked someone for a body.
-	requested map[uint64]time.Duration
-	// pendingServes queues body requests that arrived before the body.
-	pendingServes map[uint64][]pendingServe
+	// blocks is the dense per-block tracking state: blocks[i] tracks block
+	// number blockBase+i. pruneBelow advances blockBase and shifts the
+	// slice, keeping at most Retention (plus in-flight) slots live.
+	blocks    []blockState
+	blockBase uint64
+	// seenHigh spills counters >= 64 (configs with TTL >= 64 only); nil
+	// until such a counter arrives.
+	seenHigh map[uint64][]uint64
+	// serves queues body requests that arrived before the body; nil until
+	// a request outruns its body.
+	serves map[uint64][]pendingServe
+	// stale resurrects tracking state for stragglers below blockBase, so
+	// a pair arriving after its block was pruned still dedupes exactly as
+	// the map-based layout did; nil until one arrives.
+	stale map[uint64]*blockState
 
 	// pushBuf holds (num, counter) pairs awaiting the TPush flush (only
 	// used in the tpush ablation; the paper's configuration forwards
@@ -162,17 +187,56 @@ type simTimer interface{ Stop() bool }
 
 // New returns an unstarted protocol instance.
 func New(cfg Config) *Protocol {
-	return &Protocol{
-		cfg:           cfg,
-		seen:          make(map[uint64]map[uint32]bool),
-		lastOffered:   make(map[uint64]uint32),
-		requested:     make(map[uint64]time.Duration),
-		pendingServes: make(map[uint64][]pendingServe),
+	return &Protocol{cfg: cfg}
+}
+
+// state returns block num's tracking slot, creating it if needed. Callers
+// hold mu; the pointer must not outlive the critical section (growing the
+// dense slice moves it).
+func (p *Protocol) state(num uint64) *blockState {
+	if num < p.blockBase {
+		st := p.stale[num]
+		if st == nil {
+			if p.stale == nil {
+				p.stale = make(map[uint64]*blockState)
+			}
+			st = &blockState{}
+			p.stale[num] = st
+		}
+		return st
 	}
+	i := num - p.blockBase
+	for uint64(len(p.blocks)) <= i {
+		p.blocks = append(p.blocks, blockState{})
+	}
+	return &p.blocks[i]
+}
+
+// peek returns block num's tracking slot or nil, without creating one.
+// Callers hold mu.
+func (p *Protocol) peek(num uint64) *blockState {
+	if num < p.blockBase {
+		return p.stale[num]
+	}
+	if i := num - p.blockBase; i < uint64(len(p.blocks)) {
+		return &p.blocks[i]
+	}
+	return nil
 }
 
 // Name implements gossip.Protocol.
 func (p *Protocol) Name() string { return "enhanced" }
+
+// PoolOutstanding reports the instance's pooled envelopes still checked
+// out (body, digest). Both must be zero once the engine drains: the
+// transport releases every delivery attempt, so a nonzero residue means a
+// send was issued without a matching release. The scenario runner asserts
+// this after every catalog run.
+func (p *Protocol) PoolOutstanding() (data, digest int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dataPool.Outstanding(), p.digestPool.Outstanding()
+}
 
 // Start implements gossip.Protocol.
 func (p *Protocol) Start(c *gossip.Core) {
@@ -252,8 +316,8 @@ func (p *Protocol) Handle(from wire.NodeID, msg wire.Message) bool {
 // the advancing ledger height.
 func (p *Protocol) OnBlockStored(b *ledger.Block) {
 	p.mu.Lock()
-	serves := p.pendingServes[b.Num]
-	delete(p.pendingServes, b.Num)
+	serves := p.serves[b.Num]
+	delete(p.serves, b.Num)
 	p.mu.Unlock()
 	for _, s := range serves {
 		p.c.Send(s.to, p.newData(b, s.counter, 1))
@@ -274,14 +338,43 @@ func (p *Protocol) pruneBelow(height uint64) {
 	floor := height - retention
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for num := range p.seen {
-		if num < floor {
-			delete(p.seen, num)
-			delete(p.lastOffered, num)
-			delete(p.requested, num)
-			delete(p.pendingServes, num)
+	// A queued serve is dropped with its block's tracking state; one for a
+	// block never seen here (possible after a peer re-requests across our
+	// earlier prune) stays queued, exactly as the map layout behaved.
+	for num := range p.serves {
+		if num < floor && p.trackedLocked(num) {
+			delete(p.serves, num)
 		}
 	}
+	if floor > p.blockBase {
+		n := floor - p.blockBase
+		if n >= uint64(len(p.blocks)) {
+			p.blocks = p.blocks[:0]
+		} else {
+			copy(p.blocks, p.blocks[n:])
+			p.blocks = p.blocks[:uint64(len(p.blocks))-n]
+		}
+		p.blockBase = floor
+	}
+	for num := range p.seenHigh {
+		if num < floor {
+			delete(p.seenHigh, num)
+		}
+	}
+	for num := range p.stale {
+		if num < floor {
+			delete(p.stale, num)
+		}
+	}
+}
+
+// trackedLocked reports whether block num has recorded any (block, counter)
+// pair. Callers hold mu.
+func (p *Protocol) trackedLocked(num uint64) bool {
+	if st := p.peek(num); st != nil && st.seen != 0 {
+		return true
+	}
+	return len(p.seenHigh[num]) > 0
 }
 
 // TrackedBlocks reports how many blocks have live epidemic state
@@ -289,7 +382,26 @@ func (p *Protocol) pruneBelow(height uint64) {
 func (p *Protocol) TrackedBlocks() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.seen)
+	n := 0
+	for i := range p.blocks {
+		if p.blocks[i].seen != 0 {
+			n++
+		}
+	}
+	for num, st := range p.stale {
+		if st.seen != 0 || len(p.seenHigh[num]) > 0 {
+			n++
+		}
+	}
+	// Dense slots whose only pairs are spilled counters still count.
+	for num := range p.seenHigh {
+		if num >= p.blockBase {
+			if st := p.peek(num); st != nil && st.seen == 0 {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 func (p *Protocol) handleData(m *wire.Data) {
@@ -315,9 +427,9 @@ func (p *Protocol) handleDigest(from wire.NodeID, m *wire.PushDigest) {
 			spreads = append(spreads, o)
 		}
 		if !p.c.HasBlock(o.Num) {
-			last, asked := p.requested[o.Num]
-			if !asked || now-last >= p.cfg.RequestTimeout {
-				p.requested[o.Num] = now
+			st := p.state(o.Num)
+			if st.requested == 0 || now-(st.requested-1) >= p.cfg.RequestTimeout {
+				st.requested = now + 1
 				wantNums = append(wantNums, o.Num)
 			}
 		}
@@ -340,15 +452,18 @@ func (p *Protocol) handleDigest(from wire.NodeID, m *wire.PushDigest) {
 func (p *Protocol) handleRequest(from wire.NodeID, m *wire.PushRequest) {
 	for _, num := range m.Nums {
 		p.mu.Lock()
-		counter, ok := p.lastOffered[num]
-		if !ok {
-			counter = p.cfg.TTL // conservative: do not extend the epidemic
+		counter := p.cfg.TTL // conservative: do not extend the epidemic
+		if st := p.peek(num); st != nil && st.lastOffered != 0 {
+			counter = st.lastOffered - 1
 		}
 		b := p.c.Block(num)
 		if b == nil {
 			// We offered a block whose body has not reached us yet:
 			// remember the request and serve it on arrival.
-			p.pendingServes[num] = append(p.pendingServes[num], pendingServe{to: from, counter: counter})
+			if p.serves == nil {
+				p.serves = make(map[uint64][]pendingServe)
+			}
+			p.serves[num] = append(p.serves[num], pendingServe{to: from, counter: counter})
 			p.mu.Unlock()
 			continue
 		}
@@ -362,15 +477,31 @@ func (p *Protocol) markSeen(num uint64, counter uint32) bool {
 	if p.stopped {
 		return false
 	}
-	set, ok := p.seen[num]
-	if !ok {
-		set = make(map[uint32]bool, p.cfg.TTL+1)
-		p.seen[num] = set
+	st := p.state(num)
+	if counter < 64 {
+		bit := uint64(1) << counter
+		if st.seen&bit != 0 {
+			return false
+		}
+		st.seen |= bit
+		return true
 	}
-	if set[counter] {
+	// Counters beyond the inline word (TTL >= 64 configurations only).
+	word, bit := int(counter/64)-1, counter%64
+	if p.seenHigh == nil {
+		p.seenHigh = make(map[uint64][]uint64)
+	}
+	set := p.seenHigh[num]
+	if word >= len(set) {
+		grown := make([]uint64, word+1)
+		copy(grown, set)
+		set = grown
+		p.seenHigh[num] = set
+	}
+	if set[word]&(1<<bit) != 0 {
 		return false
 	}
-	set[counter] = true
+	set[word] |= 1 << bit
 	return true
 }
 
@@ -443,7 +574,7 @@ func (p *Protocol) forward(o wire.BlockOffer, targets []wire.NodeID) {
 	num, next := o.Num, o.Counter
 	if p.cfg.UseDigests && next > p.cfg.TTLDirect {
 		p.mu.Lock()
-		p.lastOffered[num] = next
+		p.state(num).lastOffered = next + 1
 		p.mu.Unlock()
 		msg := p.newDigest(len(targets))
 		msg.Offers = append(msg.Offers, wire.BlockOffer{Num: num, Counter: next})
@@ -469,5 +600,12 @@ func (p *Protocol) forward(o wire.BlockOffer, targets []wire.NodeID) {
 func (p *Protocol) SeenPairs(num uint64) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.seen[num])
+	n := 0
+	if st := p.peek(num); st != nil {
+		n += bits.OnesCount64(st.seen)
+	}
+	for _, w := range p.seenHigh[num] {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }

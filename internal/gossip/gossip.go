@@ -133,8 +133,12 @@ type Core struct {
 	rng   *sim.Rand
 	proto Protocol
 
-	mu       sync.Mutex
-	blocks   map[uint64]*ledger.Block
+	mu sync.Mutex
+	// blocks is the stored-bodies index, dense by block number (nil =
+	// absent): ledger numbers are a contiguous sequence from genesis, so a
+	// slice holds the whole store in one pointer per block where a map
+	// spent a bucket entry.
+	blocks   []*ledger.Block
 	height   uint64 // next block needed for in-order delivery
 	highest  uint64 // highest block number stored (valid if hasAny)
 	hasAny   bool
@@ -167,18 +171,40 @@ type Core struct {
 	provider *statesync.Provider
 
 	// members is the organization's member set, built only when
-	// piggybacking is enabled: membership digests ride exclusively on
-	// intra-org traffic. Cross-org sends exist (anchor-recovery statesync
-	// probes and their replies), and a digest attached to one would plant
-	// this organization's members in the remote organization's view —
+	// piggybacking is enabled AND the peer list is not a contiguous id
+	// range: membership digests ride exclusively on intra-org traffic.
+	// Cross-org sends exist (anchor-recovery statesync probes and their
+	// replies), and a digest attached to one would plant this
+	// organization's members in the remote organization's view —
 	// corrupting its leader election with foreign lower ids.
 	members map[wire.NodeID]struct{}
 
-	// others is cfg.Peers minus self, precomputed once: RandomPeers samples
-	// in place with k swaps that are undone after the draw, so every call
-	// sees the same canonical order (the determinism contract) without
-	// rebuilding an O(n) candidate slice per tick. swapIdx records the swap
-	// targets to undo; both are guarded by mu.
+	// rangeMode marks that cfg.Peers is a contiguous ascending id range
+	// [rangeLo, rangeHi] (the harness's dense-id contract). The member
+	// check is then a pair of comparisons and peer sampling draws against
+	// a virtual candidate list, so the core holds no O(org-size) state at
+	// all — the term that dominated the heap at 10k-peer organizations
+	// (others + swapIdx + members was ~60 KB per core, ~600 MB per such
+	// org). Non-contiguous peer lists keep the materialized slices below.
+	rangeMode   bool
+	rangeLo     wire.NodeID
+	rangeHi     wire.NodeID
+	selfInRange bool
+	nOthers     int
+	// ovIdx/ovVal are range mode's sampling overlay: the ≤k positions of
+	// the virtual candidate list displaced mid-draw by the partial
+	// Fisher-Yates walk (see RandomPeersInto). Cleared after every draw;
+	// capacity is retained so steady-state draws allocate nothing. Guarded
+	// by mu.
+	ovIdx []int
+	ovVal []wire.NodeID
+
+	// others is cfg.Peers minus self, precomputed once (non-contiguous
+	// peer lists only): RandomPeers samples in place with k swaps that are
+	// undone after the draw, so every call sees the same canonical order
+	// (the determinism contract) without rebuilding an O(n) candidate
+	// slice per tick. swapIdx records the swap targets to undo; both are
+	// guarded by mu.
 	others  []wire.NodeID
 	swapIdx []int
 
@@ -189,9 +215,9 @@ type Core struct {
 	stateInfoPeers []wire.NodeID
 	alivePeers     []wire.NodeID
 
-	// aliveMeta is the zero-filled heartbeat padding, allocated once: Alive
-	// messages are read-only on both runtimes (the sim path shares the
-	// message value, the TCP path marshals it), so every tick reuses it.
+	// aliveMeta is the zero-filled heartbeat padding, aliasing the shared
+	// process-wide zero buffer (see sharedZeroMeta): Alive messages are
+	// read-only on both runtimes, so every tick of every core reuses it.
 	aliveMeta []byte
 
 	onFirstReception func(b *ledger.Block, at time.Duration)
@@ -207,12 +233,11 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		expiration = 3 * cfg.AliveInterval
 	}
 	c := &Core{
-		cfg:    cfg,
-		ep:     ep,
-		sched:  sched,
-		rng:    rng,
-		proto:  proto,
-		blocks: make(map[uint64]*ledger.Block),
+		cfg:   cfg,
+		ep:    ep,
+		sched: sched,
+		rng:   rng,
+		proto: proto,
 		// Seed the heartbeat sequence from boot time so a restarted
 		// peer's fresh core emits sequences above anything its previous
 		// incarnation sent — otherwise other peers' anti-replay check
@@ -220,7 +245,7 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 		// out-counted its pre-crash uptime (Fabric ships a boot timestamp
 		// in AliveMessage for the same reason).
 		aliveSeq:  uint64(sched.Now() / time.Millisecond),
-		aliveMeta: make([]byte, cfg.AliveMetaSize),
+		aliveMeta: sharedZeroMeta(cfg.AliveMetaSize),
 	}
 	if cfg.ShuffleInterval > 0 {
 		c.shuffleRng = sim.NewRand(rng.Int63())
@@ -247,21 +272,42 @@ func New(cfg Config, ep transport.Endpoint, sched sim.Scheduler, rng *sim.Rand, 
 			fn(p, alive, c.sched.Now())
 		}
 	})
-	if cfg.PiggybackMax > 0 {
-		c.members = make(map[wire.NodeID]struct{}, len(cfg.Peers))
+	// Detect the dense-id contract: a contiguous ascending peer list needs
+	// no materialized member set or candidate slice (the harness always
+	// builds organizations this way; hand-built topologies may not).
+	c.rangeMode = len(cfg.Peers) > 0
+	for i, p := range cfg.Peers {
+		if i > 0 && p != cfg.Peers[i-1]+1 {
+			c.rangeMode = false
+			break
+		}
+	}
+	if c.rangeMode {
+		c.rangeLo = cfg.Peers[0]
+		c.rangeHi = cfg.Peers[len(cfg.Peers)-1]
+		// An orderer or observer core lists only remote peers, so self may
+		// be absent from cfg.Peers; the candidate count then equals the
+		// whole range.
+		c.selfInRange = cfg.Self >= c.rangeLo && cfg.Self <= c.rangeHi
+		c.nOthers = len(cfg.Peers)
+		if c.selfInRange {
+			c.nOthers--
+		}
+	} else {
+		if cfg.PiggybackMax > 0 {
+			c.members = make(map[wire.NodeID]struct{}, len(cfg.Peers))
+			for _, p := range cfg.Peers {
+				c.members[p] = struct{}{}
+			}
+		}
+		c.others = make([]wire.NodeID, 0, len(cfg.Peers))
 		for _, p := range cfg.Peers {
-			c.members[p] = struct{}{}
+			if p != cfg.Self {
+				c.others = append(c.others, p)
+			}
 		}
+		c.swapIdx = make([]int, 0, len(c.others))
 	}
-	// An orderer or observer core lists only remote peers, so self may be
-	// absent from cfg.Peers; others then equals cfg.Peers.
-	c.others = make([]wire.NodeID, 0, len(cfg.Peers))
-	for _, p := range cfg.Peers {
-		if p != cfg.Self {
-			c.others = append(c.others, p)
-		}
-	}
-	c.swapIdx = make([]int, 0, len(c.others))
 	ssCfg := statesync.Config{
 		Batch:        cfg.RecoveryBatch,
 		Anchors:      cfg.AnchorPeers,
@@ -305,6 +351,11 @@ func (c *Core) Rand() *sim.Rand { return c.rng }
 
 // Config returns the shared configuration.
 func (c *Core) Config() Config { return c.cfg }
+
+// Proto returns the dissemination protocol instance the core runs, for
+// audits that reach through the core (e.g. the scenario runner's pooled-
+// envelope leak check).
+func (c *Core) Proto() Protocol { return c.proto }
 
 // Start arms the periodic state-info, alive and recovery timers and starts
 // the protocol.
@@ -418,15 +469,43 @@ func (p *rearming) Stop() bool {
 // traffic — never carry digests: membership is per-organization.
 func (c *Core) Send(to wire.NodeID, msg wire.Message) {
 	_ = c.ep.Send(to, msg)
-	if c.members == nil {
+	if c.cfg.PiggybackMax <= 0 {
 		return // piggybacking disabled
 	}
 	if membership.IsPayload(msg.Type()) {
 		return // membership payloads must not piggyback onto themselves
 	}
-	if _, ok := c.members[to]; ok {
+	if c.isMember(to) {
 		c.view.PiggybackOnto(to)
 	}
+}
+
+// isMember reports whether p belongs to this organization's peer list. In
+// range mode it is two comparisons; otherwise a set probe.
+func (c *Core) isMember(p wire.NodeID) bool {
+	if c.rangeMode {
+		return p >= c.rangeLo && p <= c.rangeHi
+	}
+	_, ok := c.members[p]
+	return ok
+}
+
+// sharedZeroMeta returns a zero-filled buffer of at least n bytes, shared
+// across every core: heartbeat padding is read-only on both runtimes (the
+// sim path shares the message value, the TCP path marshals it), so there
+// is no reason for each of 100k cores to hold its own copy.
+var (
+	zeroMetaMu sync.Mutex
+	zeroMeta   []byte
+)
+
+func sharedZeroMeta(n int) []byte {
+	zeroMetaMu.Lock()
+	defer zeroMetaMu.Unlock()
+	if len(zeroMeta) < n {
+		zeroMeta = make([]byte, n)
+	}
+	return zeroMeta[:n]
 }
 
 // memberHost adapts Core to membership.Host: membership payloads go
@@ -467,9 +546,19 @@ func (c *Core) SingleThreaded() bool {
 // so the next call — and therefore the whole run — consumes random values
 // identically to a per-call rebuild. That replaces the old O(n) rebuild per
 // tick with O(k) work.
+// In range mode the candidate list is never materialized at all: position
+// pos of the canonical list maps to id rangeLo+pos (skipping self), and the
+// ≤k positions a draw displaces live in a small overlay that is cleared
+// afterwards. The Intn argument sequence and the produced ids are
+// bit-identical to the slice walk, so switching a topology between modes
+// never shifts the random stream.
 func (c *Core) RandomPeersInto(k int, buf []wire.NodeID) []wire.NodeID {
-	if k > len(c.others) {
-		k = len(c.others)
+	n := len(c.others)
+	if c.rangeMode {
+		n = c.nOthers
+	}
+	if k > n {
+		k = n
 	}
 	if k <= 0 {
 		return buf[:0] // nil buf stays nil: RandomPeers(0) == nil
@@ -481,6 +570,22 @@ func (c *Core) RandomPeersInto(k int, buf []wire.NodeID) []wire.NodeID {
 		out = out[:k]
 	}
 	c.mu.Lock()
+	if c.rangeMode {
+		for i := 0; i < k; i++ {
+			j := i + c.rng.Intn(n-i)
+			out[i] = c.overlayGet(j)
+			if j != i {
+				// The swap's only observable half: position j now holds
+				// what position i held (position i itself is never read
+				// again this draw, and the undo is the overlay reset).
+				c.overlaySet(j, c.overlayGet(i))
+			}
+		}
+		c.ovIdx = c.ovIdx[:0]
+		c.ovVal = c.ovVal[:0]
+		c.mu.Unlock()
+		return out
+	}
 	cand := c.others
 	sw := c.swapIdx[:k]
 	for i := 0; i < k; i++ {
@@ -498,19 +603,57 @@ func (c *Core) RandomPeersInto(k int, buf []wire.NodeID) []wire.NodeID {
 	return out
 }
 
+// overlayGet reads position pos of the virtual candidate list: a displaced
+// value from the overlay if the current draw moved one there, else the
+// canonical id at that position. The overlay holds at most fanout-many
+// entries, so the linear probe beats any map. Caller holds mu.
+func (c *Core) overlayGet(pos int) wire.NodeID {
+	for i, idx := range c.ovIdx {
+		if idx == pos {
+			return c.ovVal[i]
+		}
+	}
+	p := c.rangeLo + wire.NodeID(pos)
+	if c.selfInRange && p >= c.cfg.Self {
+		p++
+	}
+	return p
+}
+
+// overlaySet records that position pos of the virtual candidate list holds
+// val for the remainder of the current draw. Caller holds mu.
+func (c *Core) overlaySet(pos int, val wire.NodeID) {
+	for i, idx := range c.ovIdx {
+		if idx == pos {
+			c.ovVal[i] = val
+			return
+		}
+	}
+	c.ovIdx = append(c.ovIdx, pos)
+	c.ovVal = append(c.ovVal, val)
+}
+
+// blockLocked returns the stored body of block num, or nil. Caller holds
+// mu.
+func (c *Core) blockLocked(num uint64) *ledger.Block {
+	if num < uint64(len(c.blocks)) {
+		return c.blocks[num]
+	}
+	return nil
+}
+
 // HasBlock reports whether the body of block num is stored.
 func (c *Core) HasBlock(num uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.blocks[num]
-	return ok
+	return c.blockLocked(num) != nil
 }
 
 // Block returns the stored body of block num, or nil.
 func (c *Core) Block(num uint64) *ledger.Block {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.blocks[num]
+	return c.blockLocked(num)
 }
 
 // Height returns the in-order ledger height (next needed block number).
@@ -529,9 +672,12 @@ func (c *Core) AddBlock(b *ledger.Block) bool {
 		c.mu.Unlock()
 		return false
 	}
-	if _, ok := c.blocks[b.Num]; ok {
+	if c.blockLocked(b.Num) != nil {
 		c.mu.Unlock()
 		return false
+	}
+	for uint64(len(c.blocks)) <= b.Num {
+		c.blocks = append(c.blocks, nil)
 	}
 	c.blocks[b.Num] = b
 	if !c.hasAny || b.Num > c.highest {
@@ -540,8 +686,8 @@ func (c *Core) AddBlock(b *ledger.Block) bool {
 	}
 	var commits []*ledger.Block
 	for {
-		nb, ok := c.blocks[c.height]
-		if !ok {
+		nb := c.blockLocked(c.height)
+		if nb == nil {
 			break
 		}
 		commits = append(commits, nb)

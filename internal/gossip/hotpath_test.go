@@ -49,12 +49,29 @@ func (noopProtocol) OnOrdererBlock(*ledger.Block)          {}
 func (noopProtocol) Handle(wire.NodeID, wire.Message) bool { return false }
 func (noopProtocol) OnBlockStored(*ledger.Block)           {}
 
+// newGappyCore builds a core over a non-contiguous peer list (every other
+// id), forcing the materialized-slice sampling path: contiguous lists take
+// the virtual range path and hold no candidate slice at all.
+func newGappyCore(t *testing.T, self wire.NodeID, n int) *Core {
+	t.Helper()
+	peers := make([]wire.NodeID, n)
+	for i := range peers {
+		peers[i] = wire.NodeID(2 * i)
+	}
+	cfg := DefaultConfig(self, peers)
+	engine := sim.NewEngine(1)
+	return New(cfg, &sinkEndpoint{id: self}, engine, engine.Rand("gossip"), noopProtocol{})
+}
+
 // RandomPeers samples in place with undo-swaps; after every call the
 // candidate slice must be back in canonical order (peers minus self, in
 // cfg.Peers order), or the next call's draw — and the whole run's
 // determinism — would depend on call history.
 func TestRandomPeersRestoresCanonicalOrder(t *testing.T) {
-	c, _, _ := newTestCore(t, 3, 10, nil)
+	c := newGappyCore(t, 6, 10)
+	if c.rangeMode {
+		t.Fatal("gappy peer list must not take the range path")
+	}
 	canonical := append([]wire.NodeID(nil), c.others...)
 	for call := 0; call < 50; call++ {
 		k := 1 + call%len(canonical)
@@ -119,6 +136,49 @@ func TestRandomPeersMatchesPerCallRebuildReference(t *testing.T) {
 		if len(got) != len(want) {
 			t.Fatalf("call %d (k=%d): got %v, want %v", call, k, got, want)
 		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("call %d (k=%d): got %v, want %v", call, k, got, want)
+			}
+		}
+	}
+}
+
+// An orderer or observer core lists only remote peers: range mode must
+// then draw from the whole range (no self to skip), matching the old
+// slice walk on an identical stream.
+func TestRandomPeersRangeModeSelfOutsideRange(t *testing.T) {
+	const n = 11
+	peers := make([]wire.NodeID, n)
+	for i := range peers {
+		peers[i] = wire.NodeID(10 + i)
+	}
+	cfg := DefaultConfig(100, peers)
+	engine := sim.NewEngine(1)
+	c := New(cfg, &sinkEndpoint{id: 100}, engine, engine.Rand("gossip"), noopProtocol{})
+	if !c.rangeMode || c.selfInRange || c.nOthers != n {
+		t.Fatalf("rangeMode=%v selfInRange=%v nOthers=%d, want true/false/%d",
+			c.rangeMode, c.selfInRange, c.nOthers, n)
+	}
+
+	ref := sim.NewEngine(1).Rand("gossip")
+	refDraw := func(k int) []wire.NodeID {
+		cand := append([]wire.NodeID(nil), peers...)
+		if k > len(cand) {
+			k = len(cand)
+		}
+		out := make([]wire.NodeID, k)
+		for i := 0; i < k; i++ {
+			j := i + ref.Intn(len(cand)-i)
+			cand[i], cand[j] = cand[j], cand[i]
+			out[i] = cand[i]
+		}
+		return out
+	}
+	for call := 0; call < 100; call++ {
+		k := 1 + call%n
+		got := c.RandomPeers(k)
+		want := refDraw(k)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("call %d (k=%d): got %v, want %v", call, k, got, want)

@@ -35,6 +35,13 @@ type NetworkParams struct {
 	Orgs    []OrgSpec
 	// Bucket is the traffic-accounting bucket width (default 10 s).
 	Bucket time.Duration
+	// TrafficTotals switches every traffic accountant to per-node running
+	// totals (netmodel.Traffic.TotalsOnly): NodeTotals and the aggregate
+	// counters stay exact, per-bucket series are never allocated. The
+	// scenario runner sets it — its reports only read totals — so the
+	// unread series don't dominate the accountant's footprint at the
+	// 100k-peer tier. Figure runs keep the series.
+	TrafficTotals bool
 	// RedeliverInterval is how often the ordering service retries streaming
 	// undelivered blocks to each organization's current leader (default
 	// 1 s). Real orderers serve a reliable deliver stream per leader; the
@@ -104,6 +111,12 @@ type NetworkParams struct {
 	// two cannot interleave same-instant events identically, so sharded
 	// fingerprints are compared sharded-to-sharded.
 	Sharded bool
+	// FixedLookahead disables the sharded coordinator's adaptive barrier
+	// elision, forcing the full ceremony at every window edge. Adaptive
+	// and fixed runs are byte-identical — elision only skips edges whose
+	// ceremony would have executed nothing — so the knob exists for the
+	// equivalence property test and for debugging.
+	FixedLookahead bool
 }
 
 func (p NetworkParams) withDefaults() NetworkParams {
@@ -289,6 +302,7 @@ func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
 		if la := p.lookahead(); la > 0 {
 			// One shard per organization plus one for the ordering service.
 			n.se = sim.NewShardedEngine(p.Seed, len(p.Orgs)+1, la)
+			n.se.SetAdaptive(!p.FixedLookahead)
 		}
 		// Safe fallback: a non-positive lookahead admits no parallel
 		// window, so the network silently runs sequentially.
@@ -304,11 +318,26 @@ func NewNetwork(p NetworkParams, opts ...NetworkOption) (*Network, error) {
 		opt(n)
 	}
 	n.Traffic = netmodel.NewSimTraffic(p.Bucket)
+	if p.TrafficTotals {
+		n.Traffic.TotalsOnly()
+	}
 	n.Net = transport.NewSimNetwork(n.Engine, netmodel.LAN(), n.Traffic)
 	if n.se != nil {
+		// Each organization shard's accountant covers only its org's id
+		// range (peers get dense ids in org creation order), so dense
+		// tables scale with the org, not the network. The ordering shard
+		// keeps the full window: orderer ids land after every peer.
 		n.shardTraffics = make([]*netmodel.Traffic, n.se.NumShards())
-		for i := range n.shardTraffics {
-			n.shardTraffics[i] = netmodel.NewSimTraffic(p.Bucket)
+		base := 0
+		for i := range p.Orgs {
+			n.shardTraffics[i] = netmodel.NewSimTrafficWindow(p.Bucket, wire.NodeID(base), p.Orgs[i].Peers)
+			base += p.Orgs[i].Peers
+		}
+		n.shardTraffics[len(p.Orgs)] = netmodel.NewSimTraffic(p.Bucket)
+		if p.TrafficTotals {
+			for _, tv := range n.shardTraffics {
+				tv.TotalsOnly()
+			}
 		}
 		n.Net.EnableSharding(n.se, n.shardTraffics)
 		n.se.OnBarrier(n.drainPump)
@@ -585,6 +614,8 @@ func (n *Network) requestPump() {
 		return
 	}
 	n.pumpWanted = true
+	// The flush hook must not be elided by an adaptive coordinator.
+	n.se.RequestBarrier()
 }
 
 // drainPump is the coordinator barrier hook behind requestPump.

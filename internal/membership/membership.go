@@ -171,17 +171,23 @@ type View struct {
 	cfg  Config
 	host Host
 
-	mu       sync.Mutex
-	lastSeen map[wire.NodeID]time.Duration
-	lastSeq  map[wire.NodeID]uint64
-	status   map[wire.NodeID]status
-	// suspectAt is when each current suspect entered suspicion.
-	suspectAt map[wire.NodeID]time.Duration
+	mu sync.Mutex
 	// tracked holds every peer ever observed, in ascending id order: the
 	// deterministic iteration order for sweeps and samples, and the
 	// allocation-free scan behind Leader (the lowest live id is almost
-	// always found in the first probe).
-	tracked []wire.NodeID
+	// always found in the first probe). Per-peer state is dense: lastSeen,
+	// lastSeq, status and suspectAt are parallel slices indexed by the
+	// peer's position in tracked — a few words per peer instead of four
+	// map entries, which is the difference between megabytes and hundreds
+	// of megabytes of tracking state across a 10k-peer organization, and
+	// no map iteration anywhere near the deterministic streams.
+	tracked  []wire.NodeID
+	lastSeen []time.Duration
+	lastSeq  []uint64
+	status   []status
+	// suspectAt[i] is when suspect tracked[i] entered suspicion (zero when
+	// tracked[i] is not currently a suspect).
+	suspectAt []time.Duration
 	// selfSeq mirrors the core's heartbeat sequence (SWIM incarnation):
 	// shuffle samples advertise it, and accusations at or above it flag a
 	// refutation.
@@ -223,14 +229,7 @@ type rumor struct {
 // New creates a view for cfg.Self. host may be nil when the SWIM
 // extensions are disabled (legacy mode never sends).
 func New(cfg Config, host Host) *View {
-	return &View{
-		cfg:       cfg.withDefaults(),
-		host:      host,
-		lastSeen:  make(map[wire.NodeID]time.Duration),
-		lastSeq:   make(map[wire.NodeID]uint64),
-		status:    make(map[wire.NodeID]status),
-		suspectAt: make(map[wire.NodeID]time.Duration),
-	}
+	return &View{cfg: cfg.withDefaults(), host: host}
 }
 
 // OnTransition installs the hook fired for live/dead transitions caused by
@@ -253,9 +252,10 @@ func (v *View) NoteSelfSeq(seq uint64) {
 	v.mu.Unlock()
 }
 
-// track inserts peer into the sorted tracked slice. Caller holds mu and
-// guarantees the peer is not yet tracked.
-func (v *View) track(peer wire.NodeID) {
+// track inserts peer into the sorted tracked slice and opens a zeroed slot
+// at the same position in every parallel state slice, returning the index.
+// Caller holds mu and guarantees the peer is not yet tracked.
+func (v *View) track(peer wire.NodeID) int {
 	lo, hi := 0, len(v.tracked)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -268,6 +268,37 @@ func (v *View) track(peer wire.NodeID) {
 	v.tracked = append(v.tracked, 0)
 	copy(v.tracked[lo+1:], v.tracked[lo:])
 	v.tracked[lo] = peer
+	v.lastSeen = append(v.lastSeen, 0)
+	copy(v.lastSeen[lo+1:], v.lastSeen[lo:])
+	v.lastSeen[lo] = 0
+	v.lastSeq = append(v.lastSeq, 0)
+	copy(v.lastSeq[lo+1:], v.lastSeq[lo:])
+	v.lastSeq[lo] = 0
+	v.status = append(v.status, 0)
+	copy(v.status[lo+1:], v.status[lo:])
+	v.status[lo] = 0
+	v.suspectAt = append(v.suspectAt, 0)
+	copy(v.suspectAt[lo+1:], v.suspectAt[lo:])
+	v.suspectAt[lo] = 0
+	return lo
+}
+
+// idxOf returns peer's index into tracked (and the parallel state slices),
+// or -1 if the peer was never observed. Caller holds mu.
+func (v *View) idxOf(peer wire.NodeID) int {
+	lo, hi := 0, len(v.tracked)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.tracked[mid] < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v.tracked) && v.tracked[lo] == peer {
+		return lo
+	}
+	return -1
 }
 
 // Observe records a direct heartbeat from peer with the given sequence
@@ -284,23 +315,27 @@ func (v *View) Observe(peer wire.NodeID, seq uint64, at time.Duration) bool {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if last, ok := v.lastSeq[peer]; ok && seq <= last {
+	i := v.idxOf(peer)
+	if i >= 0 && seq <= v.lastSeq[i] {
 		return false
 	}
-	st, tracked := v.status[peer]
-	if !tracked {
-		v.track(peer)
+	tracked := i >= 0
+	var st status
+	if tracked {
+		st = v.status[i]
+	} else {
+		i = v.track(peer)
 	}
-	v.lastSeq[peer] = seq
-	v.lastSeen[peer] = at
-	v.status[peer] = statusLive
+	v.lastSeq[i] = seq
+	v.lastSeen[i] = at
+	v.status[i] = statusLive
 	becameLive := !tracked || st == statusDead
 	if v.cfg.Swim() {
 		if v.probePending && peer == v.probeTarget {
 			v.probePending = false // direct evidence: the probe target lives
 		}
 		if st == statusSuspect {
-			delete(v.suspectAt, peer)
+			v.suspectAt[i] = 0
 			// Direct evidence refuting a suspicion is worth re-gossiping:
 			// other peers may still hold the suspect claim.
 			v.queueRumor(wire.MemberEvent{Peer: peer, Seq: seq, Kind: wire.EventAlive})
@@ -332,8 +367,8 @@ func (v *View) Sweep(now time.Duration) []wire.NodeID {
 	var dead []wire.NodeID
 	suspicion := v.cfg.SuspectTimeout > 0
 	probing := v.cfg.ShuffleInterval > 0
-	for _, p := range v.tracked {
-		switch v.status[p] {
+	for i, p := range v.tracked {
+		switch v.status[i] {
 		case statusLive:
 			if suspicion && probing {
 				// Per-pair heartbeat freshness is a sparse sample of a
@@ -341,48 +376,48 @@ func (v *View) Sweep(now time.Duration) []wire.NodeID {
 				// carry the failure-detection duty instead.
 				continue
 			}
-			if now-v.lastSeen[p] <= v.cfg.Expiration {
+			if now-v.lastSeen[i] <= v.cfg.Expiration {
 				continue
 			}
 			if suspicion {
 				// No prober to originate suspicion (shuffling disabled),
 				// so lapse must: without this, a crashed peer would stay
 				// live forever in this configuration.
-				v.status[p] = statusSuspect
-				v.suspectAt[p] = now
-				v.queueRumor(wire.MemberEvent{Peer: p, Seq: v.lastSeq[p], Kind: wire.EventSuspect})
+				v.status[i] = statusSuspect
+				v.suspectAt[i] = now
+				v.queueRumor(wire.MemberEvent{Peer: p, Seq: v.lastSeq[i], Kind: wire.EventSuspect})
 				continue
 			}
-			v.status[p] = statusDead
+			v.status[i] = statusDead
 			dead = append(dead, p)
 		case statusSuspect:
-			if now-v.suspectAt[p] <= v.cfg.SuspectTimeout {
+			if now-v.suspectAt[i] <= v.cfg.SuspectTimeout {
 				continue
 			}
-			delete(v.suspectAt, p)
-			v.status[p] = statusDead
+			v.suspectAt[i] = 0
+			v.status[i] = statusDead
 			v.deadDeclared++
 			dead = append(dead, p)
-			v.queueRumor(wire.MemberEvent{Peer: p, Seq: v.lastSeq[p], Kind: wire.EventDead})
+			v.queueRumor(wire.MemberEvent{Peer: p, Seq: v.lastSeq[i], Kind: wire.EventDead})
 		}
 	}
 	return dead
 }
 
-// aliveLocked is the one liveness predicate every query shares. Legacy
-// mode is time-based: alive means a heartbeat within Expiration — the
-// moment a peer lapses it stops being alive and (if tracked) becomes dead,
-// with no window where the two disagree. Suspicion mode is state-based:
-// live and suspect count as alive, only a declared death removes a peer
-// from the view (per-pair heartbeat freshness is meaningless when the
-// fan-out is a sparse sample of a large organization).
-func (v *View) aliveLocked(peer wire.NodeID, now time.Duration) bool {
+// aliveIdxLocked is the one liveness predicate every query shares,
+// answering for tracked[i]. Legacy mode is time-based: alive means a
+// heartbeat within Expiration — the moment a peer lapses it stops being
+// alive and becomes dead, with no window where the two disagree. Suspicion
+// mode is state-based: live and suspect count as alive, only a declared
+// death removes a peer from the view (per-pair heartbeat freshness is
+// meaningless when the fan-out is a sparse sample of a large
+// organization). Callers answer false for untracked peers (idxOf < 0).
+func (v *View) aliveIdxLocked(i int, now time.Duration) bool {
 	if v.cfg.SuspectTimeout > 0 {
-		st := v.status[peer]
+		st := v.status[i]
 		return st == statusLive || st == statusSuspect
 	}
-	seen, ok := v.lastSeen[peer]
-	return ok && now-seen <= v.cfg.Expiration
+	return now-v.lastSeen[i] <= v.cfg.Expiration
 }
 
 // Alive reports whether peer is believed alive at time now. Self is always
@@ -393,7 +428,8 @@ func (v *View) Alive(peer wire.NodeID, now time.Duration) bool {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.aliveLocked(peer, now)
+	i := v.idxOf(peer)
+	return i >= 0 && v.aliveIdxLocked(i, now)
 }
 
 // Dead reports whether the view considers peer dead at time now: it was
@@ -408,8 +444,8 @@ func (v *View) Dead(peer wire.NodeID, now time.Duration) bool {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	_, tracked := v.status[peer]
-	return tracked && !v.aliveLocked(peer, now)
+	i := v.idxOf(peer)
+	return i >= 0 && !v.aliveIdxLocked(i, now)
 }
 
 // Live returns the sorted ids of all peers believed alive at now,
@@ -425,12 +461,12 @@ func (v *View) LiveInto(buf []wire.NodeID, now time.Duration) []wire.NodeID {
 	defer v.mu.Unlock()
 	out := buf[:0]
 	selfDone := false
-	for _, p := range v.tracked {
+	for i, p := range v.tracked {
 		if !selfDone && v.cfg.Self < p {
 			out = append(out, v.cfg.Self)
 			selfDone = true
 		}
-		if v.aliveLocked(p, now) {
+		if v.aliveIdxLocked(i, now) {
 			out = append(out, p)
 		}
 	}
@@ -449,11 +485,11 @@ func (v *View) LiveInto(buf []wire.NodeID, now time.Duration) []wire.NodeID {
 func (v *View) Leader(now time.Duration) wire.NodeID {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	for _, p := range v.tracked {
+	for i, p := range v.tracked {
 		if p >= v.cfg.Self {
 			break
 		}
-		if v.aliveLocked(p, now) {
+		if v.aliveIdxLocked(i, now) {
 			return p
 		}
 	}
@@ -478,8 +514,8 @@ func (v *View) Stats() Stats {
 		Refutations:   v.refutations,
 		DeadDeclared:  v.deadDeclared,
 	}
-	for _, p := range v.tracked {
-		switch v.status[p] {
+	for i := range v.tracked {
+		switch v.status[i] {
 		case statusLive:
 			s.Live++
 		case statusSuspect:

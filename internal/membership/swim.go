@@ -255,23 +255,29 @@ type transition struct {
 // fire (if any) and whether local state changed.
 func (v *View) applyOne(e wire.MemberEvent, now time.Duration, relay bool) (transition, bool) {
 	p := e.Peer
-	st, tracked := v.status[p]
-	seq := v.lastSeq[p]
+	i := v.idxOf(p)
+	tracked := i >= 0
+	var st status
+	var seq uint64
+	if tracked {
+		st = v.status[i]
+		seq = v.lastSeq[i]
+	}
 	switch e.Kind {
 	case wire.EventAlive:
 		if !tracked {
-			v.track(p)
-			v.lastSeq[p] = e.Seq
-			v.lastSeen[p] = now
-			v.status[p] = statusLive
+			i = v.track(p)
+			v.lastSeq[i] = e.Seq
+			v.lastSeen[i] = now
+			v.status[i] = statusLive
 			v.queueRumor(e)
 			return transition{peer: p, alive: true, fire: true}, true
 		}
 		if e.Seq <= seq {
 			return transition{}, false
 		}
-		v.lastSeq[p] = e.Seq
-		v.lastSeen[p] = now
+		v.lastSeq[i] = e.Seq
+		v.lastSeen[i] = now
 		switch st {
 		case statusLive:
 			// A pure freshness refresh: relay it only if it arrived as a
@@ -283,12 +289,12 @@ func (v *View) applyOne(e wire.MemberEvent, now time.Duration, relay bool) (tran
 			}
 			return transition{}, true
 		case statusSuspect:
-			delete(v.suspectAt, p)
-			v.status[p] = statusLive
+			v.suspectAt[i] = 0
+			v.status[i] = statusLive
 			v.queueRumor(e) // a refutation others may still need
 			return transition{}, true
 		default: // statusDead: a restarted incarnation rejoined
-			v.status[p] = statusLive
+			v.status[i] = statusLive
 			v.queueRumor(e)
 			return transition{peer: p, alive: true, fire: true}, true
 		}
@@ -298,11 +304,11 @@ func (v *View) applyOne(e wire.MemberEvent, now time.Duration, relay bool) (tran
 			// view: the peer is a member, just one somebody could not
 			// reach. It enters as a suspect (counted alive) and can be
 			// refuted like any other.
-			v.track(p)
-			v.lastSeq[p] = e.Seq
-			v.lastSeen[p] = now
-			v.status[p] = statusSuspect
-			v.suspectAt[p] = now
+			i = v.track(p)
+			v.lastSeq[i] = e.Seq
+			v.lastSeen[i] = now
+			v.status[i] = statusSuspect
+			v.suspectAt[i] = now
 			v.queueRumor(e)
 			return transition{peer: p, alive: true, fire: true}, true
 		}
@@ -315,14 +321,14 @@ func (v *View) applyOne(e wire.MemberEvent, now time.Duration, relay bool) (tran
 		}
 		switch st {
 		case statusLive:
-			v.lastSeq[p] = e.Seq
-			v.status[p] = statusSuspect
-			v.suspectAt[p] = now
+			v.lastSeq[i] = e.Seq
+			v.status[i] = statusSuspect
+			v.suspectAt[i] = now
 			v.queueRumor(e)
 			return transition{}, true
 		case statusSuspect:
 			if e.Seq > seq {
-				v.lastSeq[p] = e.Seq
+				v.lastSeq[i] = e.Seq
 				return transition{}, true
 			}
 			return transition{}, false
@@ -334,10 +340,10 @@ func (v *View) applyOne(e wire.MemberEvent, now time.Duration, relay bool) (tran
 			// Record the death so a stale alive rumor cannot later insert
 			// the peer as live, but fire no transition: the peer was never
 			// in this view.
-			v.track(p)
-			v.lastSeq[p] = e.Seq
-			v.lastSeen[p] = now
-			v.status[p] = statusDead
+			i = v.track(p)
+			v.lastSeq[i] = e.Seq
+			v.lastSeen[i] = now
+			v.status[i] = statusDead
 			v.queueRumor(e)
 			return transition{}, true
 		}
@@ -350,9 +356,9 @@ func (v *View) applyOne(e wire.MemberEvent, now time.Duration, relay bool) (tran
 		if st == statusDead {
 			return transition{}, false
 		}
-		v.lastSeq[p] = e.Seq
-		delete(v.suspectAt, p)
-		v.status[p] = statusDead
+		v.lastSeq[i] = e.Seq
+		v.suspectAt[i] = 0
+		v.status[i] = statusDead
 		v.queueRumor(e)
 		return transition{peer: p, alive: false, fire: true}, true
 	}
@@ -381,10 +387,11 @@ func (v *View) sampleLocked() []wire.MemberEvent {
 		return out
 	}
 	for i := 0; i < k; i++ {
-		p := v.tracked[v.shufCursor%len(v.tracked)]
+		idx := v.shufCursor % len(v.tracked)
+		p := v.tracked[idx]
 		v.shufCursor = (v.shufCursor + 1) % len(v.tracked)
-		ev := wire.MemberEvent{Peer: p, Seq: v.lastSeq[p]}
-		switch v.status[p] {
+		ev := wire.MemberEvent{Peer: p, Seq: v.lastSeq[idx]}
+		switch v.status[idx] {
 		case statusSuspect:
 			ev.Kind = wire.EventSuspect
 		case statusDead:
@@ -419,15 +426,15 @@ func (v *View) ShuffleTick(now time.Duration) {
 	if v.probePending {
 		v.probePending = false
 		p := v.probeTarget
-		if v.status[p] == statusLive {
-			v.status[p] = statusSuspect
-			v.suspectAt[p] = now
-			v.queueRumor(wire.MemberEvent{Peer: p, Seq: v.lastSeq[p], Kind: wire.EventSuspect})
+		if pi := v.idxOf(p); pi >= 0 && v.status[pi] == statusLive {
+			v.status[pi] = statusSuspect
+			v.suspectAt[pi] = now
+			v.queueRumor(wire.MemberEvent{Peer: p, Seq: v.lastSeq[pi], Kind: wire.EventSuspect})
 		}
 	}
 	alive := 0
-	for _, p := range v.tracked {
-		if v.aliveLocked(p, now) {
+	for i := range v.tracked {
+		if v.aliveIdxLocked(i, now) {
 			alive++
 		}
 	}
@@ -437,8 +444,8 @@ func (v *View) ShuffleTick(now time.Duration) {
 	}
 	idx := v.host.Rand().Intn(alive)
 	var target wire.NodeID
-	for _, p := range v.tracked {
-		if !v.aliveLocked(p, now) {
+	for i, p := range v.tracked {
+		if !v.aliveIdxLocked(i, now) {
 			continue
 		}
 		if idx == 0 {

@@ -131,3 +131,77 @@ func TestNodeSeriesUnknownNodeIsZero(t *testing.T) {
 		}
 	}
 }
+
+func TestTrafficWindowedMergeMatchesFullAccounting(t *testing.T) {
+	// Two windowed shard accountants (ids 0-1 and 2-3) plus cross-window
+	// traffic, merged into one full-window view, must agree with a single
+	// accountant that saw every Record directly.
+	full := NewSimTraffic(time.Second)
+	s0 := NewSimTrafficWindow(time.Second, 0, 2)
+	s1 := NewSimTrafficWindow(time.Second, 2, 2)
+	rec := func(tr *Traffic, from, to wire.NodeID, size int) {
+		tr.Record(from, to, wire.TypeData, size, 500*time.Millisecond)
+	}
+	rec(full, 0, 1, 100)
+	rec(s0, 0, 1, 100)
+	rec(full, 2, 3, 40)
+	rec(s1, 2, 3, 40)
+	// Cross-shard: shard 0's accountant sees id 3 through its sparse path.
+	rec(full, 1, 3, 7)
+	rec(s0, 1, 3, 7)
+
+	merged := NewSimTraffic(time.Second)
+	merged.Merge(s0)
+	merged.Merge(s1)
+	for id := wire.NodeID(0); id < 4; id++ {
+		wantIn, wantOut := full.NodeTotals(id)
+		gotIn, gotOut := merged.NodeTotals(id)
+		if gotIn != wantIn || gotOut != wantOut {
+			t.Fatalf("node %d totals = %d/%d, want %d/%d", id, gotIn, gotOut, wantIn, wantOut)
+		}
+	}
+	if merged.TotalBytes() != full.TotalBytes() {
+		t.Fatalf("total = %d, want %d", merged.TotalBytes(), full.TotalBytes())
+	}
+}
+
+func TestTrafficTotalsOnlyMatchesSeriesTotals(t *testing.T) {
+	// A totals-only accountant must report the same NodeTotals and
+	// aggregates as a series accountant fed the same records; its series
+	// read as zero (never allocated).
+	series := NewSimTraffic(time.Second)
+	totals := NewSimTrafficWindow(time.Second, 0, 2).TotalsOnly()
+	for _, r := range []struct {
+		from, to wire.NodeID
+		size     int
+	}{{0, 1, 100}, {1, 0, 30}, {0, 5, 9}, {5, 1, 4}} {
+		series.Record(r.from, r.to, wire.TypeData, r.size, 3*time.Second)
+		totals.Record(r.from, r.to, wire.TypeData, r.size, 3*time.Second)
+	}
+	for _, id := range []wire.NodeID{0, 1, 5} {
+		wantIn, wantOut := series.NodeTotals(id)
+		gotIn, gotOut := totals.NodeTotals(id)
+		if gotIn != wantIn || gotOut != wantOut {
+			t.Fatalf("node %d totals = %d/%d, want %d/%d", id, gotIn, gotOut, wantIn, wantOut)
+		}
+	}
+	if totals.TotalBytes() != series.TotalBytes() ||
+		totals.CountOf(wire.TypeData) != series.CountOf(wire.TypeData) {
+		t.Fatalf("aggregates diverge: %d/%d vs %d/%d", totals.TotalBytes(),
+			totals.CountOf(wire.TypeData), series.TotalBytes(), series.CountOf(wire.TypeData))
+	}
+	for _, v := range totals.NodeSeries(0, 4) {
+		if v != 0 {
+			t.Fatalf("totals-only series must read zero, got %v", totals.NodeSeries(0, 4))
+		}
+	}
+
+	// Merging totals-only shards into a totals-only view preserves totals.
+	merged := NewSimTraffic(time.Second).TotalsOnly()
+	merged.Merge(totals)
+	in, out := merged.NodeTotals(1)
+	wantIn, wantOut := series.NodeTotals(1)
+	if in != wantIn || out != wantOut {
+		t.Fatalf("merged totals = %d/%d, want %d/%d", in, out, wantIn, wantOut)
+	}
+}

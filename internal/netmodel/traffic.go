@@ -29,23 +29,42 @@ type Traffic struct {
 	// runtime, whose engine is single-threaded by construction.
 	concurrent bool
 	bucket     time.Duration
-	in         [][]uint64 // indexed by NodeID: per-bucket bytes received
-	out        [][]uint64 // indexed by NodeID: per-bucket bytes sent
-	// inBig/outBig catch ids at or above denseLimit: the TCP runtime lets
-	// callers choose arbitrary NodeIDs (ListenTCP), and a sparse id must
-	// not grow the dense tables to its value. Allocated lazily; the
-	// simulated runtime never touches them.
+	// base/window bound the index-addressed node tables to ids in
+	// [base, base+window): in/out are indexed by id-base. A sharded
+	// harness gives each organization shard's accountant its own id
+	// range, so per-shard tables scale with the organization instead of
+	// every shard paying headers for the whole network.
+	base   wire.NodeID
+	window int
+	in     [][]uint64 // indexed by NodeID-base: per-bucket bytes received
+	out    [][]uint64 // indexed by NodeID-base: per-bucket bytes sent
+	// inBig/outBig catch ids outside the dense window: the TCP runtime
+	// lets callers choose arbitrary NodeIDs (ListenTCP), and a sharded
+	// accountant sees occasional cross-shard ids. A sparse id must not
+	// grow the dense tables to its value. Allocated lazily; a
+	// full-window simulated runtime never touches them.
 	inBig  map[wire.NodeID][]uint64
 	outBig map[wire.NodeID][]uint64
-	count  [wire.NumMsgTypes]uint64
-	bytes  [wire.NumMsgTypes]uint64
-	total  uint64
+	// totalsOnly drops the per-bucket series and keeps one running total
+	// per node per direction (inTot/outTot dense, the maps for sparse
+	// ids). Scenario runs only ever read NodeTotals, and at the 100k-peer
+	// tier the unread bucket series would be the accountant's dominant
+	// allocation (~0.5 KB per node per direction); NodeSeries/NodeAverage
+	// read as zero in this mode.
+	totalsOnly bool
+	inTot      []uint64
+	outTot     []uint64
+	inBigTot   map[wire.NodeID]uint64
+	outBigTot  map[wire.NodeID]uint64
+	count      [wire.NumMsgTypes]uint64
+	bytes      [wire.NumMsgTypes]uint64
+	total      uint64
 }
 
 // denseLimit bounds the index-addressed node tables. Simulated networks
-// assign ids densely from 0 and stay far below it; ids beyond fall back to
-// the map path.
-const denseLimit = 1 << 16
+// assign ids densely from 0 and stay below it even at the 100k-peer tier;
+// ids beyond fall back to the map path.
+const denseLimit = 1 << 20
 
 // NewTraffic returns a concurrency-safe accountant aggregating at the given
 // bucket width.
@@ -59,10 +78,90 @@ func NewTraffic(bucket time.Duration) *Traffic {
 // runtime: identical accounting, no locking. It must only be used from the
 // engine goroutine.
 func NewSimTraffic(bucket time.Duration) *Traffic {
+	return NewSimTrafficWindow(bucket, 0, denseLimit)
+}
+
+// NewSimTrafficWindow returns a single-threaded accountant whose dense
+// tables cover ids [base, base+window); ids outside take the sparse map
+// path. The sharded harness hands each organization shard its org's id
+// range — cross-shard sends touch a handful of remote ids (the orderer, a
+// few anchors and leaders), which the map absorbs without the dense tables
+// paying a header per network node per shard.
+func NewSimTrafficWindow(bucket time.Duration, base wire.NodeID, window int) *Traffic {
 	if bucket <= 0 {
 		bucket = 10 * time.Second
 	}
-	return &Traffic{bucket: bucket}
+	if window < 0 {
+		window = 0
+	} else if window > denseLimit {
+		window = denseLimit
+	}
+	return &Traffic{bucket: bucket, base: base, window: window}
+}
+
+// TotalsOnly switches the accountant to per-node running totals: NodeTotals
+// (and the per-type/network-wide aggregates) stay exact, the per-bucket
+// series is never allocated, and NodeSeries/NodeAverage read as zero. For
+// accountants whose consumers never look at time series — the scenario
+// runner reads only NodeTotals — this removes the dominant per-node
+// allocation at the 100k-peer tier. Must be called before the first Record;
+// returns t for chaining.
+func (t *Traffic) TotalsOnly() *Traffic {
+	t.totalsOnly = true
+	return t
+}
+
+// denseIdx returns id's index into the dense tables, or false when the id
+// lies outside the window.
+func (t *Traffic) denseIdx(id wire.NodeID) (int, bool) {
+	if id < t.base {
+		return 0, false
+	}
+	i := int(id - t.base)
+	return i, i < t.window
+}
+
+// bumpIn adds v to id's receive bucket idx, dense or sparse as the window
+// dictates. Callers hold the lock (or run single-threaded).
+func (t *Traffic) bumpIn(id wire.NodeID, idx int, v uint64) {
+	i, dense := t.denseIdx(id)
+	if t.totalsOnly {
+		if dense {
+			t.inTot = bumpTot(t.inTot, i, v)
+		} else {
+			if t.inBigTot == nil {
+				t.inBigTot = make(map[wire.NodeID]uint64)
+			}
+			t.inBigTot[id] += v
+		}
+		return
+	}
+	if dense {
+		t.in = bumpNode(t.in, i, idx, v)
+	} else {
+		t.inBig = bumpBig(t.inBig, id, idx, v)
+	}
+}
+
+// bumpOut is bumpIn for the send direction.
+func (t *Traffic) bumpOut(id wire.NodeID, idx int, v uint64) {
+	i, dense := t.denseIdx(id)
+	if t.totalsOnly {
+		if dense {
+			t.outTot = bumpTot(t.outTot, i, v)
+		} else {
+			if t.outBigTot == nil {
+				t.outBigTot = make(map[wire.NodeID]uint64)
+			}
+			t.outBigTot[id] += v
+		}
+		return
+	}
+	if dense {
+		t.out = bumpNode(t.out, i, idx, v)
+	} else {
+		t.outBig = bumpBig(t.outBig, id, idx, v)
+	}
 }
 
 func (t *Traffic) lock() {
@@ -89,29 +188,51 @@ func (t *Traffic) Merge(other *Traffic) {
 	for node, b := range other.in {
 		for idx, v := range b {
 			if v != 0 {
-				t.in = bumpNode(t.in, node, idx, v)
+				t.bumpIn(other.base+wire.NodeID(node), idx, v)
 			}
 		}
 	}
 	for node, b := range other.out {
 		for idx, v := range b {
 			if v != 0 {
-				t.out = bumpNode(t.out, node, idx, v)
+				t.bumpOut(other.base+wire.NodeID(node), idx, v)
 			}
 		}
 	}
 	for id, b := range other.inBig {
 		for idx, v := range b {
 			if v != 0 {
-				t.inBig = bumpBig(t.inBig, id, idx, v)
+				t.bumpIn(id, idx, v)
 			}
 		}
 	}
 	for id, b := range other.outBig {
 		for idx, v := range b {
 			if v != 0 {
-				t.outBig = bumpBig(t.outBig, id, idx, v)
+				t.bumpOut(id, idx, v)
 			}
+		}
+	}
+	// Totals-only storage folds into bucket 0 — a totals-only merge target
+	// (the only mode pairing the harness uses) ignores the index anyway.
+	for node, v := range other.inTot {
+		if v != 0 {
+			t.bumpIn(other.base+wire.NodeID(node), 0, v)
+		}
+	}
+	for node, v := range other.outTot {
+		if v != 0 {
+			t.bumpOut(other.base+wire.NodeID(node), 0, v)
+		}
+	}
+	for id, v := range other.inBigTot {
+		if v != 0 {
+			t.bumpIn(id, 0, v)
+		}
+	}
+	for id, v := range other.outBigTot {
+		if v != 0 {
+			t.bumpOut(id, 0, v)
 		}
 	}
 	for mt := range other.count {
@@ -126,16 +247,8 @@ func (t *Traffic) Merge(other *Traffic) {
 func (t *Traffic) Record(from, to wire.NodeID, mt wire.MsgType, size int, at time.Duration) {
 	idx := int(at / t.bucket)
 	t.lock()
-	if from < denseLimit {
-		t.out = bumpNode(t.out, int(from), idx, uint64(size))
-	} else {
-		t.outBig = bumpBig(t.outBig, from, idx, uint64(size))
-	}
-	if to < denseLimit {
-		t.in = bumpNode(t.in, int(to), idx, uint64(size))
-	} else {
-		t.inBig = bumpBig(t.inBig, to, idx, uint64(size))
-	}
+	t.bumpOut(from, idx, uint64(size))
+	t.bumpIn(to, idx, uint64(size))
 	if int(mt) < wire.NumMsgTypes {
 		t.count[mt]++
 		t.bytes[mt] += uint64(size)
@@ -160,6 +273,15 @@ func bumpNode(s [][]uint64, node, idx int, v uint64) [][]uint64 {
 	return s
 }
 
+// bumpTot adds v to node's running total, growing the table as needed.
+func bumpTot(s []uint64, node int, v uint64) []uint64 {
+	for len(s) <= node {
+		s = append(s, 0)
+	}
+	s[node] += v
+	return s
+}
+
 // bumpBig is bumpNode for the sparse-id overflow map.
 func bumpBig(m map[wire.NodeID][]uint64, id wire.NodeID, idx int, v uint64) map[wire.NodeID][]uint64 {
 	if m == nil {
@@ -175,16 +297,16 @@ func bumpBig(m map[wire.NodeID][]uint64, id wire.NodeID, idx int, v uint64) map[
 }
 
 // series returns the node's recorded buckets, consulting the dense table or
-// the sparse overflow map as the id dictates. Callers hold the lock (or run
-// single-threaded).
-func series(tab [][]uint64, big map[wire.NodeID][]uint64, id wire.NodeID) []uint64 {
-	if id >= denseLimit {
-		return big[id]
+// the sparse overflow map as the window dictates. Callers hold the lock (or
+// run single-threaded).
+func (t *Traffic) series(tab [][]uint64, big map[wire.NodeID][]uint64, id wire.NodeID) []uint64 {
+	if i, ok := t.denseIdx(id); ok {
+		if i < len(tab) {
+			return tab[i]
+		}
+		return nil
 	}
-	if int(id) < len(tab) {
-		return tab[id]
-	}
-	return nil
+	return big[id]
 }
 
 // NodeSeries returns the node's traffic in MB/s per bucket (in + out), over
@@ -194,7 +316,7 @@ func (t *Traffic) NodeSeries(id wire.NodeID, nBuckets int) []float64 {
 	defer t.unlock()
 	out := make([]float64, nBuckets)
 	secs := t.bucket.Seconds()
-	inS, outS := series(t.in, t.inBig, id), series(t.out, t.outBig, id)
+	inS, outS := t.series(t.in, t.inBig, id), t.series(t.out, t.outBig, id)
 	for i := 0; i < nBuckets; i++ {
 		var b uint64
 		if i < len(inS) {
@@ -228,10 +350,22 @@ func (t *Traffic) NodeAverage(id wire.NodeID, nBuckets int) float64 {
 func (t *Traffic) NodeTotals(id wire.NodeID) (in, out uint64) {
 	t.lock()
 	defer t.unlock()
-	for _, v := range series(t.in, t.inBig, id) {
+	if t.totalsOnly {
+		if i, ok := t.denseIdx(id); ok {
+			if i < len(t.inTot) {
+				in = t.inTot[i]
+			}
+			if i < len(t.outTot) {
+				out = t.outTot[i]
+			}
+			return in, out
+		}
+		return t.inBigTot[id], t.outBigTot[id]
+	}
+	for _, v := range t.series(t.in, t.inBig, id) {
 		in += v
 	}
-	for _, v := range series(t.out, t.outBig, id) {
+	for _, v := range t.series(t.out, t.outBig, id) {
 		out += v
 	}
 	return in, out

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestAdaptiveLookaheadEquivalence pins the adaptive coordinator's safety
+// and equivalence properties on the sharded crash-restart workload, across
+// seeds and GOMAXPROCS settings:
+//
+//  1. Never a delivery inside an active window: the elided edges keep
+//     every sub-window at the conservative lookahead, so SendCross's
+//     delivery-inside-window panic invariant still guards every cross-shard
+//     send — the runs completing at all proves no admission happened.
+//  2. Byte-for-byte equivalence: an edge is only elided when it is provably
+//     a no-op (no inbox traffic, no control event due, no hook work
+//     requested), so the adaptive run's fingerprint must equal the
+//     fixed-lookahead run's exactly.
+//  3. The elision actually engages (BarrierElided > 0) — otherwise the
+//     equivalence assertion would be vacuous.
+func TestAdaptiveLookaheadEquivalence(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, seed := range []int64{1, 7, 42} {
+			opt := Options{Peers: 40, Seed: seed}
+			adaptive, err := RunNamed("sharded-crash-restart", opt)
+			if err != nil {
+				t.Fatalf("procs=%d seed=%d adaptive: %v", procs, seed, err)
+			}
+			opt.FixedLookahead = true
+			fixed, err := RunNamed("sharded-crash-restart", opt)
+			if err != nil {
+				t.Fatalf("procs=%d seed=%d fixed: %v", procs, seed, err)
+			}
+			if !adaptive.Sharded || !fixed.Sharded {
+				t.Fatalf("procs=%d seed=%d: expected sharded runs, got adaptive=%v fixed=%v",
+					procs, seed, adaptive.Sharded, fixed.Sharded)
+			}
+			if adaptive.BarrierElided == 0 {
+				t.Errorf("procs=%d seed=%d: adaptive run elided no barriers — equivalence check is vacuous",
+					procs, seed)
+			}
+			if fixed.BarrierElided != 0 {
+				t.Errorf("procs=%d seed=%d: fixed-lookahead run elided %d barriers, want 0",
+					procs, seed, fixed.BarrierElided)
+			}
+			if af, ff := adaptive.Fingerprint(), fixed.Fingerprint(); af != ff {
+				t.Errorf("procs=%d seed=%d: adaptive fingerprint %s != fixed %s",
+					procs, seed, af, ff)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}

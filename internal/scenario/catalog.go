@@ -690,6 +690,34 @@ func init() {
 		},
 	})
 	register(Def{
+		Name: "sharded-txload-aggregate",
+		Description: "a thousand modeled clients per organization as one " +
+			"aggregated per-org arrival process on the sharded engine: the " +
+			"open-loop Poisson superposition fires one timer per org at the " +
+			"summed rate and attributes arrivals round-robin across a bounded " +
+			"endpoint set — the client-pool scaling path of the 100k tier",
+		MinOrgs: 2,
+		Build: func(top Topology) Scenario {
+			return Scenario{
+				Warmup:   time.Second,
+				Tail:     25 * time.Second,
+				WANDelay: 25 * time.Millisecond,
+				Sharded:  true,
+				Workload: &workload.Config{
+					ClientsPerOrg:    1000,
+					Rate:             0.05,
+					Arrival:          workload.ArrivalPoisson,
+					AggregateClients: true,
+					Keys:             64,
+				},
+				Events: []Event{
+					{At: time.Second, Action: StartWorkload{}},
+					{At: 6 * time.Second, Action: StopWorkload{}},
+				},
+			}
+		},
+	})
+	register(Def{
 		Name: "sharded-txload-steady",
 		Description: "the steady Poisson transaction workload on the sharded " +
 			"parallel engine: clients and validation run on their organization's " +

@@ -146,6 +146,24 @@ type Report struct {
 	Sharded     bool
 	PeakPending int
 
+	// BarrierFull and BarrierElided count the sharded coordinator's window
+	// edges that ran the full barrier ceremony versus those the adaptive
+	// lookahead skipped (provably-no-op edges: no inbox traffic, no control
+	// event due, no hook work requested). Wall-side diagnostics like
+	// PeakPending — excluded from String and Fingerprint; the elision must
+	// be observably free, and the equivalence property test asserts the
+	// fingerprints match the fixed-lookahead run's byte for byte.
+	BarrierFull   uint64
+	BarrierElided uint64
+
+	// HeapHighWater is the process heap's high-water mark over the run
+	// (runtime.ReadMemStats samples at window barriers in sharded mode, at
+	// injection/fault instants sequentially). It is wall-side state, not
+	// simulation output, so like PeakPending it is excluded from String —
+	// and therefore from Fingerprint. The 100k benchmark tier gates
+	// bytes_per_peer = HeapHighWater / peers from it.
+	HeapHighWater uint64
+
 	// OrgReports breaks the run down per organization, in org order.
 	OrgReports []OrgReport
 

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -48,6 +49,17 @@ type Options struct {
 	// engine, ShardOff forces the sequential one, ShardAuto (the zero
 	// value) inherits the scenario's own setting.
 	Sharding ShardMode
+	// FixedLookahead disables the sharded coordinator's adaptive barrier
+	// elision, forcing the full ceremony at every window edge. Both modes
+	// produce byte-identical fingerprints (the equivalence property test
+	// pins it); the knob exists for that test and for bisecting.
+	FixedLookahead bool
+	// Tail, when > 0, overrides the scenario's own post-injection tail
+	// (cmd/scenarios -tail). Shortening the tail changes the fingerprint
+	// lineage (fewer virtual seconds of traffic) and can cut off recovery
+	// before it closes every gap, so it is a tool for reduced-duration
+	// determinism smokes at extreme scale, not for measurement runs.
+	Tail time.Duration
 }
 
 // ShardMode is the per-run sharding override.
@@ -161,6 +173,16 @@ type runner struct {
 	convergedAt time.Duration
 	liveBuf     []wire.NodeID
 	actualBuf   []wire.NodeID
+
+	// Heap high-water sampling (wall-side diagnostic, never fingerprinted):
+	// sharded runs sample at coordinator barriers, sequential runs piggyback
+	// on the injection/fault closures already scheduled — either way no new
+	// simulation events exist, so EngineEvents (which IS fingerprinted) is
+	// untouched. lastHeapAt throttles the ReadMemStats stop-the-world cost
+	// to one sample per heapSampleInterval of simulated time.
+	heapHigh    uint64
+	heapSampled bool
+	lastHeapAt  time.Duration
 }
 
 // traceEntry is one trace line before prefix formatting, tagged with its
@@ -207,6 +229,9 @@ func RunNamed(name string, opt Options) (*Report, error) {
 // deterministic in (scenario, Options).
 func Run(sc Scenario, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
+	if opt.Tail > 0 {
+		sc.Tail = opt.Tail
+	}
 	top, err := opt.topology()
 	if err != nil {
 		return nil, err
@@ -320,6 +345,9 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		Variant: opt.Variant,
 		Orgs:    specs,
 		Bucket:  time.Second,
+		// Scenario reports only read per-node totals; the per-bucket
+		// series would be the accountants' dominant allocation at 100k.
+		TrafficTotals: true,
 		// The recovery-plane extensions are scenario-scripted: anchors,
 		// WAN separation and the consenter cluster only exist when the
 		// scenario (or Options) asks for them, so every pre-existing
@@ -329,6 +357,7 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		Consenters:      consenters,
 		ConsenterSpread: sc.ConsenterSpread,
 		Sharded:         sharded,
+		FixedLookahead:  opt.FixedLookahead,
 	},
 		// Fault handling wants faster membership and recovery turnarounds
 		// than the paper's fault-free 10 s defaults.
@@ -368,6 +397,9 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	nbuf := 1
 	if r.sharded {
 		nbuf = top.Orgs() + 2
+		// Barrier-hosted heap sampling: every shard is quiescent, so the
+		// reading covers the whole network's live state.
+		net.Sharded().OnBarrier(r.sampleHeap)
 	}
 	r.traces = make([][]traceEntry, nbuf)
 	engine := net.Engine
@@ -408,7 +440,10 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		blocks = harness.BuildChain(sc.Blocks, opt.TxPerBlock, opt.TxPayload, opt.Seed)
 		for i, b := range blocks {
 			b := b
-			engine.At(sc.Warmup+time.Duration(i)*sc.BlockInterval, func() { net.Append(b) })
+			engine.At(sc.Warmup+time.Duration(i)*sc.BlockInterval, func() {
+				net.Append(b)
+				r.sampleHeap()
+			})
 		}
 	}
 
@@ -418,13 +453,49 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		engine.At(ev.At, func() {
 			r.tracef("%s", ev.Action)
 			ev.Action.apply(r)
+			r.sampleHeap()
 		})
 	}
 
 	net.RunUntil(sc.End())
 	net.StopAll()
+	r.sampleHeapNow()
 
-	return r.report(blocks), nil
+	// The report snapshots every fingerprinted counter (EngineEvents
+	// included) before the leak audit's bounded drain executes the
+	// deliveries still in flight at End — the drain must settle refcounts
+	// without moving a single reported number.
+	rep := r.report(blocks)
+	if err := r.checkPoolLeaks(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// checkPoolLeaks asserts the pooled-envelope refcount invariant on every
+// run: once in-flight deliveries settle, every Data/PushDigest drawn from a
+// protocol's pool must have been released exactly refs times, so both
+// outstanding counters read zero. Deliveries scheduled just before End are
+// still in transit when the run stops (a release per delivery attempt is
+// the invariant, and those attempts have not happened yet), so the audit
+// first drains the engines a grace period past End — the cores are stopped,
+// so the extra events release envelopes and do nothing else.
+func (r *runner) checkPoolLeaks() error {
+	r.net.RunUntil(r.sc.End() + 5*time.Second)
+	type pooled interface{ PoolOutstanding() (data, digest int) }
+	var data, digest int
+	for _, c := range r.net.Cores {
+		if p, ok := c.Proto().(pooled); ok {
+			d, g := p.PoolOutstanding()
+			data += d
+			digest += g
+		}
+	}
+	if data != 0 || digest != 0 {
+		return fmt.Errorf("scenario: %q leaked pooled envelopes after drain: %d data, %d push-digest outstanding",
+			r.sc.Name, data, digest)
+	}
+	return nil
 }
 
 // actionPeers returns the global peer indices an action addresses, for
@@ -634,6 +705,34 @@ func (r *runner) isolateConsenters(idxs []int) {
 // viewSampleInterval is the membership sampler's period.
 const viewSampleInterval = 500 * time.Millisecond
 
+// heapSampleInterval throttles heap high-water sampling: barriers fire every
+// few simulated milliseconds at 100k scale, and a ReadMemStats per barrier
+// would dominate wall time.
+const heapSampleInterval = 500 * time.Millisecond
+
+// sampleHeap records the heap high-water mark, at most once per
+// heapSampleInterval of simulated time. It reads wall-side runtime state
+// only — no random draws, no sends, no events — so it cannot perturb the
+// simulation it measures.
+func (r *runner) sampleHeap() {
+	now := r.net.Engine.Now()
+	if r.heapSampled && now-r.lastHeapAt < heapSampleInterval {
+		return
+	}
+	r.heapSampled = true
+	r.lastHeapAt = now
+	r.sampleHeapNow()
+}
+
+// sampleHeapNow is sampleHeap without the throttle (the run-end sample).
+func (r *runner) sampleHeapNow() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > r.heapHigh {
+		r.heapHigh = m.HeapAlloc
+	}
+}
+
 // sampleViews takes one membership measurement (MeasureMembership only):
 // the mean view completeness over live peers — each peer's live view
 // intersected with its organization's actually live members — and whether
@@ -774,6 +873,10 @@ func (r *runner) mergedTrace() []string {
 // report assembles the final Report after the engine has drained.
 func (r *runner) report(blocks []*ledger.Block) *Report {
 	tv := r.net.TrafficView()
+	var barrierFull, barrierElided uint64
+	if se := r.net.Sharded(); se != nil {
+		barrierFull, barrierElided = se.BarrierStats()
+	}
 	var transitions, violations int
 	var recAll []time.Duration
 	for o := 0; o < r.top.Orgs(); o++ {
@@ -792,6 +895,9 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		Transitions:    transitions,
 		EngineEvents:   r.net.ExecutedEvents(),
 		PeakPending:    r.net.PeakPending(),
+		HeapHighWater:  r.heapHigh,
+		BarrierFull:    barrierFull,
+		BarrierElided:  barrierElided,
 		TotalBytes:     tv.TotalBytes(),
 		SyncBytes: tv.BytesOf(wire.TypeStateRequest) +
 			tv.BytesOf(wire.TypeStateResponse),

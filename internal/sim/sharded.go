@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -48,6 +49,19 @@ type ShardedEngine struct {
 	// barriers run at every window edge, after control events and before
 	// the inbox drain, in registration order.
 	barriers []func()
+
+	// adaptive elides the barrier ceremony (control events, hooks, inbox
+	// drain) at interior window edges that provably have nothing to do:
+	// every inbox empty, no control event due, and no RequestBarrier call
+	// outstanding. Windows still advance in lookahead-wide steps and the
+	// horizon still moves edge by edge, so the SendCross safety check is
+	// unchanged; elision only removes ceremony that would have been a
+	// no-op, which is why adaptive and fixed runs are bit-identical.
+	adaptive   bool
+	barrierReq atomic.Bool
+
+	fullBarriers   uint64
+	elidedBarriers uint64
 
 	now     time.Duration
 	horizon time.Duration
@@ -116,6 +130,28 @@ func (se *ShardedEngine) Now() time.Duration { return se.now }
 // test and for debugging.
 func (se *ShardedEngine) SetParallel(p bool) { se.parallel = p }
 
+// SetAdaptive selects whether idle window edges elide their barrier
+// ceremony. Both modes produce byte-identical simulations — elision is
+// restricted to edges where the ceremony would have executed nothing — so
+// the fixed mode exists for the equivalence property test and debugging.
+func (se *ShardedEngine) SetAdaptive(a bool) { se.adaptive = a }
+
+// Adaptive reports whether idle-edge barrier elision is enabled.
+func (se *ShardedEngine) Adaptive() bool { return se.adaptive }
+
+// RequestBarrier guarantees the next window edge runs the full barrier
+// ceremony. Barrier hooks whose work is fed mid-window (a pump flush
+// request, a block record queued for fan-out) must call this when they
+// enqueue work, otherwise an adaptive coordinator may elide the edge that
+// would have drained it. Safe from any shard goroutine.
+func (se *ShardedEngine) RequestBarrier() { se.barrierReq.Store(true) }
+
+// BarrierStats returns how many window edges ran the full barrier ceremony
+// and how many were elided as provably idle.
+func (se *ShardedEngine) BarrierStats() (full, elided uint64) {
+	return se.fullBarriers, se.elidedBarriers
+}
+
 // OnBarrier registers fn to run at every window edge, after the control
 // engine's due events fire and before cross-shard inboxes drain. Hooks run
 // with every shard quiescent and all shard clocks equal to Now().
@@ -176,20 +212,34 @@ func (se *ShardedEngine) PeakPending() int {
 
 // RunUntil advances the simulation to time end in conservative windows.
 func (se *ShardedEngine) RunUntil(end time.Duration) {
+	first := true
 	for {
 		now := se.now
 		// Barrier phase. The horizon is pinned to the barrier instant so
 		// cross-shard sends issued by control events or barrier hooks (which
 		// carry at >= now + lookahead) pass the safety check.
 		se.horizon = now
-		se.control.RunUntil(now)
-		for _, fn := range se.barriers {
-			fn()
+		// An adaptive coordinator elides the ceremony at interior edges
+		// with nothing to do: no buffered cross-shard delivery, no control
+		// event due, no outstanding RequestBarrier. The first edge of every
+		// RunUntil call and the closing edge always run in full — callers
+		// mutate state between RunUntil calls, and the closing ceremony
+		// leaves the control clock pinned to end.
+		req := se.barrierReq.Swap(false)
+		if !se.adaptive || first || req || now >= end || se.inboxesPending() || se.controlDue(now) {
+			se.fullBarriers++
+			se.control.RunUntil(now)
+			for _, fn := range se.barriers {
+				fn()
+			}
+			// Drain after the hooks: deliveries they produce (e.g. a pump
+			// flushing at the barrier) are picked up immediately rather
+			// than waiting a window.
+			se.drainInboxes()
+		} else {
+			se.elidedBarriers++
 		}
-		// Drain after the hooks: deliveries they produce (e.g. a pump
-		// flushing at the barrier) are picked up immediately rather than
-		// waiting a window.
-		se.drainInboxes()
+		first = false
 		if now >= end {
 			// Closing window: an idle hop can land exactly on end with shard
 			// events due at that instant (and RunUntil's contract is
@@ -262,6 +312,27 @@ func (se *ShardedEngine) runWindow(h time.Duration) {
 		}(s)
 	}
 	wg.Wait()
+}
+
+// inboxesPending reports whether any cross-shard inbox holds a buffered
+// delivery. Called only at window edges, after shard goroutines have
+// joined, so the scan is race-free.
+func (se *ShardedEngine) inboxesPending() bool {
+	for _, row := range se.inbox {
+		for _, box := range row {
+			if len(box) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// controlDue reports whether the control engine has an event due at or
+// before the given barrier instant.
+func (se *ShardedEngine) controlDue(now time.Duration) bool {
+	t, ok := se.control.NextEventAt()
+	return ok && t <= now
 }
 
 // drainInboxes moves buffered cross-shard deliveries into their destination

@@ -21,7 +21,6 @@
 package statesync
 
 import (
-	"sort"
 	"sync"
 	"time"
 
@@ -95,8 +94,16 @@ type Fetcher struct {
 	host Host
 	cfg  Config
 
-	mu      sync.Mutex
-	heights map[wire.NodeID]uint64
+	mu sync.Mutex
+	// peers/heights are the advertised-heights view, stored densely:
+	// peers is sorted ascending and heights is parallel to it — two words
+	// per advertising peer instead of a map entry, and the candidate scan
+	// walks ascending ids natively (no sort before the deterministic
+	// random pick). Heights are only ever positive: Observe stores a
+	// height strictly above the previous one, and the zero default never
+	// inserts.
+	peers   []wire.NodeID
+	heights []uint64
 	// maxAdvertised is an upper bound on every tracked height, raised on
 	// Observe and tightened during scans: the caught-up steady state —
 	// the overwhelming majority of ticks — exits on it without scanning.
@@ -129,17 +136,55 @@ func NewFetcher(host Host, cfg Config) *Fetcher {
 	return &Fetcher{
 		host:        host,
 		cfg:         cfg,
-		heights:     make(map[wire.NodeID]uint64),
 		lastDeliver: host.Now(),
 	}
+}
+
+// idxOf returns from's index in the sorted peers slice, or -1. Caller
+// holds mu.
+func (f *Fetcher) idxOf(from wire.NodeID) int {
+	lo, hi := 0, len(f.peers)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.peers[mid] < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.peers) && f.peers[lo] == from {
+		return lo
+	}
+	return -1
 }
 
 // Observe records a peer's advertised ledger height (from StateInfo).
 // Heights only ever rise; stale advertisements are ignored.
 func (f *Fetcher) Observe(from wire.NodeID, height uint64) {
 	f.mu.Lock()
-	if height > f.heights[from] {
-		f.heights[from] = height
+	if i := f.idxOf(from); i >= 0 {
+		if height > f.heights[i] {
+			f.heights[i] = height
+			if height > f.maxAdvertised {
+				f.maxAdvertised = height
+			}
+		}
+	} else if height > 0 {
+		lo, hi := 0, len(f.peers)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if f.peers[mid] < from {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		f.peers = append(f.peers, 0)
+		copy(f.peers[lo+1:], f.peers[lo:])
+		f.peers[lo] = from
+		f.heights = append(f.heights, 0)
+		copy(f.heights[lo+1:], f.heights[lo:])
+		f.heights[lo] = height
 		if height > f.maxAdvertised {
 			f.maxAdvertised = height
 		}
@@ -154,7 +199,12 @@ func (f *Fetcher) Observe(from wire.NodeID, height uint64) {
 // upper bound is not lowered here; the next scan tightens it.
 func (f *Fetcher) Forget(p wire.NodeID) {
 	f.mu.Lock()
-	delete(f.heights, p)
+	if i := f.idxOf(p); i >= 0 {
+		copy(f.peers[i:], f.peers[i+1:])
+		f.peers = f.peers[:len(f.peers)-1]
+		copy(f.heights[i:], f.heights[i+1:])
+		f.heights = f.heights[:len(f.heights)-1]
+	}
 	f.mu.Unlock()
 }
 
@@ -162,9 +212,9 @@ func (f *Fetcher) Forget(p wire.NodeID) {
 func (f *Fetcher) Heights() map[wire.NodeID]uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make(map[wire.NodeID]uint64, len(f.heights))
-	for k, v := range f.heights {
-		out[k] = v
+	out := make(map[wire.NodeID]uint64, len(f.peers))
+	for i, p := range f.peers {
+		out[p] = f.heights[i]
 	}
 	return out
 }
@@ -198,7 +248,8 @@ func (f *Fetcher) Tick() {
 	var bestH uint64
 	var maxSeen uint64
 	candidates := make([]wire.NodeID, 0, 4)
-	for p, h := range f.heights {
+	for i, p := range f.peers {
+		h := f.heights[i]
 		if h > maxSeen {
 			maxSeen = h
 		}
@@ -224,11 +275,10 @@ func (f *Fetcher) Tick() {
 		f.mu.Unlock()
 		return
 	}
-	// candidates came out of map iteration: sort before the random pick so
-	// the same seed selects the same peer on every run. The draw stays
-	// under mu: the host's rng is not thread-safe and on the TCP runtime
-	// the periodic ticks fire on separate goroutines.
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	// The scan walks peers in ascending id order, so candidates are already
+	// in the canonical order the deterministic random pick requires. The
+	// draw stays under mu: the host's rng is not thread-safe and on the TCP
+	// runtime the periodic ticks fire on separate goroutines.
 	best := candidates[f.host.Rand().Intn(len(candidates))]
 	f.mu.Unlock()
 

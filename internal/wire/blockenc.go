@@ -128,3 +128,21 @@ func BlockEncodedSize(b *ledger.Block) int {
 	blockSizes.Store(b, c.n)
 	return c.n
 }
+
+// blockEncs caches each block's full canonical encoding, blockSizes-style:
+// one buffer per block process-wide, shared by every frozen batch that
+// covers the block. Concurrent first encodes from different shards race
+// benignly — both produce identical bytes and either Store wins.
+var blockEncs sync.Map // *ledger.Block -> []byte
+
+// blockEncoding returns b's canonical encoding, cached. Callers must treat
+// the returned slice as immutable.
+func blockEncoding(b *ledger.Block) []byte {
+	if v, ok := blockEncs.Load(b); ok {
+		return v.([]byte)
+	}
+	s := &bufSink{buf: make([]byte, 0, BlockEncodedSize(b))}
+	encodeBlock(s, b)
+	blockEncs.Store(b, s.buf)
+	return s.buf
+}

@@ -291,8 +291,13 @@ func decodeStateRequest(d *decoder) *StateRequest {
 type BlockBatch struct {
 	Blocks []*ledger.Block
 
-	// enc is the frozen batch framing (count + bodies). nil until Freeze.
-	enc []byte
+	// encs holds each block's cached canonical encoding, nil until Freeze.
+	// The byte slices come from the process-wide per-block cache and are
+	// shared by every batch (and every serving peer) that covers the same
+	// block — a batch owns only this slice of pointers, never a flat copy
+	// of the bodies. At the 100k tier, per-provider flat copies were the
+	// largest single term of the peak heap.
+	encs [][]byte
 }
 
 // NewBlockBatch wraps blocks in an unfrozen batch.
@@ -304,27 +309,28 @@ func NewBlockBatch(blocks []*ledger.Block) *BlockBatch {
 // It is idempotent and returns the batch for chaining. The batch must not
 // be mutated after freezing.
 func (bb *BlockBatch) Freeze() *BlockBatch {
-	if bb.enc == nil {
-		s := &bufSink{buf: make([]byte, 0, bb.encodedLen())}
-		s.uvarint(uint64(len(bb.Blocks)))
-		for _, b := range bb.Blocks {
-			encodeBlock(s, b)
+	if bb.encs == nil {
+		bb.encs = make([][]byte, len(bb.Blocks))
+		for i, b := range bb.Blocks {
+			bb.encs[i] = blockEncoding(b)
 		}
-		bb.enc = s.buf
 	}
 	return bb
 }
 
 // Frozen reports whether the batch's encoding is cached.
-func (bb *BlockBatch) Frozen() bool { return bb.enc != nil }
+func (bb *BlockBatch) Frozen() bool { return bb.encs != nil }
 
 // encodedLen returns the batch framing's length in bytes without encoding:
 // from the cache when frozen, otherwise from the per-block size cache.
 func (bb *BlockBatch) encodedLen() int {
-	if bb.enc != nil {
-		return len(bb.enc)
-	}
 	n := uvarintLen(uint64(len(bb.Blocks)))
+	if bb.encs != nil {
+		for _, e := range bb.encs {
+			n += len(e)
+		}
+		return n
+	}
 	for _, b := range bb.Blocks {
 		n += BlockEncodedSize(b)
 	}
@@ -334,11 +340,13 @@ func (bb *BlockBatch) encodedLen() int {
 // encodeTo writes the batch framing: the frozen bytes verbatim, or a fresh
 // walk of the block trees when unfrozen. Both produce identical bytes.
 func (bb *BlockBatch) encodeTo(s sink) {
-	if bb.enc != nil {
-		s.bytes(bb.enc)
+	s.uvarint(uint64(len(bb.Blocks)))
+	if bb.encs != nil {
+		for _, e := range bb.encs {
+			s.bytes(e)
+		}
 		return
 	}
-	s.uvarint(uint64(len(bb.Blocks)))
 	for _, b := range bb.Blocks {
 		encodeBlock(s, b)
 	}

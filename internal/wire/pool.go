@@ -17,7 +17,12 @@ type Releasable interface{ Release() }
 // single-goroutine (per-protocol-instance on the simulated runtime): the
 // envelope never crosses an organization boundary, so every Get and Release
 // happens on the owning shard's goroutine.
-type DataPool struct{ free []*Data }
+type DataPool struct {
+	free []*Data
+	// outstanding counts envelopes checked out and not yet fully released
+	// — the refcount-leak canary: it must read zero once a run drains.
+	outstanding int
+}
 
 // Get returns an envelope for the block with refs outstanding deliveries.
 // refs must equal the number of transport sends the caller will issue, and
@@ -34,20 +39,31 @@ func (p *DataPool) Get(b *ledger.Block, counter uint32, refs int) *Data {
 	m.Block = b
 	m.Counter = counter
 	m.refs = int32(refs)
+	p.outstanding++
 	return m
 }
 
 func (p *DataPool) put(m *Data) {
 	m.Block = nil // the block is retained by ledgers, not by the envelope
 	p.free = append(p.free, m)
+	p.outstanding--
 }
 
 // FreeLen reports the free-list size (test hook).
 func (p *DataPool) FreeLen() int { return len(p.free) }
 
+// Outstanding reports how many envelopes are checked out with unreleased
+// references. A drained run must report zero; anything else is a refcount
+// leak (a send issued without a matching release, or refs set too high).
+func (p *DataPool) Outstanding() int { return p.outstanding }
+
 // PushDigestPool is DataPool's counterpart for digest envelopes; recycled
 // envelopes keep their Offers backing array.
-type PushDigestPool struct{ free []*PushDigest }
+type PushDigestPool struct {
+	free []*PushDigest
+	// outstanding mirrors DataPool.outstanding for digest envelopes.
+	outstanding int
+}
 
 // Get returns an envelope with an empty Offers slice (capacity retained)
 // and refs outstanding deliveries.
@@ -62,12 +78,18 @@ func (p *PushDigestPool) Get(refs int) *PushDigest {
 		m = &PushDigest{pool: p}
 	}
 	m.refs = int32(refs)
+	p.outstanding++
 	return m
 }
 
 func (p *PushDigestPool) put(m *PushDigest) {
 	p.free = append(p.free, m)
+	p.outstanding--
 }
 
 // FreeLen reports the free-list size (test hook).
 func (p *PushDigestPool) FreeLen() int { return len(p.free) }
+
+// Outstanding reports how many digest envelopes are checked out with
+// unreleased references; zero once a run drains.
+func (p *PushDigestPool) Outstanding() int { return p.outstanding }

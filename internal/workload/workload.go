@@ -62,6 +62,17 @@ type Config struct {
 	// Think is the closed-loop think time between a completion and the
 	// next submission (default 200 ms).
 	Think time.Duration
+	// AggregateClients models each organization's ClientsPerOrg clients
+	// as one aggregated arrival process at ClientsPerOrg×Rate instead of
+	// one timer per client: a fixed open loop becomes fixed at the summed
+	// rate, and superposed Poisson processes are exactly a Poisson process
+	// at the summed rate, so the offered load is the same while the timer
+	// and endpoint count stay bounded — the knob that scales the open-loop
+	// models to ~10⁶ modeled clients. Arrivals are attributed round-robin
+	// across a small per-org endpoint set (at most aggregateEndpoints real
+	// transport endpoints). Open-loop only: a closed loop is per-client
+	// state by definition and cannot be aggregated.
+	AggregateClients bool
 
 	// Keys is the keyspace size clients pick from (default 64).
 	Keys int
@@ -142,8 +153,17 @@ func (c Config) validate() error {
 	if c.ZipfS != 0 && c.ZipfS <= 1 {
 		return errors.New("workload: ZipfS must be > 1 (or 0 for uniform)")
 	}
+	if c.AggregateClients && c.Arrival == ArrivalClosed {
+		return errors.New("workload: closed-loop arrivals cannot be aggregated")
+	}
 	return nil
 }
+
+// aggregateEndpoints bounds how many real transport endpoints an aggregated
+// organization pool keeps: enough to exercise multi-endpoint attribution
+// and per-client sequence numbering, few enough that a million modeled
+// clients cost eight endpoints per org.
+const aggregateEndpoints = 8
 
 // pendingTx tracks one submitted transaction until its issuing
 // organization resolves it (first commit of its block by any org member).
@@ -185,6 +205,11 @@ type Plane struct {
 	endorserIdx [][]int
 
 	clients []*planeClient
+	// pools holds one aggregated arrival process per organization when
+	// Config.AggregateClients is set; empty otherwise. Pools drive the
+	// same planeClients, so everything downstream of invoke (pending
+	// tracking, retries, stats) is shared with the per-client mode.
+	pools []*orgPool
 
 	running bool
 	// pending maps a submitted transaction's ID to its tracking record,
@@ -369,9 +394,30 @@ func Install(n *harness.Network, cfg Config) (*Plane, error) {
 	// Client populations: each client gets its own endpoint (appended
 	// after the orderer — dense ids keep traffic accounting amortized), a
 	// WAN site co-located with its organization when the network is
-	// WAN-separated, and its own named random stream.
+	// WAN-separated, and its own named random stream. An aggregated pool
+	// keeps a bounded endpoint set per org and one arrival stream
+	// ("workload/orgN/pool") driving them round-robin.
 	for o := range n.Orgs {
-		for j := 0; j < cfg.ClientsPerOrg; j++ {
+		nClients := cfg.ClientsPerOrg
+		var pool *orgPool
+		if cfg.AggregateClients {
+			if nClients > aggregateEndpoints {
+				nClients = aggregateEndpoints
+			}
+			eng := n.OrgEngine(o)
+			pool = &orgPool{
+				p:    p,
+				org:  o,
+				eng:  eng,
+				rng:  eng.Rand(fmt.Sprintf("workload/org%d/pool", o)),
+				rate: float64(cfg.ClientsPerOrg) * cfg.Rate,
+			}
+			if cfg.ZipfS > 1 {
+				pool.zipf = rand.NewZipf(pool.rng.Rand, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+			}
+			p.pools = append(p.pools, pool)
+		}
+		for j := 0; j < nClients; j++ {
 			ep := n.AddClientNode(o)
 			eng := n.OrgEngine(o)
 			c := &planeClient{
@@ -391,6 +437,9 @@ func Install(n *harness.Network, cfg Config) (*Plane, error) {
 			}
 			c.cl = cl
 			p.clients = append(p.clients, c)
+			if pool != nil {
+				pool.clients = append(pool.clients, c)
+			}
 		}
 	}
 	return p, nil
@@ -482,8 +531,10 @@ func (p *Plane) recordBlock(b *ledger.Block) {
 	for i, tx := range b.Txs {
 		ids[i] = tx.ID
 	}
-	if p.net.Sharded() != nil {
+	if se := p.net.Sharded(); se != nil {
 		p.txSync = append(p.txSync, blockRecord{num: b.Num, ids: ids})
+		// The fan-out hook must not be elided by an adaptive coordinator.
+		se.RequestBarrier()
 		return
 	}
 	for o := range p.blockTxs {
@@ -576,6 +627,12 @@ func (p *Plane) Start() {
 		return
 	}
 	p.running = true
+	if len(p.pools) > 0 {
+		for _, op := range p.pools {
+			op.start()
+		}
+		return
+	}
 	for _, c := range p.clients {
 		c.start()
 	}
@@ -595,6 +652,56 @@ func (p *Plane) ClientNodes(org int) []wire.NodeID {
 		}
 	}
 	return out
+}
+
+// orgPool is one organization's aggregated arrival process: a single timer
+// on the org's engine firing at the aggregate rate (ClientsPerOrg×Rate)
+// and attributing each arrival to the org's bounded endpoint set
+// round-robin. It draws inter-arrival times and keys from its own named
+// stream, so the modeled client count changes no other stream.
+type orgPool struct {
+	p    *Plane
+	org  int
+	eng  *sim.Engine
+	rng  *sim.Rand
+	zipf *rand.Zipf
+	rate float64 // aggregate arrivals per second
+	// clients is the org's endpoint set; next indexes the round-robin.
+	clients []*planeClient
+	next    int
+}
+
+// start arms the pool's next arrival at the aggregate rate.
+func (op *orgPool) start() {
+	if op.p.cfg.Arrival == ArrivalPoisson {
+		op.eng.After(time.Duration(op.rng.Exp(float64(time.Second)/op.rate)), op.fire)
+	} else {
+		op.eng.After(time.Duration(float64(time.Second)/op.rate), op.fire)
+	}
+}
+
+// fire is one aggregated arrival: schedule the next, then hand the
+// submission to the next endpoint in the rotation.
+func (op *orgPool) fire() {
+	if !op.p.running {
+		return
+	}
+	op.start() // next arrival first: the draw order is fixed per pool
+	c := op.clients[op.next]
+	op.next = (op.next + 1) % len(op.clients)
+	c.invoke(op.key(), 0)
+}
+
+// key draws the next key from the pool's stream: Zipf-skewed when
+// configured, uniform otherwise.
+func (op *orgPool) key() string {
+	var i uint64
+	if op.zipf != nil {
+		i = op.zipf.Uint64()
+	} else {
+		i = uint64(op.rng.Intn(op.p.cfg.Keys))
+	}
+	return fmt.Sprintf("key-%04d", i)
 }
 
 // start arms the client's first arrival.
