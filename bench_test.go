@@ -37,6 +37,7 @@ import (
 	"fabricgossip/internal/membership"
 	"fabricgossip/internal/metrics"
 	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/obs"
 	"fabricgossip/internal/order"
 	"fabricgossip/internal/raft"
 	"fabricgossip/internal/scenario"
@@ -674,6 +675,76 @@ func BenchmarkHotPathDeliveryAllocs(b *testing.B) {
 	}
 	if delivered == 0 {
 		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkObsOverheadDelivery locks the observability plane's hot-path
+// contract: with a metrics registry attached to the transport (wire
+// counters and the size histogram live) but tracing off, the per-message
+// delivery path still allocates nothing — the obs_overhead metric is the
+// allocation count with instruments armed, gated at zero by cmd/benchdiff.
+func BenchmarkObsOverheadDelivery(b *testing.B) {
+	engine := sim.NewEngine(1)
+	model := netmodel.Model{PropMin: time.Microsecond, PropMax: 2 * time.Microsecond}
+	traffic := netmodel.NewSimTraffic(time.Hour)
+	net := transport.NewSimNetwork(engine, model, traffic)
+	src := net.AddNode()
+	dst := net.AddNode()
+	reg := obs.NewRegistry()
+	net.SetObs([]*transport.WireObs{transport.NewWireObs(reg, nil)})
+	delivered := 0
+	dst.SetHandler(func(wire.NodeID, wire.Message) { delivered++ })
+	msg := &wire.StateInfo{Height: 1}
+	cycle := func() {
+		_ = src.Send(dst.ID(), msg)
+		engine.RunFor(10 * time.Microsecond)
+	}
+	for i := 0; i < 500; i++ {
+		cycle() // warm the event pool, queue capacity and traffic slots
+	}
+	reportMetric(b, testing.AllocsPerRun(2000, cycle), "obs_overhead")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+	if v, ok := reg.Snapshot().Get("wire_msgs_total", "dir", "out"); !ok || v == 0 {
+		b.Fatal("registry saw no sends — the instruments were not armed")
+	}
+}
+
+// BenchmarkGroupedLatencySummarizeAllocs locks the report-time percentile
+// contract: once the grouped recorder's scratch buffer has grown to the
+// largest query, re-querying SummarizeAll and SummarizeGroup allocates
+// nothing (the old All()+NewDistribution path copied every sample into two
+// fresh recorders and a fresh sort slice per query). The allocs_op metric
+// is gated by cmd/benchdiff.
+func BenchmarkGroupedLatencySummarizeAllocs(b *testing.B) {
+	g := metrics.NewGroupedLatency()
+	g.EnsureGroups(4)
+	rng := sim.NewRand(1)
+	for o := 0; o < 4; o++ {
+		for i := 0; i < 2500; i++ {
+			g.Record(o, uint64(i%40), wire.NodeID(i), time.Duration(rng.Intn(1e9)))
+		}
+	}
+	cycle := func() {
+		if g.SummarizeAll().N != 10000 {
+			b.Fatal("lost samples")
+		}
+		if g.SummarizeGroup(2).N != 2500 {
+			b.Fatal("lost group samples")
+		}
+	}
+	cycle() // grow the scratch buffer once
+	reportMetric(b, testing.AllocsPerRun(2000, cycle), "allocs_op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
 	}
 }
 

@@ -36,6 +36,10 @@
 //	                       growth means per-peer state regressed toward the
 //	                       old map-based layout, a large drop means the
 //	                       baseline went stale and must be re-recorded)
+//	obs_overhead           per-message allocations with the metrics registry
+//	                       attached and tracing off (increase = regression:
+//	                       the observability plane's hot path must stay
+//	                       allocation-free when idle)
 //
 // Wall-clock-dependent units (events_per_s and anything else) vary with the
 // host, so they are printed for the trajectory but never gated. A gated
@@ -73,6 +77,7 @@ var gatedUnits = map[string]gateMode{
 	"election_ms":           gateIncrease,
 	"deliver_gap_ms":        gateIncrease,
 	"bytes_per_peer":        gateEither,
+	"obs_overhead":          gateIncrease,
 }
 
 type gateMode int

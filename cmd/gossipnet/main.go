@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/metrics"
 	"fabricgossip/internal/netmodel"
+	"fabricgossip/internal/obs"
 	"fabricgossip/internal/sim"
 	"fabricgossip/internal/transport"
 	"fabricgossip/internal/wire"
@@ -32,14 +35,34 @@ func main() {
 	nBlocks := flag.Int("blocks", 10, "number of blocks to disseminate")
 	fout := flag.Int("fout", 4, "enhanced push fan-out")
 	interval := flag.Duration("interval", 300*time.Millisecond, "block injection interval")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text exposition on this address at /metrics (e.g. 127.0.0.1:9464)")
 	flag.Parse()
-	if err := run(*nPeers, *nBlocks, *fout, *interval); err != nil {
+	if err := run(*nPeers, *nBlocks, *fout, *interval, *metricsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "gossipnet: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(nPeers, nBlocks, fout int, interval time.Duration) error {
+// serveMetrics exposes reg in Prometheus text format at /metrics. The
+// registry is concurrent (mutex-backed instruments), so scrapes race
+// safely with the endpoints' send/receive paths.
+func serveMetrics(addr string, reg *obs.Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("serving /metrics on http://%s/metrics\n", ln.Addr())
+	return ln, nil
+}
+
+func run(nPeers, nBlocks, fout int, interval time.Duration, metricsAddr string) error {
 	cfg, err := enhanced.ConfigFor(nPeers, fout, 1e-6, 2)
 	if err != nil {
 		return err
@@ -52,6 +75,19 @@ func run(nPeers, nBlocks, fout int, interval time.Duration) error {
 	sched := sim.NewRealScheduler()
 	defer sched.Close()
 
+	// The live runtime shares one concurrent registry across all endpoint
+	// goroutines; the simulator uses shard-local registries instead.
+	var wobs *transport.WireObs
+	if metricsAddr != "" {
+		reg := obs.NewConcurrentRegistry()
+		wobs = transport.NewWireObs(reg, nil)
+		ln, err := serveMetrics(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+	}
+
 	// Bring up endpoints first so the address book is complete before any
 	// gossip starts.
 	endpoints := make([]*transport.TCPEndpoint, nPeers)
@@ -62,6 +98,9 @@ func run(nPeers, nBlocks, fout int, interval time.Duration) error {
 		}
 		defer ep.Close()
 		endpoints[i] = ep
+		if wobs != nil {
+			ep.SetObs(wobs)
+		}
 		book[wire.NodeID(i)] = ep.Addr()
 	}
 

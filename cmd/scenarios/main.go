@@ -15,11 +15,15 @@
 //	scenarios -scenario partition-heal -trace         # include the event trace
 //	scenarios -scenario txload-hotkey-contention -peers 1000 -orgs 4 -check
 //	                          # full execute-order-validate pipeline under load
+//	scenarios -scenario crash-restart -stats          # registry-backed runtime stats
+//	scenarios -scenario churn -trace-jsonl churn.jsonl -metrics-out churn.json
+//	                          # structured event trace + metrics snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"fabricgossip/internal/harness"
+	"fabricgossip/internal/obs"
 	"fabricgossip/internal/scenario"
 )
 
@@ -43,6 +48,12 @@ func main() {
 	tail := flag.Duration("tail", 0, "override the scenario's post-injection tail (0 keeps its own; shortening it changes the fingerprint lineage — reduced-duration determinism smokes only)")
 	check := flag.Bool("check", false, "run each scenario twice and verify identical fingerprints")
 	trace := flag.Bool("trace", false, "print the run's event trace")
+	stats := flag.Bool("stats", false, "print runtime statistics (engine, barriers, wire traffic) from the metrics registry; never part of the fingerprint")
+	traceJSONL := flag.String("trace-jsonl", "", "collect the structured event trace and write it as JSONL to this file ('-' for stdout); fingerprint-neutral")
+	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot as JSON to this file ('-' for stdout)")
+	timeseries := flag.Duration("timeseries", 0, "sample every registry instrument at this simulated period (written as JSON to <metrics-out>.series.json, or stdout); extends the event lineage like -tail")
+	flightRing := flag.Int("flight", 0, "arm the crash flight recorder with a ring of this many recent events per context")
+	flightDir := flag.String("flight-dir", "", "flight-recorder dump directory (default OS temp)")
 	list := flag.Bool("list", false, "list scenario names and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -117,7 +128,12 @@ func main() {
 
 	for _, n := range names {
 		for _, v := range variants {
-			opt := scenario.Options{Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed, Consenters: *consenters, Sharding: sharding, Tail: *tail}
+			opt := scenario.Options{
+				Peers: *peers, Orgs: *orgs, OrgSizes: sizes, Variant: v, Seed: *seed,
+				Consenters: *consenters, Sharding: sharding, Tail: *tail,
+				Trace: *traceJSONL != "", FlightRing: *flightRing, FlightDir: *flightDir,
+				TimeSeries: *timeseries,
+			}
 			start := time.Now()
 			rep, err := scenario.RunNamed(n, opt)
 			if err != nil {
@@ -125,17 +141,13 @@ func main() {
 			}
 			wall := time.Since(start).Round(time.Millisecond)
 			fmt.Println(rep)
-			mode := "sequential"
-			if rep.Sharded {
-				mode = "sharded"
-			}
-			fmt.Printf("  engine: %s, peak pending %d events, heap high-water %.1f MB\n",
-				mode, rep.PeakPending, float64(rep.HeapHighWater)/1e6)
-			if rep.Sharded {
-				fmt.Printf("  barriers: %d full, %d elided (adaptive lookahead)\n",
-					rep.BarrierFull, rep.BarrierElided)
+			if *stats {
+				printStats(rep)
 			}
 			fmt.Printf("  fingerprint: %s (wall %v)\n", rep.Fingerprint()[:16], wall)
+			if err := writeArtifacts(rep, *traceJSONL, *metricsOut, *timeseries); err != nil {
+				fatal(err)
+			}
 			if *check {
 				rep2, err := scenario.RunNamed(n, opt)
 				if err != nil {
@@ -154,6 +166,85 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// printStats renders the runtime-statistics block from the report's
+// metrics-registry snapshot. Everything here is wall-side diagnostics —
+// none of it contributes to the fingerprint.
+func printStats(rep *scenario.Report) {
+	stat := func(name string, labels ...string) float64 {
+		v, _ := rep.Obs.Get(name, labels...)
+		return v
+	}
+	mode := "sequential"
+	if rep.Sharded {
+		mode = "sharded"
+	}
+	fmt.Printf("  engine: %s, %.0f events, peak pending %.0f, heap high-water %.1f MB\n",
+		mode, stat("engine_events_total"), stat("peak_pending_events"),
+		stat("heap_high_water_bytes")/1e6)
+	if rep.Sharded {
+		fmt.Printf("  barriers: %.0f full, %.0f elided (adaptive lookahead)\n",
+			stat("barriers_total", "kind", "full"), stat("barriers_total", "kind", "elided"))
+	}
+	// Wire-level instruments exist only when the run attached the
+	// observability plane (-trace-jsonl, -flight or -timeseries).
+	if out, ok := rep.Obs.Get("wire_msgs_total", "dir", "out"); ok {
+		in, _ := rep.Obs.Get("wire_msgs_total", "dir", "in")
+		outB, _ := rep.Obs.Get("wire_bytes_total", "dir", "out")
+		fmt.Printf("  wire: %.0f msgs out (%.2f MB), %.0f msgs handled\n", out, outB/1e6, in)
+	}
+	fmt.Printf("  sync: %.2f MB in %.0f msgs; pool outstanding at end: %.0f data, %.0f push-digest\n",
+		stat("state_sync_bytes_total")/1e6, stat("state_sync_msgs_total"),
+		stat("pool_outstanding", "pool", "data"), stat("pool_outstanding", "pool", "push_digest"))
+	if ev := stat("trace_events_total"); ev > 0 {
+		fmt.Printf("  trace: %.0f structured events\n", ev)
+	}
+}
+
+// writeArtifacts persists the run's observability outputs: the structured
+// event trace as JSONL, the metrics snapshot as JSON, and the time-series
+// (next to the metrics file, or on stdout).
+func writeArtifacts(rep *scenario.Report, traceJSONL, metricsOut string, timeseries time.Duration) error {
+	emit := func(path string, write func(w io.Writer) error) error {
+		if path == "-" {
+			return write(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if traceJSONL != "" {
+		if err := emit(traceJSONL, func(w io.Writer) error {
+			return obs.WriteJSONL(w, rep.Events)
+		}); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		if err := emit(metricsOut, rep.Obs.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if timeseries > 0 && rep.Series != nil {
+		path := "-"
+		if metricsOut != "" && metricsOut != "-" {
+			path = metricsOut + ".series.json"
+		}
+		if err := emit(path, rep.Series.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if rep.FlightDump != "" {
+		fmt.Printf("  flight dump: %s\n", rep.FlightDump)
+	}
+	return nil
 }
 
 func parseOrgSizes(s string) ([]int, error) {

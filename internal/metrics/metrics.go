@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -230,6 +231,12 @@ func (r *LatencyRecorder) All() *Distribution {
 // is never mutated concurrently.
 type GroupedLatency struct {
 	groups map[int]*LatencyRecorder
+	// scratch is the reusable sort buffer behind SummarizeAll and
+	// SummarizeGroup: percentile queries gather samples into it and sort
+	// in place, so re-querying allocates nothing once it has grown to the
+	// largest query's size (BenchmarkGroupedLatencySummarizeAllocs gates
+	// this). The All()/NewDistribution path copies every sample per query.
+	scratch []time.Duration
 }
 
 // NewGroupedLatency returns an empty grouped recorder.
@@ -275,6 +282,35 @@ func (g *GroupedLatency) All() *LatencyRecorder {
 		out.count += r.count
 	}
 	return out
+}
+
+// SummarizeAll computes the pooled Summary over every group's samples,
+// reusing the recorder's scratch buffer. Quantiles of a multiset do not
+// depend on gather order, so iterating the group map directly is safe, and
+// the result is identical to Summarize(g.All().All()) without that path's
+// two recorder copies and fresh sort slice per query.
+func (g *GroupedLatency) SummarizeAll() Summary {
+	buf := g.scratch[:0]
+	for _, r := range g.groups {
+		for _, s := range r.perPeer {
+			buf = append(buf, s...)
+		}
+	}
+	g.scratch = buf
+	return SummarizeSamples(buf)
+}
+
+// SummarizeGroup computes one group's Summary with the same scratch reuse
+// as SummarizeAll. Unknown groups summarize as empty.
+func (g *GroupedLatency) SummarizeGroup(group int) Summary {
+	buf := g.scratch[:0]
+	if r, ok := g.groups[group]; ok {
+		for _, s := range r.perPeer {
+			buf = append(buf, s...)
+		}
+	}
+	g.scratch = buf
+	return SummarizeSamples(buf)
 }
 
 // Groups returns the group keys observed so far, in ascending order.
@@ -346,6 +382,42 @@ func Summarize(d *Distribution) Summary {
 		P95:  d.Quantile(0.95),
 		P99:  d.Quantile(0.99),
 		P999: d.Quantile(0.999),
+	}
+}
+
+// SummarizeSamples summarizes samples in place: the slice is sorted (not
+// copied) and read directly, so callers owning a scratch slice get a
+// Summary without allocating. Identical to Summarize(NewDistribution(s))
+// — same multiset, same order statistics.
+func SummarizeSamples(s []time.Duration) Summary {
+	slices.Sort(s)
+	n := len(s)
+	if n == 0 {
+		return Summary{}
+	}
+	q := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		return s[idx]
+	}
+	var sum time.Duration
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:    n,
+		Min:  s[0],
+		Mean: sum / time.Duration(n),
+		Max:  s[n-1],
+		P50:  q(0.50),
+		P95:  q(0.95),
+		P99:  q(0.99),
+		P999: q(0.999),
 	}
 }
 

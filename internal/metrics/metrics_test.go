@@ -2,9 +2,12 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"fabricgossip/internal/wire"
 )
 
 func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
@@ -257,5 +260,43 @@ func TestGroupedLatency(t *testing.T) {
 	// Group accessor must not invent observations.
 	if g.Group(7).Count() != 0 {
 		t.Fatal("empty group has observations")
+	}
+}
+
+// SummarizeAll/SummarizeGroup must be observably identical to the
+// allocation-heavy Summarize(All().All()) path they replaced at report
+// time: same multiset, same order statistics, every quantile equal —
+// across group counts, sample sizes (empty included) and a deliberately
+// adversarial insertion order.
+func TestSummarizeSamplesMatchesDistributionPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGroupedLatency()
+	g.EnsureGroups(3)
+	for i := 0; i < 5000; i++ {
+		o := rng.Intn(3)
+		if o == 2 && i%5 != 0 {
+			continue // keep one group sparse
+		}
+		g.Record(o, uint64(rng.Intn(40)), wire.NodeID(rng.Intn(500)), time.Duration(rng.Int63n(1e9)))
+	}
+	want := Summarize(g.All().All())
+	if got := g.SummarizeAll(); got != want {
+		t.Errorf("SummarizeAll = %+v\nwant %+v", got, want)
+	}
+	for o := 0; o < 3; o++ {
+		want := Summarize(g.Group(o).All())
+		if got := g.SummarizeGroup(o); got != want {
+			t.Errorf("SummarizeGroup(%d) = %+v\nwant %+v", o, got, want)
+		}
+	}
+	if got := g.SummarizeGroup(99); got != (Summary{}) {
+		t.Errorf("unknown group summary = %+v, want zero", got)
+	}
+	if got := SummarizeSamples(nil); got != (Summary{}) {
+		t.Errorf("empty SummarizeSamples = %+v, want zero", got)
+	}
+	// Re-querying reuses the scratch buffer and must not perturb results.
+	if a, b := g.SummarizeAll(), g.SummarizeAll(); a != b {
+		t.Errorf("requery drifted: %+v vs %+v", a, b)
 	}
 }

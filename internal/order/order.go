@@ -117,6 +117,9 @@ type Service struct {
 	deliver                 func(*ledger.Block)
 	txCount                 uint64
 	cutBySize, cutByTimeout uint64
+	// onCut observes every cut block (number, transaction count) just
+	// before it is handed to deliver, outside the service's lock.
+	onCut func(num uint64, txs int)
 }
 
 // NewService creates an ordering node. deliver receives every cut block in
@@ -139,6 +142,10 @@ func NewService(cfg Config, sched sim.Scheduler, consenter Consenter, signer *cr
 func (s *Service) Broadcast(tx *ledger.Transaction) error {
 	return s.consenter.Submit(encodeTxEntry(tx))
 }
+
+// OnBlockCut installs a hook observing every block this node cuts. The
+// hook must not call back into the service.
+func (s *Service) OnBlockCut(fn func(num uint64, txs int)) { s.onCut = fn }
 
 // Stats reports how many transactions were ordered and how blocks were cut.
 func (s *Service) Stats() (txs, bySize, byTimeout uint64) {
@@ -185,6 +192,9 @@ func (s *Service) onCommitted(data []byte) {
 	}
 	s.mu.Unlock()
 	if cut != nil {
+		if s.onCut != nil {
+			s.onCut(cut.Num, len(cut.Txs))
+		}
 		s.deliver(cut)
 	}
 }

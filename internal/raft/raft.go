@@ -116,6 +116,10 @@ type Node struct {
 	applyFn func(data []byte)
 	// onStateChange is a test/diagnostic hook.
 	onStateChange func(State, uint64)
+	// onAppend observes log growth: it runs after entries land in the
+	// log (leader accept or follower replication), outside the node's
+	// lock, with the last appended index and the node's current term.
+	onAppend func(index, term uint64)
 	// onLeaderChange observes this node's leader view; notifications are
 	// delivered asynchronously (After(0)) so the hook may call back into
 	// the node (e.g. to flush buffered proposals to a new leader).
@@ -148,6 +152,10 @@ func (n *Node) OnApply(fn func(data []byte)) { n.applyFn = fn }
 
 // OnStateChange installs a hook observing role transitions.
 func (n *Node) OnStateChange(fn func(State, uint64)) { n.onStateChange = fn }
+
+// OnAppend installs a hook observing log appends (leader accepts and
+// follower replication). The hook must not call back into the node.
+func (n *Node) OnAppend(fn func(index, term uint64)) { n.onAppend = fn }
 
 // OnLeaderChange installs a hook observing this node's view of the current
 // leader: (leader, true) when one is known, (0, false) in leaderless
@@ -224,10 +232,14 @@ func (n *Node) Propose(data []byte) error {
 	if n.state == Leader {
 		n.log = append(n.log, wire.RaftEntry{Term: n.term, Data: data})
 		n.matchIndex[n.cfg.ID] = n.lastIndexLocked()
+		appended, term := n.lastIndexLocked(), n.term
 		// A single-node cluster commits immediately.
 		n.advanceCommitLocked()
 		apply := n.collectApplyLocked()
 		n.mu.Unlock()
+		if n.onAppend != nil {
+			n.onAppend(appended, term)
+		}
 		n.runApplies(apply)
 		n.broadcastAppends(false)
 		return nil
@@ -567,6 +579,7 @@ func (n *Node) handleAppend(from wire.NodeID, m *wire.RaftAppend) {
 	}
 	// Append entries, truncating on conflict.
 	idx := m.PrevLogIndex
+	grew := false
 	for _, e := range m.Entries {
 		idx++
 		if idx <= n.lastIndexLocked() {
@@ -576,6 +589,7 @@ func (n *Node) handleAppend(from wire.NodeID, m *wire.RaftAppend) {
 			n.log = n.log[:idx-1] // conflict: truncate suffix
 		}
 		n.log = append(n.log, e)
+		grew = true
 	}
 	match := m.PrevLogIndex + uint64(len(m.Entries))
 	if m.LeaderCommit > n.commitIndex {
@@ -586,9 +600,13 @@ func (n *Node) handleAppend(from wire.NodeID, m *wire.RaftAppend) {
 		n.commitIndex = c
 	}
 	term := n.term
+	appended := n.lastIndexLocked()
 	apply := n.collectApplyLocked()
 	n.mu.Unlock()
 
+	if grew && n.onAppend != nil {
+		n.onAppend(appended, term)
+	}
 	n.runApplies(apply)
 	n.send(from, &wire.RaftAppendResponse{Term: term, Success: true, MatchIndex: match})
 }

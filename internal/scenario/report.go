@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fabricgossip/internal/metrics"
+	"fabricgossip/internal/obs"
 	"fabricgossip/internal/workload"
 )
 
@@ -169,6 +170,30 @@ type Report struct {
 
 	// Trace is the deterministic event log of the run.
 	Trace []string
+
+	// Obs is the run's unified metrics inventory: the transport's
+	// wire-level instruments merged across emission contexts plus every
+	// report counter re-registered under one namespace (see
+	// runner.buildObs). Always populated. Like the other wall-side
+	// diagnostics it is excluded from String — and therefore from
+	// Fingerprint — so its growth never moves checked-in fingerprints.
+	Obs *obs.Snapshot
+
+	// Events is the merged structured event trace (Options.Trace only),
+	// ordered by (time, emission context, emission order) — deterministic
+	// per seed regardless of GOMAXPROCS. Excluded from String and
+	// Fingerprint: the trace points are passive, and the determinism test
+	// asserts a traced run's fingerprint matches the untraced run's.
+	Events []obs.Event
+
+	// Series is the per-window time-series sampling (Options.TimeSeries
+	// only). Excluded from String and Fingerprint.
+	Series *obs.Series
+
+	// FlightDump is the path of the flight-recorder dump written during
+	// this run, if any (Options.FlightRing armed and a violation or leak
+	// fired). Excluded from String and Fingerprint.
+	FlightDump string
 }
 
 // String renders the report (without the trace) as a stable multi-line

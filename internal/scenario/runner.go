@@ -10,6 +10,7 @@ import (
 	"fabricgossip/internal/harness"
 	"fabricgossip/internal/ledger"
 	"fabricgossip/internal/metrics"
+	"fabricgossip/internal/obs"
 	"fabricgossip/internal/raft"
 	"fabricgossip/internal/wire"
 	"fabricgossip/internal/workload"
@@ -60,6 +61,33 @@ type Options struct {
 	// before it closes every gap, so it is a tool for reduced-duration
 	// determinism smokes at extreme scale, not for measurement runs.
 	Tail time.Duration
+
+	// Trace enables the structured event-trace layer (cmd/scenarios
+	// -trace-jsonl): typed trace points from the transport and every
+	// subsystem hook, buffered per emission context and merged into
+	// Report.Events by (time, context, emission order). Trace points are
+	// passive — no random draws, no scheduled events — so enabling them
+	// leaves the run's fingerprint byte-identical; the merged stream
+	// itself is deterministic per seed regardless of GOMAXPROCS. Off by
+	// default: the per-message hot path then carries only a nil check.
+	Trace bool
+	// FlightRing arms the crash flight recorder: each emission context
+	// keeps a bounded ring of this many recent trace events, dumped to a
+	// file when a run dies on a lookahead-violation panic or fails its
+	// pool-leak audit. With Trace also set the full buffers back the
+	// recorder instead (the dump still carries only the last FlightRing
+	// events per context). Zero disables the recorder.
+	FlightRing int
+	// FlightDir is where flight-recorder dumps land (default the OS temp
+	// directory).
+	FlightDir string
+	// TimeSeries, when > 0, samples every registry instrument at this
+	// period of simulated time into Report.Series. The sampler is an
+	// engine event (barrier-hosted under a sharded network), so unlike
+	// Trace it extends the run's event lineage — same-seed runs with the
+	// same period stay deterministic, but fingerprints are comparable
+	// only across runs with identical TimeSeries settings (like Tail).
+	TimeSeries time.Duration
 }
 
 // ShardMode is the per-run sharding override.
@@ -183,6 +211,17 @@ type runner struct {
 	heapHigh    uint64
 	heapSampled bool
 	lastHeapAt  time.Duration
+
+	// Observability plane (all nil/empty unless Options opts in).
+	// obsRegs holds one shard-local registry per emission context —
+	// same layout as traces — merged at report (and time-series sample)
+	// time; tracer's contexts back both the structured event stream and
+	// the flight recorder's rings.
+	obsRegs    []*obs.Registry
+	tracer     *obs.Tracer
+	flight     *obs.FlightRecorder
+	series     *obs.Series
+	flightDump string
 }
 
 // traceEntry is one trace line before prefix formatting, tagged with its
@@ -385,6 +424,16 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 			if s == raft.Leader {
 				r.ordTracef("consenter %d elected leader (term %d)", c, term)
 			}
+			if r.tracer != nil {
+				kind := obs.EvRaftState
+				if s == raft.Leader {
+					kind = obs.EvElection
+				}
+				r.emitOrd(obs.Event{
+					At: r.net.OrdererEngine().Now(), Kind: kind,
+					Node: int32(c), Peer: -1, Num: term, Aux: uint64(s),
+				})
+			}
 		}),
 	)
 	if err != nil {
@@ -404,6 +453,53 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	r.traces = make([][]traceEntry, nbuf)
 	engine := net.Engine
 
+	// Observability plane: registries and structured-trace buffers share
+	// the text-trace contexts' layout. AttachObs installs only passive
+	// instruments (no random draws, no events), so a Trace or FlightRing
+	// run's fingerprint is byte-identical to a bare one; TimeSeries is the
+	// exception — its sampler is an engine event, documented on Options.
+	if opt.Trace || opt.FlightRing > 0 || opt.TimeSeries > 0 {
+		r.obsRegs = make([]*obs.Registry, nbuf)
+		for i := range r.obsRegs {
+			r.obsRegs[i] = obs.NewRegistry()
+		}
+		if opt.Trace || opt.FlightRing > 0 {
+			// Full buffers when the merged stream is wanted; bounded
+			// rings when only the flight recorder needs recent history.
+			ringCap := 0
+			if !opt.Trace {
+				ringCap = opt.FlightRing
+			}
+			r.tracer = obs.NewTracer(nbuf, ringCap)
+		}
+		var shards []*obs.ShardTrace
+		if r.tracer != nil {
+			shards = r.tracer.Shards
+		}
+		net.AttachObs(r.obsRegs, shards)
+		if opt.FlightRing > 0 {
+			r.flight = obs.NewFlightRecorder(r.tracer, opt.FlightRing, opt.FlightDir)
+			if se := net.Sharded(); se != nil {
+				se.SetViolationHook(func(src, dst int, msg string) {
+					// Mid-window only the offending shard's ring is safe
+					// to read; dump it before the panic unwinds so the
+					// artifact survives the crash.
+					if p, derr := r.flight.DumpShard(src, msg); derr == nil {
+						r.flightDump = p
+					}
+				})
+			}
+		}
+		if r.tracer != nil && r.sharded {
+			ctl := r.tracer.Shards[nbuf-1]
+			var barrierN uint64
+			net.Sharded().OnBarrier(func() {
+				barrierN++
+				ctl.Emit(obs.Event{At: engine.Now(), Kind: obs.EvBarrier, Node: -1, Peer: -1, Num: barrierN})
+			})
+		}
+	}
+
 	// The workload plane must install before the cores start (its
 	// per-peer validation pipelines hook OnCommit) and before any restart
 	// event can fire (its rebuild hook must be registered).
@@ -413,6 +509,29 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 			return nil, err
 		}
 		r.plane = plane
+		if r.tracer != nil {
+			// Block cutting happens on the ordering engine's goroutine
+			// (the consenter shard, when sharded).
+			ordTrace := r.tracer.Shards[net.OrdObsContext()]
+			ordEng := net.OrdererEngine()
+			plane.OnBlockCut(func(consenter int, num uint64, txs int) {
+				ordTrace.Emit(obs.Event{
+					At: ordEng.Now(), Kind: obs.EvBlockCut,
+					Node: int32(consenter), Peer: -1, Num: num, Aux: uint64(txs),
+				})
+			})
+		}
+	}
+	if opt.TimeSeries > 0 {
+		// The sampler merges every context's registry into one row per
+		// period. It runs on the control engine — at coordinator barriers
+		// under a sharded network — where all shard-local registries are
+		// quiescent and safe to read.
+		r.series = obs.NewSeries(opt.TimeSeries)
+		sampler := engine.Every(opt.TimeSeries, func() {
+			r.series.Sample(engine.Now(), r.obsRegs)
+		})
+		defer sampler.Stop()
 	}
 
 	net.StartAll()
@@ -448,10 +567,13 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	}
 
 	// Schedule the fault script.
-	for _, ev := range sc.Events {
-		ev := ev
+	for idx, ev := range sc.Events {
+		idx, ev := idx, ev
 		engine.At(ev.At, func() {
 			r.tracef("%s", ev.Action)
+			if r.tracer != nil {
+				r.emitCtl(obs.Event{At: engine.Now(), Kind: obs.EvFault, Node: -1, Peer: -1, Num: uint64(idx)})
+			}
 			ev.Action.apply(r)
 			r.sampleHeap()
 		})
@@ -492,8 +614,18 @@ func (r *runner) checkPoolLeaks() error {
 		}
 	}
 	if data != 0 || digest != 0 {
-		return fmt.Errorf("scenario: %q leaked pooled envelopes after drain: %d data, %d push-digest outstanding",
-			r.sc.Name, data, digest)
+		// The engines are quiescent after the drain, so the full
+		// flight-recorder dump (every context) is safe here.
+		detail := ""
+		if r.flight != nil {
+			reason := fmt.Sprintf("pool leak after drain: %d data, %d push-digest outstanding", data, digest)
+			if p, derr := r.flight.Dump(reason); derr == nil {
+				r.flightDump = p
+				detail = fmt.Sprintf("; flight dump: %s", p)
+			}
+		}
+		return fmt.Errorf("scenario: %q leaked pooled envelopes after drain: %d data, %d push-digest outstanding%s",
+			r.sc.Name, data, digest, detail)
 	}
 	return nil
 }
@@ -548,6 +680,17 @@ func actionOrgs(a Action) []int {
 // counters. Redeliveries (leader failover replaying the stream) are traced
 // separately and never recounted.
 func (r *runner) onDeliver(org, peer int, b *ledger.Block, redelivery bool) {
+	if r.tracer != nil {
+		// Deliveries run on the control engine (the pump's timer host).
+		var re uint64
+		if redelivery {
+			re = 1
+		}
+		r.emitCtl(obs.Event{
+			At: r.net.Engine.Now(), Kind: obs.EvDeliver,
+			Node: int32(peer), Peer: int32(org), Num: b.Num, Aux: re,
+		})
+	}
 	if !r.orgSeen[org][b.Num] {
 		r.orgSeen[org][b.Num] = true
 		if !r.seen[b.Num] {
@@ -580,6 +723,12 @@ func (r *runner) instrument(i int, core *gossip.Core) {
 			r.orderViolations[org]++
 		}
 		r.lastCommit[i] = int64(b.Num)
+		if r.tracer != nil {
+			r.emitOrg(org, obs.Event{
+				At: r.net.EngineFor(i).Now(), Kind: obs.EvBlockCommit,
+				Node: int32(i), Peer: -1, Num: b.Num, Aux: uint64(len(b.Txs)),
+			})
+		}
 		if r.recovering[i] && b.Num+1 >= uint64(r.injected) {
 			lat := r.net.EngineFor(i).Now() - r.restartAt[i]
 			r.orgRecs[org].Record(lat)
@@ -599,8 +748,18 @@ func (r *runner) instrument(i int, core *gossip.Core) {
 			r.lat.Record(org, b.Num, wire.NodeID(i), at-start)
 		}
 	})
-	core.OnPeerStateChange(func(wire.NodeID, bool, time.Duration) {
+	core.OnPeerStateChange(func(p wire.NodeID, live bool, at time.Duration) {
 		r.transitions[org]++
+		if r.tracer != nil {
+			var alive uint64
+			if live {
+				alive = 1
+			}
+			r.emitOrg(org, obs.Event{
+				At: at, Kind: obs.EvMembership,
+				Node: int32(i), Peer: int32(p), Num: alive,
+			})
+		}
 	})
 }
 
@@ -829,6 +988,30 @@ func (r *runner) traceTo(buf int, at time.Duration, format string, args ...any) 
 	r.traces[buf] = append(r.traces[buf], traceEntry{at: at, line: fmt.Sprintf(format, args...)})
 }
 
+// emitOrg/emitOrd/emitCtl append one structured event to the owning
+// emission context's buffer, following the same context layout as the
+// text-trace buffers. Callers guard with r.tracer != nil so the
+// tracing-off hot path pays only that check.
+func (r *runner) emitOrg(org int, e obs.Event) {
+	buf := 0
+	if r.sharded {
+		buf = org
+	}
+	r.tracer.Shards[buf].Emit(e)
+}
+
+func (r *runner) emitOrd(e obs.Event) {
+	buf := 0
+	if r.sharded {
+		buf = len(r.tracer.Shards) - 2
+	}
+	r.tracer.Shards[buf].Emit(e)
+}
+
+func (r *runner) emitCtl(e obs.Event) {
+	r.tracer.Shards[len(r.tracer.Shards)-1].Emit(e)
+}
+
 // mergedTrace assembles the final trace. Sequential runs keep the single
 // buffer's exact emission order (fingerprint-pinned); sharded runs merge
 // the per-context buffers by (time, buffer, position) — a total order that
@@ -903,8 +1086,8 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 			tv.BytesOf(wire.TypeStateResponse),
 		SyncMessages: tv.CountOf(wire.TypeStateRequest) +
 			tv.CountOf(wire.TypeStateResponse),
-		Recoveries: metrics.Summarize(metrics.NewDistribution(recAll)),
-		Latency:    metrics.Summarize(r.lat.All().All()),
+		Recoveries: metrics.SummarizeSamples(recAll),
+		Latency:    r.lat.SummarizeAll(),
 		Trace:      r.mergedTrace(),
 	}
 	if r.viewSamples > 0 {
@@ -928,7 +1111,7 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 			Peers:     r.top.Size(o),
 			Delivered: len(r.orgSeen[o]),
 			Recovery:  metrics.Summarize(r.orgRecs[o].Distribution()),
-			Latency:   metrics.Summarize(r.lat.Group(o).All()),
+			Latency:   r.lat.SummarizeGroup(o),
 		}
 		var inBytes uint64
 		for _, i := range r.top.OrgSpan(o) {
@@ -974,5 +1157,63 @@ func (r *runner) report(blocks []*ledger.Block) *Report {
 		// TotalBytes — receives each injected block exactly once.
 		rep.Overhead = metrics.OverheadRatio(rep.TotalBytes, blockBytes, r.top.Total(), r.injected)
 	}
+	rep.Obs = r.buildObs(rep)
+	if r.opt.Trace {
+		rep.Events = r.tracer.Merged()
+	}
+	rep.Series = r.series
+	rep.FlightDump = r.flightDump
 	return rep
+}
+
+// buildObs assembles the report-time metrics snapshot: the shard-local
+// registries merged (wire-level instruments), then every scattered report
+// counter re-registered under one namespace so downstream consumers read
+// a single inventory instead of scraping Report fields.
+func (r *runner) buildObs(rep *Report) *obs.Snapshot {
+	reg := obs.NewRegistry()
+	for _, lr := range r.obsRegs {
+		reg.Merge(lr)
+	}
+	reg.Counter("engine_events_total").Add(rep.EngineEvents)
+	reg.Gauge("peak_pending_events").Set(int64(rep.PeakPending))
+	reg.Gauge("heap_high_water_bytes").Set(int64(rep.HeapHighWater))
+	reg.Counter("barriers_total", "kind", "full").Add(rep.BarrierFull)
+	reg.Counter("barriers_total", "kind", "elided").Add(rep.BarrierElided)
+	reg.Counter("traffic_bytes_total").Add(rep.TotalBytes)
+	reg.Counter("state_sync_bytes_total").Add(rep.SyncBytes)
+	reg.Counter("state_sync_msgs_total").Add(rep.SyncMessages)
+	reg.Counter("blocks_injected_total").Add(uint64(rep.BlocksInjected))
+	reg.Counter("membership_transitions_total").Add(uint64(rep.Transitions))
+	reg.Counter("order_violations_total").Add(uint64(rep.OrderViolations))
+	// Pool leak canaries: pooled envelopes still outstanding at End —
+	// in-flight deliveries the post-report drain settles. The audit in
+	// checkPoolLeaks asserts these reach zero after the drain.
+	type pooled interface{ PoolOutstanding() (data, digest int) }
+	var data, digest int
+	for _, c := range r.net.Cores {
+		if p, ok := c.Proto().(pooled); ok {
+			d, g := p.PoolOutstanding()
+			data += d
+			digest += g
+		}
+	}
+	reg.Gauge("pool_outstanding", "pool", "data").Set(int64(data))
+	reg.Gauge("pool_outstanding", "pool", "push_digest").Set(int64(digest))
+	if r.tracer != nil {
+		reg.Counter("trace_events_total").Add(r.tracer.Total())
+	}
+	if rep.Consenters > 0 {
+		reg.Counter("elections_total").Add(uint64(rep.Elections))
+		reg.Gauge("leaderless_ns").Set(int64(rep.Leaderless))
+	}
+	if w := rep.Workload; w != nil {
+		reg.Counter("workload_tx_total", "outcome", "submitted").Add(uint64(w.Submitted))
+		reg.Counter("workload_tx_total", "outcome", "committed").Add(uint64(w.Committed))
+		reg.Counter("workload_tx_total", "outcome", "conflict").Add(uint64(w.Conflicts))
+		reg.Counter("workload_tx_total", "outcome", "retry").Add(uint64(w.Retries))
+		reg.Counter("workload_blocks_cut_total", "cause", "size").Add(w.CutBySize)
+		reg.Counter("workload_blocks_cut_total", "cause", "timeout").Add(w.CutByTimeout)
+	}
+	return reg.Snapshot()
 }

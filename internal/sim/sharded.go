@@ -63,6 +63,12 @@ type ShardedEngine struct {
 	fullBarriers   uint64
 	elidedBarriers uint64
 
+	// violation, when set, runs on the offending shard's goroutine just
+	// before a lookahead-violation panic, so a flight recorder can dump
+	// that shard's recent events while the rest of the window is still
+	// running. The hook must touch only state owned by shard src.
+	violation func(src, dst int, msg string)
+
 	now     time.Duration
 	horizon time.Duration
 }
@@ -152,6 +158,14 @@ func (se *ShardedEngine) BarrierStats() (full, elided uint64) {
 	return se.fullBarriers, se.elidedBarriers
 }
 
+// SetViolationHook installs fn to run just before a lookahead-violation
+// panic, on the goroutine of the offending source shard. The hook may only
+// touch state owned by that shard (other shards are still mid-window); the
+// intended use is a flight-recorder dump of the shard's recent events.
+func (se *ShardedEngine) SetViolationHook(fn func(src, dst int, msg string)) {
+	se.violation = fn
+}
+
 // OnBarrier registers fn to run at every window edge, after the control
 // engine's due events fire and before cross-shard inboxes drain. Hooks run
 // with every shard quiescent and all shard clocks equal to Now().
@@ -167,9 +181,13 @@ func (se *ShardedEngine) OnBarrier(fn func()) {
 // latency >= Lookahead().
 func (se *ShardedEngine) SendCross(src, dst int, at time.Duration, h DeliveryHandler, from, to uint64, msg any) {
 	if at < se.horizon {
-		panic(fmt.Sprintf(
+		msg := fmt.Sprintf(
 			"sim: cross-shard delivery at %v violates window horizon %v (shard %d -> %d, lookahead %v): cross-shard latency must be >= lookahead",
-			at, se.horizon, src, dst, se.lookahead))
+			at, se.horizon, src, dst, se.lookahead)
+		if se.violation != nil {
+			se.violation(src, dst, msg)
+		}
+		panic(msg)
 	}
 	se.inbox[src][dst] = append(se.inbox[src][dst], crossEvent{at: at, h: h, from: from, to: to, msg: msg})
 }

@@ -59,6 +59,12 @@ type SimNetwork struct {
 	shardEng     []*sim.Engine
 	shardRng     []*sim.Rand
 	shardTraffic []*netmodel.Traffic
+
+	// wobs, when set, observes every message at the NIC: index 0
+	// sequentially, the sender's/receiver's shard index in sharded mode.
+	// Like the traffic accountants, each entry is written only by its own
+	// shard's goroutine.
+	wobs []*WireObs
 }
 
 // NewSimNetwork creates a simulated network. traffic may be nil to skip
@@ -108,6 +114,21 @@ func (n *SimNetwork) EnableSharding(se *sim.ShardedEngine, traffics []*netmodel.
 		n.shardEng[i] = se.Shard(i)
 		n.shardRng[i] = se.Shard(i).Rand("transport")
 	}
+}
+
+// SetObs attaches per-context wire observers: one entry sequentially,
+// one per shard in sharded mode (call after EnableSharding). nil detaches.
+func (n *SimNetwork) SetObs(wobs []*WireObs) {
+	if wobs != nil {
+		want := 1
+		if n.se != nil {
+			want = n.se.NumShards()
+		}
+		if len(wobs) != want {
+			panic(fmt.Sprintf("transport: %d wire observers for %d contexts", len(wobs), want))
+		}
+	}
+	n.wobs = wobs
 }
 
 // SetNodeShard assigns the node to a shard (sharded mode only). Sends from
@@ -265,6 +286,9 @@ func (n *SimNetwork) send(from, to wire.NodeID, msg wire.Message) error {
 	if n.traffic != nil {
 		n.traffic.Record(from, to, msg.Type(), size, n.engine.Now())
 	}
+	if n.wobs != nil {
+		n.wobs[0].Sent(n.engine.Now(), from, to, msg.Type(), size)
+	}
 	if !n.Reachable(from, to) {
 		releaseMsg(msg)
 		return nil // silently lost: crashed endpoint, cut link or partition
@@ -303,6 +327,9 @@ func (n *SimNetwork) sendSharded(from, to wire.NodeID, msg wire.Message) error {
 	if n.shardTraffic != nil {
 		n.shardTraffic[src].Record(from, to, msg.Type(), size, eng.Now())
 	}
+	if n.wobs != nil {
+		n.wobs[src].Sent(eng.Now(), from, to, msg.Type(), size)
+	}
 	if !n.Reachable(from, to) {
 		releaseMsg(msg)
 		return nil
@@ -337,6 +364,17 @@ func (n *SimNetwork) deliver(from, to uint64, msg any) {
 	dst := n.nodes[to]
 	m := msg.(wire.Message)
 	if h := dst.handler; h != nil && !n.downNode[dst.id] {
+		if n.wobs != nil {
+			// The receive lands in the receiver's context, on whose
+			// engine goroutine this handler is already running.
+			ctx := 0
+			at := n.engine.Now()
+			if n.se != nil {
+				ctx = n.shardOfNode(dst.id)
+				at = n.shardEng[ctx].Now()
+			}
+			n.wobs[ctx].Received(at, wire.NodeID(from), dst.id, m.Type(), m.EncodedSize())
+		}
 		h(wire.NodeID(from), m)
 	}
 	releaseMsg(m)

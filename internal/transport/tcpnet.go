@@ -43,6 +43,9 @@ type TCPEndpoint struct {
 	ln      net.Listener
 	traffic *netmodel.Traffic
 	start   time.Time
+	// wobs, when set, must be backed by a concurrent registry: sends and
+	// receives run on arbitrary connection goroutines.
+	wobs *WireObs
 
 	mu      sync.Mutex
 	handler Handler
@@ -79,6 +82,10 @@ func ListenTCP(id wire.NodeID, addr string, book AddressBook, traffic *netmodel.
 	go ep.acceptLoop()
 	return ep, nil
 }
+
+// SetObs attaches a wire observer. It must be backed by a concurrent
+// registry (obs.NewConcurrentRegistry); call before any traffic flows.
+func (ep *TCPEndpoint) SetObs(w *WireObs) { ep.wobs = w }
 
 // Addr returns the listening address (useful with ":0").
 func (ep *TCPEndpoint) Addr() string { return ep.ln.Addr().String() }
@@ -129,6 +136,9 @@ func (ep *TCPEndpoint) Send(to wire.NodeID, msg wire.Message) error {
 	}
 	if ep.traffic != nil {
 		ep.traffic.Record(ep.id, to, msg.Type(), len(frame), time.Since(ep.start))
+	}
+	if ep.wobs != nil {
+		ep.wobs.Sent(time.Since(ep.start), ep.id, to, msg.Type(), len(frame))
 	}
 	return nil
 }
@@ -220,6 +230,9 @@ func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 			return // corrupt frame; drop the connection
 		}
 		if h := ep.currentHandler(); h != nil {
+			if ep.wobs != nil {
+				ep.wobs.Received(time.Since(ep.start), from, ep.id, msg.Type(), 4+len(payload))
+			}
 			h(from, msg)
 		}
 	}

@@ -502,6 +502,22 @@ func (p *Plane) submitter(ep *transport.SimEndpoint) client.Submitter {
 	}
 }
 
+// OnBlockCut installs fn to observe every block the plane's ordering
+// service cuts, on the ordering engine's goroutine: consenter is the
+// cutting replica's index, or -1 for the legacy solo service. In cluster
+// mode every live replica cuts the identical block, so fn fires once per
+// replica per block. Install before Start; fn must not call back into
+// the plane.
+func (p *Plane) OnBlockCut(fn func(consenter int, num uint64, txs int)) {
+	if p.service != nil {
+		p.service.OnBlockCut(func(num uint64, txs int) { fn(-1, num, txs) })
+	}
+	for i, svc := range p.services {
+		i := i
+		svc.OnBlockCut(func(num uint64, txs int) { fn(i, num, txs) })
+	}
+}
+
 // onCut receives each block the ordering service cuts: record its
 // transaction ids for resolution, then hand it to the network's deliver
 // stream.
